@@ -1,0 +1,391 @@
+package mudi
+
+// The benchmark harness: one testing.B benchmark per table and figure
+// of the paper's evaluation (§7). Each benchmark regenerates its
+// table/figure through the internal/exp runners and reports the key
+// headline metric as a custom benchmark unit, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. Use -short for reduced sizes. The
+// rows/series themselves can be printed with cmd/mudibench.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"mudi/internal/exp"
+)
+
+func benchCfg(b *testing.B) exp.Config {
+	cfg := exp.Config{Seed: 1, Scale: exp.ScalePhysical}
+	if testing.Short() {
+		cfg.Scale = exp.ScaleSmall
+	}
+	return cfg
+}
+
+// benchSuites caches the shared end-to-end suite per config so the
+// seven suite-based benchmarks do not each retrain and rerun the
+// comparison set.
+var benchSuites = map[exp.Config]*exp.Suite{}
+
+// benchSuite returns the (cached) shared end-to-end suite.
+func benchSuite(b *testing.B, cfg exp.Config) *exp.Suite {
+	b.Helper()
+	if s, ok := benchSuites[cfg]; ok {
+		return s
+	}
+	s, err := exp.NewSuite(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSuites[cfg] = s
+	return s
+}
+
+// cell parses a numeric table cell (stripping % and x suffixes).
+func cell(b *testing.B, s string) float64 {
+	b.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func BenchmarkTable2FittingError(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the piecewise error at 6 samples (the paper's pick).
+		b.ReportMetric(cell(b, tab.Rows[1][3]), "pw6-err-%")
+	}
+}
+
+func BenchmarkFig3InterferenceInfInf(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Fig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		var n int
+		for _, row := range tab.Rows {
+			if row[0] == "GPT2" {
+				sum += cell(b, row[2])
+				n++
+			}
+		}
+		b.ReportMetric(sum/float64(n), "gpt2-e2e-x")
+	}
+}
+
+func BenchmarkFig4InterferenceInfTrain(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Fig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		var n int
+		for _, row := range tab.Rows {
+			if row[0] == "GPT2" {
+				sum += cell(b, row[2])
+				n++
+			}
+		}
+		b.ReportMetric(sum/float64(n), "gpt2-e2e-x")
+	}
+}
+
+func BenchmarkFig5LatencyCurves(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Fig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Steepness ratio of the co-located batch-256 column: latency at
+		// 10% GPU over latency at 90%.
+		lo := cell(b, tab.Rows[0][6])
+		hi := cell(b, tab.Rows[8][6])
+		b.ReportMetric(lo/hi, "steepness-x")
+	}
+}
+
+func BenchmarkFig8SLOViolations(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, cfg)
+		tab, err := exp.Fig8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range tab.Rows {
+			if row[0] == "mudi" {
+				var sum float64
+				for _, c := range row[1:] {
+					sum += cell(b, c)
+				}
+				b.ReportMetric(sum/float64(len(row)-1), "mudi-viol-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9TrainingEfficiency(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, cfg)
+		tab, err := exp.Fig9(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mudiCT, gsliceCT float64
+		for _, row := range tab.Rows {
+			switch row[0] {
+			case "mudi":
+				mudiCT = cell(b, row[1])
+			case "gslice":
+				gsliceCT = cell(b, row[1])
+			}
+		}
+		if mudiCT > 0 {
+			b.ReportMetric(gsliceCT/mudiCT, "ct-vs-gslice-x")
+		}
+	}
+}
+
+func BenchmarkFig10Utilization(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, cfg)
+		tab, err := exp.Fig10(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range tab.Rows {
+			if row[0] == "mudi" {
+				b.ReportMetric(cell(b, row[1]), "mudi-sm-util-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig11PredictionError(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cut float64
+		for _, row := range tab.Rows {
+			cut += cell(b, row[3])
+		}
+		b.ReportMetric(cut/float64(len(tab.Rows)), "cutoff-err")
+	}
+}
+
+func BenchmarkFig12IncrementalError(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Fig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tab.Rows[len(tab.Rows)-1]
+		var sum float64
+		for _, c := range last[1:] {
+			sum += cell(b, c)
+		}
+		b.ReportMetric(sum/float64(len(last)-1), "final-err")
+	}
+}
+
+func BenchmarkFig13Ablations(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, cfg)
+		tab, err := exp.Fig13(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full := cell(b, tab.Rows[0][1])
+		clusterOnly := cell(b, tab.Rows[1][1])
+		if full > 0 {
+			b.ReportMetric(clusterOnly/full, "cluster-only-viol-x")
+		}
+	}
+}
+
+func BenchmarkFig14MaxThroughput(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, cfg)
+		tab, err := exp.Fig14(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mudiSum float64
+		for _, row := range tab.Rows {
+			if row[0] == "mudi" {
+				for _, c := range row[1:] {
+					mudiSum += cell(b, c)
+				}
+			}
+		}
+		b.ReportMetric(mudiSum/6, "mudi-mean-qps")
+	}
+}
+
+func BenchmarkFig15LoadSensitivity(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, cfg)
+		tab, err := exp.Fig15(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range tab.Rows {
+			if row[0] == "mudi" && row[1] == "3x" {
+				b.ReportMetric(cell(b, row[2]), "mudi-3x-viol-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig16BurstyQPS(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Fig16(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(tab.Rows)), "trace-rows")
+	}
+}
+
+func BenchmarkTable4SwapFraction(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Tab4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, c := range tab.Rows[0] {
+			sum += cell(b, c)
+		}
+		b.ReportMetric(sum/float64(len(tab.Rows[0])), "mean-swap-%")
+	}
+}
+
+func BenchmarkFig17MudiMore(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Fig17(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		one := cell(b, tab.Rows[0][2])
+		three := cell(b, tab.Rows[1][2])
+		if one > 0 {
+			b.ReportMetric(three/one, "more-ct-x")
+		}
+	}
+}
+
+func BenchmarkFig18Overheads(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, cfg)
+		tab, err := exp.Fig18(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range tab.Rows {
+			switch row[0] {
+			case "GP-LCB iterations":
+				b.ReportMetric(cell(b, row[4]), "bo-iters-mean")
+			case "placement decision (ms)":
+				b.ReportMetric(cell(b, row[4]), "placement-ms-mean")
+			}
+		}
+	}
+}
+
+func BenchmarkOptimalityGap(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Optimality(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cell(b, tab.Rows[0][1]), "match-%")
+		if len(tab.Rows) >= 2 {
+			b.ReportMetric(cell(b, tab.Rows[1][1]), "iter-ratio-x")
+		}
+	}
+}
+
+func BenchmarkAblationTuner(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.AblationTuner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bo := cell(b, tab.Rows[0][2])
+		fixed := cell(b, tab.Rows[1][2])
+		if bo > 0 {
+			b.ReportMetric(fixed/bo, "fixed-vs-bo-ct-x")
+		}
+	}
+}
+
+func BenchmarkQueuePolicies(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.QueuePolicies(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fcfs, sjf float64
+		for _, row := range tab.Rows {
+			switch row[0] {
+			case "fcfs":
+				fcfs = cell(b, row[1])
+			case "sjf":
+				sjf = cell(b, row[1])
+			}
+		}
+		if sjf > 0 {
+			b.ReportMetric(fcfs/sjf, "fcfs-vs-sjf-wait-x")
+		}
+	}
+}
+
+func BenchmarkFidelity(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Fidelity(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Ratio of request-level to window-model P99 at batch 64.
+		window := cell(b, tab.Rows[2][1])
+		req := cell(b, tab.Rows[2][2])
+		if window > 0 {
+			b.ReportMetric(req/window, "reqlevel-vs-window-x")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fig8") || !strings.Contains(b.String(), "tab2") {
+		t.Fatalf("list output:\n%s", b.String())
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "fig3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Fig. 3") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}
+
+func TestRunCSVAndOutputDir(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-exp", "fig5", "-csv", "-o", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "GPU%,") {
+		t.Fatalf("csv output:\n%s", b.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "GPU%") {
+		t.Fatal("csv file content wrong")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scale", "bogus"}, &b); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+	if err := run([]string{"-exp", "bogus"}, &b); err == nil {
+		t.Fatal("bogus experiment accepted")
+	}
+}

@@ -1,0 +1,200 @@
+// Command mudisim runs one end-to-end cluster simulation and prints
+// the resulting SLO, training-efficiency, and utilization metrics.
+//
+// Usage:
+//
+//	mudisim -policy mudi -devices 12 -tasks 50
+//	mudisim -policy gslice -load 3
+//	mudisim -policy mudi -burst 100:200:3 -trace 1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mudi"
+	"mudi/internal/coordinator"
+	"mudi/internal/core"
+	"mudi/internal/model"
+	"mudi/internal/perf"
+	"mudi/internal/predictor"
+	"mudi/internal/profiler"
+	"mudi/internal/report"
+	"mudi/internal/xrand"
+)
+
+func main() {
+	var (
+		policyFlag  = flag.String("policy", "mudi", "policy: mudi, gslice, gpulets, muxflow, random, optimal")
+		devicesFlag = flag.Int("devices", 12, "number of GPUs")
+		tasksFlag   = flag.Int("tasks", 30, "number of training-task arrivals")
+		gapFlag     = flag.Float64("gap", 8, "mean arrival gap in seconds")
+		loadFlag    = flag.Float64("load", 1, "QPS load multiplier")
+		seedFlag    = flag.Uint64("seed", 1, "random seed")
+		queueFlag   = flag.String("queue", "fcfs", "queue policy: fcfs, sjf, fair, priority")
+		burstFlag   = flag.String("burst", "", "QPS burst as start:end:factor (e.g. 100:200:3)")
+		traceFlag   = flag.Int("trace", 0, "1-based device index to trace per window")
+		moreFlag    = flag.Int("maxtrain", 1, "max training tasks per GPU (3 = Mudi-more)")
+		liveFlag    = flag.Duration("live", 0, "run the live Local Coordinator (goroutines + ETCD-style store) for this wall-clock duration instead of the batch simulation")
+		jsonFlag    = flag.Bool("json", false, "emit the result as JSON instead of tables")
+	)
+	flag.Parse()
+
+	if *liveFlag > 0 {
+		runLive(*seedFlag, *liveFlag)
+		return
+	}
+
+	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: *seedFlag, MaxTrainPerGPU: *moreFlag})
+	if err != nil {
+		fail(err)
+	}
+	opts := mudi.SimOptions{
+		Devices:        *devicesFlag,
+		Tasks:          *tasksFlag,
+		MeanGapSec:     *gapFlag,
+		IterScale:      0.002,
+		LoadFactor:     *loadFlag,
+		QueuePolicy:    *queueFlag,
+		TraceDeviceIdx: *traceFlag,
+	}
+	if *policyFlag != "mudi" {
+		p, err := sys.Baseline(*policyFlag)
+		if err != nil {
+			fail(err)
+		}
+		opts.Policy = p
+	}
+	if *burstFlag != "" {
+		parts := strings.Split(*burstFlag, ":")
+		if len(parts) != 3 {
+			fail(fmt.Errorf("bad -burst %q, want start:end:factor", *burstFlag))
+		}
+		var vals [3]float64
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				fail(fmt.Errorf("bad -burst %q: %v", *burstFlag, err))
+			}
+			vals[i] = v
+		}
+		opts.Bursts = []mudi.Burst{{Start: vals[0], End: vals[1], Factor: vals[2]}}
+	}
+
+	res, err := sys.Simulate(opts)
+	if err != nil {
+		fail(err)
+	}
+	if *jsonFlag {
+		if err := res.WriteJSON(os.Stdout, 64); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	tab := report.NewTable(fmt.Sprintf("mudisim: %s on %d GPUs, %d tasks, load %gx", res.Policy, *devicesFlag, *tasksFlag, *loadFlag),
+		"metric", "value")
+	tab.AddRow("completed / admitted", fmt.Sprintf("%d / %d", res.Completed, res.Admitted))
+	tab.AddRow("mean SLO violation", report.Pct(res.MeanSLOViolation()))
+	tab.AddRow("mean CT (s)", res.MeanCT())
+	tab.AddRow("mean waiting (s)", res.MeanWaiting())
+	tab.AddRow("makespan (s)", res.Makespan)
+	tab.AddRow("SM utilization", report.Pct(res.SMUtil.TimeAverage(0, res.Makespan)))
+	tab.AddRow("memory utilization", report.Pct(res.MemUtil.TimeAverage(0, res.Makespan)))
+	if _, smVals := res.SMUtil.Downsample(0, res.Makespan, 48); len(smVals) > 0 {
+		tab.AddRow("SM util over time", report.Sparkline(smVals))
+	}
+	if _, memVals := res.MemUtil.Downsample(0, res.Makespan, 48); len(memVals) > 0 {
+		tab.AddRow("mem util over time", report.Sparkline(memVals))
+	}
+	tab.AddRow("swap events", res.SwapEvents)
+	tab.AddRow("reconfigurations", res.Reconfigs)
+	tab.AddRow("paused episodes", res.PausedEpisodes)
+	if err := tab.WriteASCII(os.Stdout); err != nil {
+		fail(err)
+	}
+
+	svcTab := report.NewTable("per-service SLO violation", "service", "violation", "mean P99 (ms)")
+	var names []string
+	for name := range res.SLOViolation {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		svcTab.AddRow(name, report.Pct(res.SLOViolation[name]), res.MeanP99[name])
+	}
+	if err := svcTab.WriteASCII(os.Stdout); err != nil {
+		fail(err)
+	}
+
+	if *traceFlag > 0 && len(res.Trace) > 0 {
+		tr := report.NewTable("device trace (sampled)", "t (s)", "QPS", "batch", "GPU%", "P99", "budget", "swapped MB")
+		for i, pt := range res.Trace {
+			if i%10 != 0 {
+				continue
+			}
+			tr.AddRow(pt.Time, pt.QPS, pt.Batch, fmt.Sprintf("%.0f%%", pt.Delta*100), pt.LatencyMs, pt.BudgetMs, pt.SwappedMB)
+		}
+		if err := tr.WriteASCII(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runLive drives the concurrent Local Coordinator (§6): one Monitor,
+// Tuner, and Agent set per device, communicating through the embedded
+// watchable config store.
+func runLive(seed uint64, dur time.Duration) {
+	oracle := perf.NewOracle(seed)
+	prof := profiler.New(oracle, xrand.New(seed+100))
+	pred := predictor.New(seed)
+	profiles, err := prof.ProfileAll(nil, nil)
+	if err != nil {
+		fail(err)
+	}
+	policy := core.NewMudi(pred, core.MudiConfig{Seed: seed})
+	for _, ps := range profiles {
+		if err := pred.Train(ps); err != nil {
+			fail(err)
+		}
+		policy.AddProfiles(ps)
+	}
+	var specs []coordinator.DeviceSpec
+	tasks := model.ObservedTasks()
+	for i, svc := range model.Services() {
+		task := tasks[i%len(tasks)]
+		specs = append(specs, coordinator.DeviceSpec{
+			ID: fmt.Sprintf("dev%d", i), Service: svc, Training: &task,
+		})
+	}
+	coord, err := coordinator.New(coordinator.Config{Seed: seed}, oracle, policy, specs)
+	if err != nil {
+		fail(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), dur)
+	defer cancel()
+	fmt.Printf("running live coordinator on %d devices for %s...\n", len(specs), dur)
+	if err := coord.Run(ctx); err != nil {
+		fail(err)
+	}
+	tab := report.NewTable("live coordinator stats",
+		"device", "service", "windows", "violations", "retunes", "configs applied", "batch", "GPU%", "iter (ms)")
+	for i, st := range coord.Stats() {
+		tab.AddRow(st.DeviceID, specs[i].Service.Name, st.Windows, st.Violations, st.Retunes,
+			st.ConfigsApplied, st.Batch, fmt.Sprintf("%.0f%%", st.Delta*100), st.TrainIterMs)
+	}
+	if err := tab.WriteASCII(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "mudisim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Large-cluster comparison: run Mudi against the baseline systems on a
+// bigger simulated fleet (default 100 GPUs / 200 tasks; pass -paper for
+// the full 1000-GPU/5000-task configuration of §7.1, which takes
+// considerably longer) and print the Fig. 8/9-style comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mudi"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "use the paper's 1000-GPU / 5000-task scale")
+	flag.Parse()
+
+	devices, tasks, gap := 100, 200, 2.0
+	if *paper {
+		devices, tasks, gap = 1000, 5000, 0.8
+	}
+
+	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 11})
+	if err != nil {
+		log.Fatalf("offline pipeline: %v", err)
+	}
+	arrivals, err := mudi.PhillyArrivals(tasks, gap, 0.002, 11)
+	if err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+
+	type row struct {
+		name string
+		res  *mudi.Result
+	}
+	var rows []row
+	for _, name := range []string{"mudi", "gslice", "gpulets", "muxflow"} {
+		var policy mudi.Policy
+		if name != "mudi" {
+			policy, err = sys.Baseline(name)
+			if err != nil {
+				log.Fatalf("baseline %s: %v", name, err)
+			}
+		}
+		res, err := sys.Simulate(mudi.SimOptions{
+			Policy:   policy,
+			Devices:  devices,
+			Arrivals: arrivals,
+		})
+		if err != nil {
+			log.Fatalf("simulate %s: %v", name, err)
+		}
+		rows = append(rows, row{name, res})
+		fmt.Printf("finished %-8s  violation %.2f%%  meanCT %.0fs  makespan %.0fs  completed %d/%d\n",
+			name, res.MeanSLOViolation()*100, res.MeanCT(), res.Makespan, res.Completed, res.Admitted)
+	}
+
+	mudiRes := rows[0].res
+	fmt.Println("\nrelative to Mudi (paper: CT up to 2.27x vs GSLICE, violations up to 6x lower):")
+	for _, r := range rows[1:] {
+		violRatio := 0.0
+		if mudiRes.MeanSLOViolation() > 0 {
+			violRatio = r.res.MeanSLOViolation() / mudiRes.MeanSLOViolation()
+		}
+		fmt.Printf("  %-8s violations %.2fx, mean CT %.2fx, makespan %.2fx\n",
+			r.name, violRatio, r.res.MeanCT()/mudiRes.MeanCT(), r.res.Makespan/mudiRes.Makespan)
+	}
+}

@@ -1,0 +1,45 @@
+// MIG compatibility: split each physical GPU into MIG instances and let
+// Mudi treat every instance as a distinct, smaller GPU (§3). Compare
+// whole-GPU and 2-way-MIG deployments of the same cluster: MIG doubles
+// the schedulable devices but halves each instance's memory, so the
+// Memory Manager swaps more.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mudi"
+)
+
+func main() {
+	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 33})
+	if err != nil {
+		log.Fatalf("offline pipeline: %v", err)
+	}
+	arrivals, err := mudi.PhillyArrivals(24, 6, 0.001, 33)
+	if err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+
+	for _, cfg := range []struct {
+		name   string
+		slices int
+	}{
+		{"whole GPUs (6 devices)", 1},
+		{"2-way MIG (12 instances)", 2},
+	} {
+		res, err := sys.Simulate(mudi.SimOptions{
+			Devices:   6,
+			Arrivals:  arrivals,
+			MIGSlices: cfg.slices,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", cfg.name, err)
+		}
+		fmt.Printf("%-26s SLO viol %.2f%%  mean CT %.0fs  mean wait %.0fs  swaps %d\n",
+			cfg.name, res.MeanSLOViolation()*100, res.MeanCT(), res.MeanWaiting(), res.SwapEvents)
+	}
+	fmt.Println("\nMIG doubles placement slots (shorter queues) at the cost of")
+	fmt.Println("per-instance memory, which the unified-memory manager absorbs by swapping.")
+}

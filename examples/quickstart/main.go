@@ -1,0 +1,46 @@
+// Quickstart: build a Mudi system, replay a small training trace on a
+// 12-GPU cluster, and print the headline metrics — the minimal "does
+// multiplexing hold the SLOs?" loop.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mudi"
+)
+
+func main() {
+	// NewSystem runs the paper's offline phase: profile every inference
+	// service against the observed training tasks on the synthetic
+	// testbed, fit the piecewise latency curves, and train the
+	// interference predictor.
+	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 42})
+	if err != nil {
+		log.Fatalf("offline pipeline: %v", err)
+	}
+
+	// Simulate 30 training-task arrivals multiplexed with the six
+	// Tab. 1 inference services on 12 GPUs.
+	res, err := sys.Simulate(mudi.SimOptions{
+		Devices:    12,
+		Tasks:      30,
+		MeanGapSec: 8,
+		IterScale:  0.002,
+	})
+	if err != nil {
+		log.Fatalf("simulate: %v", err)
+	}
+
+	fmt.Printf("policy            %s\n", res.Policy)
+	fmt.Printf("completed         %d / %d tasks\n", res.Completed, res.Admitted)
+	fmt.Printf("mean SLO viol.    %.2f%%\n", res.MeanSLOViolation()*100)
+	fmt.Printf("mean completion   %.1f s\n", res.MeanCT())
+	fmt.Printf("makespan          %.1f s\n", res.Makespan)
+	fmt.Printf("SM utilization    %.1f%%\n", res.SMUtil.TimeAverage(0, res.Makespan)*100)
+	fmt.Println()
+	for _, name := range mudi.SortedServiceNames() {
+		fmt.Printf("  %-10s violation %.2f%%  mean P99 %.1f ms\n",
+			name, res.SLOViolation[name]*100, res.MeanP99[name])
+	}
+}

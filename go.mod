@@ -1,0 +1,3 @@
+module mudi
+
+go 1.22

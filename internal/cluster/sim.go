@@ -1,0 +1,800 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"mudi/internal/core"
+	"mudi/internal/eventq"
+	"mudi/internal/gpu"
+	"mudi/internal/memmgr"
+	"mudi/internal/model"
+	"mudi/internal/perf"
+	"mudi/internal/sched"
+	"mudi/internal/stats"
+	"mudi/internal/trace"
+	"mudi/internal/xrand"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	Policy  core.Policy
+	Oracle  *perf.Oracle
+	Seed    uint64
+	Devices int // total GPUs; services deploy round-robin
+
+	Services []model.InferenceService // defaults to the Tab. 1 catalog
+	Arrivals []trace.TaskArrival
+
+	WindowSec  float64 // control window; default 1 s
+	LoadFactor float64 // QPS multiplier (Fig. 15); default 1
+	// MaxHorizonSec caps the simulation even if tasks remain; default
+	// 10× the last arrival (safety against starvation bugs).
+	MaxHorizonSec float64
+
+	QueuePolicy sched.Policy // default FCFS (§6)
+
+	// DisableRetune turns off the Monitor→Tuner trigger (the Fig. 13a
+	// "cluster-level only" ablation).
+	DisableRetune bool
+	// Bursts overlays QPS burst episodes on every service (Fig. 16).
+	Bursts []trace.Burst
+	// QPSChangeThreshold for the Monitor; default 0.5.
+	QPSChangeThreshold float64
+	// TraceDeviceIdx, when > 0, records a per-window configuration
+	// trace for device TraceDeviceIdx−1 (1-based so the zero value
+	// disables tracing) — the Fig. 16 case-study view.
+	TraceDeviceIdx int
+	// MIGSlices > 1 splits every physical GPU into that many MIG
+	// instances, each a fully independent device with 1/N of the
+	// memory (§3: "Mudi is fully compatible with MIG, treating each
+	// MIG instance as a distinct, smaller GPU"). Valid values 1–7.
+	MIGSlices int
+}
+
+func (o Options) defaults() (Options, error) {
+	if o.Policy == nil {
+		return o, errors.New("cluster: nil policy")
+	}
+	if o.Oracle == nil {
+		return o, errors.New("cluster: nil oracle")
+	}
+	if o.Devices <= 0 {
+		return o, fmt.Errorf("cluster: %d devices", o.Devices)
+	}
+	if len(o.Services) == 0 {
+		o.Services = model.Services()
+	}
+	if o.WindowSec <= 0 {
+		o.WindowSec = 1
+	}
+	if o.LoadFactor <= 0 {
+		o.LoadFactor = 1
+	}
+	if o.QueuePolicy == nil {
+		o.QueuePolicy = sched.FCFS{}
+	}
+	if o.QPSChangeThreshold <= 0 {
+		o.QPSChangeThreshold = 0.5
+	}
+	if o.MIGSlices == 0 {
+		o.MIGSlices = 1
+	}
+	if o.MIGSlices < 1 || o.MIGSlices > 7 {
+		return o, fmt.Errorf("cluster: MIG slice count %d outside 1..7", o.MIGSlices)
+	}
+	if o.MaxHorizonSec <= 0 {
+		last := 0.0
+		for _, a := range o.Arrivals {
+			if a.At > last {
+				last = a.At
+			}
+		}
+		o.MaxHorizonSec = last*10 + 14400
+	}
+	return o, nil
+}
+
+// Result aggregates one run's metrics.
+type Result struct {
+	Policy string
+
+	// Per-service SLO accounting (Fig. 8): violated windows / windows.
+	SLOViolation map[string]float64
+	// Mean per-service P99 over the run.
+	MeanP99 map[string]float64
+
+	// Training efficiency (Fig. 9), seconds.
+	CTs      []float64
+	WaitingT []float64
+	Makespan float64
+	// Completed vs admitted (unfinished tasks at the horizon are not in
+	// CTs; a healthy run completes everything).
+	Completed int
+	Admitted  int
+
+	// Utilization time series (Fig. 10).
+	SMUtil  *stats.TimeSeries
+	MemUtil *stats.TimeSeries
+
+	// Memory manager activity (Tab. 4 / Fig. 16).
+	SwapEvents    int
+	SwapFraction  map[string]float64 // per service on its device(s)
+	AvgTransferMs float64
+
+	// Overheads (Fig. 18b): wall-clock of placement decisions.
+	PlacementOverheadMs []float64
+	Reconfigs           int
+	PausedEpisodes      int
+
+	// Trace is the per-window record of the traced device (Fig. 16).
+	Trace []TracePoint
+}
+
+// TracePoint is one control-window snapshot of the traced device.
+type TracePoint struct {
+	Time      float64
+	QPS       float64
+	Batch     int
+	Delta     float64
+	LatencyMs float64
+	BudgetMs  float64
+	Violated  bool
+	SwappedMB float64 // training memory currently on the host
+	Paused    bool
+}
+
+// MeanSLOViolation averages the per-service violation rates. Keys are
+// summed in sorted order so the result is bit-identical across runs
+// (map iteration order would otherwise perturb the float sum).
+func (r *Result) MeanSLOViolation() float64 {
+	if len(r.SLOViolation) == 0 {
+		return 0
+	}
+	names := make([]string, 0, len(r.SLOViolation))
+	for name := range r.SLOViolation {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sum float64
+	for _, name := range names {
+		sum += r.SLOViolation[name]
+	}
+	return sum / float64(len(r.SLOViolation))
+}
+
+// MeanCT returns the mean completion time of finished tasks.
+func (r *Result) MeanCT() float64 { return stats.Mean(r.CTs) }
+
+// MeanWaiting returns the mean queueing delay.
+func (r *Result) MeanWaiting() float64 { return stats.Mean(r.WaitingT) }
+
+// Sim is one configured simulation.
+type Sim struct {
+	opts    Options
+	rng     *xrand.Rand
+	engine  *eventq.Sim
+	devices []*deviceState
+	meas    map[string]*deviceMeasurer
+	queue   *sched.Queue
+	jobs    map[int]*queueJob
+	tasks   []*taskState
+
+	res *Result
+}
+
+// New builds a simulation.
+func New(opts Options) (*Sim, error) {
+	opts, err := opts.defaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		opts:   opts,
+		rng:    xrand.New(opts.Seed).ForkString("cluster"),
+		engine: eventq.New(),
+		meas:   make(map[string]*deviceMeasurer),
+		queue:  sched.NewQueue(opts.QueuePolicy),
+		jobs:   make(map[int]*queueJob),
+		res: &Result{
+			Policy:       opts.Policy.Name(),
+			SLOViolation: make(map[string]float64),
+			MeanP99:      make(map[string]float64),
+			SwapFraction: make(map[string]float64),
+			SMUtil:       stats.NewTimeSeries(),
+			MemUtil:      stats.NewTimeSeries(),
+		},
+	}
+	// Deploy: one inference service per schedulable device (a whole GPU
+	// or a MIG instance), round-robin over the catalog (the paper's
+	// setting — every GPU serves inference and hosts training
+	// opportunistically).
+	schedulable := opts.Devices * opts.MIGSlices
+	memMB := float64(0)
+	if opts.MIGSlices > 1 {
+		memMB = gpu.A100MemoryMB / float64(opts.MIGSlices)
+	}
+	for i := 0; i < schedulable; i++ {
+		info := opts.Services[i%len(opts.Services)]
+		devID := fmt.Sprintf("gpu%04d", i/opts.MIGSlices)
+		if opts.MIGSlices > 1 {
+			devID = fmt.Sprintf("gpu%04d/mig%d", i/opts.MIGSlices, i%opts.MIGSlices)
+		}
+		dev := gpu.NewDevice(devID, fmt.Sprintf("node%d", i/(4*opts.MIGSlices)), memMB)
+		var q trace.QPSTrace = trace.NewFluctuatingQPS(info.BaseQPS, s.rng.ForkString("qps:"+devID))
+		if opts.LoadFactor != 1 {
+			q = trace.ScaledQPS{Inner: q, Factor: opts.LoadFactor}
+		}
+		if len(opts.Bursts) > 0 {
+			q = trace.BurstyQPS{Inner: q, Bursts: opts.Bursts}
+		}
+		ds := &deviceState{
+			dev:  dev,
+			pool: memmgr.NewPool(memMB),
+			svc: &serviceState{
+				info:     info,
+				qpsTrace: q,
+				batch:    64,
+				delta:    0.5,
+			},
+		}
+		s.devices = append(s.devices, ds)
+		s.meas[devID] = &deviceMeasurer{oracle: opts.Oracle, dev: ds, rng: s.rng.ForkString("meas:" + devID)}
+	}
+	return s, nil
+}
+
+// Run executes the simulation to completion (all admitted tasks done)
+// or to the safety horizon, and returns the metrics.
+func (s *Sim) Run() (*Result, error) {
+	// Initial per-device configuration and memory placement.
+	for _, d := range s.devices {
+		d.svc.curQPS = d.svc.qpsTrace.At(0)
+		if err := s.configure(0, d, true); err != nil {
+			return nil, err
+		}
+		if err := d.pool.Alloc(0, "svc", memmgr.PriorityInference, d.svc.info.MemoryMB(d.svc.batch)); err != nil {
+			return nil, err
+		}
+		if err := d.dev.Place(gpu.Resident{ID: "svc", Kind: gpu.KindInference, Share: d.svc.delta, MemoryMB: d.svc.info.MemoryMB(d.svc.batch)}); err != nil {
+			return nil, err
+		}
+	}
+	// Arrival events.
+	for _, a := range s.opts.Arrivals {
+		arr := a
+		if _, err := s.engine.At(arr.At, func(now float64) { s.onArrival(now, arr) }); err != nil {
+			return nil, err
+		}
+	}
+	// Control windows.
+	stop, err := s.engine.EveryUntil(s.opts.WindowSec, func(now float64) {
+		s.window(now)
+		if s.allDone() && s.queue.Len() == 0 {
+			s.engine.Stop()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	s.engine.Run(s.opts.MaxHorizonSec)
+	s.finalize(s.engine.Now())
+	return s.res, nil
+}
+
+func (s *Sim) allDone() bool {
+	if len(s.tasks) < len(s.opts.Arrivals) {
+		return false
+	}
+	for _, t := range s.tasks {
+		if !t.done {
+			return false
+		}
+	}
+	return true
+}
+
+// onArrival queues the task and attempts scheduling.
+func (s *Sim) onArrival(now float64, a trace.TaskArrival) {
+	job := &sched.Job{
+		ID:         a.ID,
+		SubmitTime: a.At,
+		TaskName:   a.Task.Name,
+		User:       a.Task.Name, // one "user" per task family for fair sharing
+		// Smaller size classes get higher priority under the priority
+		// policy (a simple deadline-ish assignment; users would set
+		// this in production).
+		Priority:       int(model.SizeXL - a.Task.Size),
+		EstDurationSec: a.Task.BaseIterMs * float64(a.Iters) / 1000,
+	}
+	qj := &queueJob{job: job, arrival: a}
+	s.jobs[a.ID] = qj
+	if err := s.queue.Push(job); err != nil {
+		return
+	}
+	s.trySchedule(now)
+}
+
+// trySchedule drains the queue head-of-line while placements succeed.
+func (s *Sim) trySchedule(now float64) {
+	for s.queue.Len() > 0 {
+		job := s.queue.Peek()
+		qj := s.jobs[job.ID]
+		views := make([]core.DeviceView, 0, len(s.devices))
+		for _, d := range s.devices {
+			if qj.excluded[d.dev.ID] {
+				continue
+			}
+			views = append(views, d.view())
+		}
+		if len(views) == 0 {
+			// Everything excluded: forget the history and retry fresh.
+			qj.excluded = nil
+			for _, d := range s.devices {
+				views = append(views, d.view())
+			}
+		}
+		measMap := make(map[string]core.Measurer, len(s.meas))
+		for id, m := range s.meas {
+			measMap[id] = m
+		}
+		start := time.Now()
+		devID, ok := s.opts.Policy.SelectDevice(qj.arrival.Task, views, measMap)
+		s.res.PlacementOverheadMs = append(s.res.PlacementOverheadMs, float64(time.Since(start).Microseconds())/1000)
+		if !ok {
+			return // head-of-line blocks until a completion frees capacity
+		}
+		dev := s.deviceByID(devID)
+		if dev == nil {
+			return
+		}
+		s.queue.Pop()
+		s.place(now, dev, qj)
+	}
+}
+
+func (s *Sim) deviceByID(id string) *deviceState {
+	for _, d := range s.devices {
+		if d.dev.ID == id {
+			return d
+		}
+	}
+	return nil
+}
+
+// place admits the task onto the device and retunes it.
+func (s *Sim) place(now float64, d *deviceState, qj *queueJob) {
+	t := &taskState{
+		id:        qj.arrival.ID,
+		task:      qj.arrival.Task,
+		iters:     qj.arrival.Iters,
+		itersDone: qj.progress,
+		submitAt:  qj.arrival.At,
+		startAt:   now,
+		deviceID:  d.dev.ID,
+		allocID:   fmt.Sprintf("train-%d", qj.arrival.ID),
+	}
+	d.training = append(d.training, t)
+	s.tasks = append(s.tasks, t)
+	s.res.Admitted++
+	// Memory: training allocations are swappable.
+	if err := d.pool.Alloc(now, t.allocID, memmgr.PriorityTraining, t.task.MemoryMB()); err != nil {
+		// Should not happen (training can be partially resident).
+		t.paused = true
+	}
+	// Device bookkeeping for the trainer share happens via svc delta;
+	// the gpu.Device residents track the split for observability.
+	share := d.trainShare()
+	if share <= 0 {
+		share = 0.05
+	}
+	_ = d.dev.Place(gpu.Resident{ID: t.allocID, Kind: gpu.KindTraining, Share: minf(share, d.dev.ShareFree()), MemoryMB: t.task.MemoryMB()})
+
+	// Online learning first: Mudi profiles the new co-location so the
+	// immediate Configure below already uses the fitted curves.
+	if learner, ok := s.opts.Policy.(core.OnlineLearner); ok {
+		learner.ObserveColocation(d.view(), s.meas[d.dev.ID])
+	}
+	if err := s.configure(now, d, true); err != nil {
+		t.paused = true
+	}
+}
+
+// configure runs the policy's device-level tuning and applies the
+// decision. initial marks placement-time calls (always allowed even
+// with DisableRetune).
+func (s *Sim) configure(now float64, d *deviceState, initial bool) error {
+	if s.opts.DisableRetune && !initial {
+		return nil
+	}
+	dec, err := s.opts.Policy.Configure(d.view(), s.meas[d.dev.ID])
+	if err != nil {
+		return err
+	}
+	s.apply(now, d, dec)
+	return nil
+}
+
+// apply installs a decision on the device.
+func (s *Sim) apply(now float64, d *deviceState, dec core.Decision) {
+	svc := d.svc
+	if !dec.Feasible {
+		// Pause training; the service takes the device (§5.3.2). The
+		// Tuner may still recommend the least-bad batch for serving.
+		for dec.Batch > 16 && svc.info.MemoryMB(dec.Batch) > d.pool.CapacityMB()*0.95 {
+			dec.Batch /= 2
+		}
+		if dec.Batch > 0 && dec.Batch != svc.batch {
+			svc.batch = dec.Batch
+			_ = d.pool.Resize(now, "svc", svc.info.MemoryMB(svc.batch))
+			_ = d.dev.SetMemory("svc", svc.info.MemoryMB(svc.batch))
+		}
+		for _, t := range d.training {
+			if !t.done && !t.paused {
+				t.paused = true
+				t.pausedAt = now
+			}
+		}
+		if svc.delta != 1 {
+			svc.reconfigs++
+			s.res.Reconfigs++
+		}
+		svc.delta = 1
+		s.res.PausedEpisodes++
+		s.syncShares(now, d)
+		return
+	}
+	// Memory cap (§2.2.2: the batching size range depends on the GPU
+	// memory limit): shrink the decided batch until the service's
+	// pinned footprint fits the device — essential for MIG instances.
+	for dec.Batch > 16 && svc.info.MemoryMB(dec.Batch) > d.pool.CapacityMB()*0.95 {
+		dec.Batch /= 2
+	}
+	if dec.Batch > 0 && dec.Batch != svc.batch {
+		svc.batch = dec.Batch
+		// Batch updates are on-the-fly; only memory demand changes.
+		_ = d.pool.Resize(now, "svc", svc.info.MemoryMB(svc.batch))
+		_ = d.dev.SetMemory("svc", svc.info.MemoryMB(svc.batch))
+	}
+	// Cluster invariant (§7.4): while training is multiplexed, the
+	// inference service leaves it at least 10% of the device; a policy
+	// that wants the full device must declare infeasibility instead.
+	if dec.Delta > 0.9 && len(d.residentTasks()) > 0 {
+		dec.Delta = 0.9
+	}
+	if dec.Delta > 0 && absf(dec.Delta-svc.delta) > 1e-9 {
+		svc.delta = dec.Delta
+		svc.reconfigs++
+		s.res.Reconfigs++
+	}
+	for _, t := range d.training {
+		if !t.done {
+			t.paused = false
+		}
+	}
+	s.syncShares(now, d)
+}
+
+// syncShares rebalances the gpu.Device share bookkeeping after a
+// decision: inference gets delta, active trainings split the rest,
+// paused trainings keep a token share.
+func (s *Sim) syncShares(now float64, d *deviceState) {
+	_ = now
+	// Shrink all training residents first so the pool frees up.
+	const token = 0.001
+	var reserved float64
+	share := d.trainShare()
+	for _, t := range d.training {
+		if t.done {
+			continue
+		}
+		if _, ok := d.dev.Resident(t.allocID); ok {
+			_ = d.dev.Resize(t.allocID, token)
+		}
+		if t.paused {
+			reserved += token
+		} else {
+			reserved += maxf(share, token)
+		}
+	}
+	svcShare := clampf(minf(d.svc.delta, 1-reserved), token, 1)
+	_ = d.dev.Resize("svc", svcShare)
+	for _, t := range d.training {
+		if t.done || t.paused {
+			continue
+		}
+		if share > token {
+			_ = d.dev.Resize(t.allocID, minf(share, d.dev.ShareFree()+token))
+		}
+	}
+}
+
+// window advances one control interval.
+func (s *Sim) window(now float64) {
+	w := s.opts.WindowSec
+	var smSum, memSum float64
+	for di, d := range s.devices {
+		svc := d.svc
+		qps := svc.qpsTrace.At(now)
+
+		// Monitor: retune on a large QPS change (§5.3.2 case 2).
+		if !s.opts.DisableRetune && relChange(svc.curQPS, qps) >= s.opts.QPSChangeThreshold {
+			svc.curQPS = qps
+			_ = s.configure(now, d, false)
+		} else if d.hasPaused() && now-d.lastResumeTry >= resumeRetrySec {
+			// Paused training: periodically probe whether the load has
+			// subsided enough to resume multiplexing.
+			d.lastResumeTry = now
+			svc.curQPS = qps
+			_ = s.configure(now, d, false)
+		}
+		// A task paused too long is evicted back to the queue so the
+		// scheduler can find it a compatible device (checkpointed).
+		for _, t := range append([]*taskState(nil), d.training...) {
+			if !t.done && t.paused && now-t.pausedAt >= pauseEvictSec {
+				s.requeue(now, d, t)
+			}
+		}
+
+		// SLO accounting with the true co-located latency plus noise.
+		coloc := d.activeTasks()
+		lat, err := s.opts.Oracle.MeasureLatency(svc.info.Name, svc.batch, svc.delta, coloc, s.rng)
+		if err == nil {
+			budget := svc.info.SLOms * float64(svc.batch) / qps
+			svc.totalWin++
+			if di == s.opts.TraceDeviceIdx-1 {
+				var swapped float64
+				for _, t := range d.training {
+					if out, err := d.pool.SwappedOutMB(t.allocID); err == nil {
+						swapped += out
+					}
+				}
+				s.res.Trace = append(s.res.Trace, TracePoint{
+					Time: now, QPS: qps, Batch: svc.batch, Delta: svc.delta,
+					LatencyMs: lat, BudgetMs: budget, Violated: lat > budget,
+					SwappedMB: swapped, Paused: d.hasPaused(),
+				})
+			}
+			if lat > budget {
+				svc.violWin++
+				// Monitor: "In cases where the Monitor detects that the
+				// SLO is at risk of being violated, it triggers adaptive
+				// batching or resource scaling accordingly" (§6).
+				if !s.opts.DisableRetune {
+					svc.curQPS = qps
+					_ = s.configure(now, d, false)
+				}
+			}
+			s.res.MeanP99[svc.info.Name] += lat
+		}
+
+		// Training progress. Iterate a snapshot: completions rebuild
+		// d.training and may place new tasks mid-loop.
+		share := d.trainShare()
+		snapshot := append([]*taskState(nil), d.training...)
+		for _, t := range snapshot {
+			if t.done || t.paused || share <= 0 {
+				continue
+			}
+			iter, err := s.opts.Oracle.TrueIteration(t.task, share, svc.info.Name, svc.batch, svc.delta)
+			if err != nil {
+				continue
+			}
+			// Swapped-out memory slows the task down proportionally.
+			if out, err := d.pool.SwappedOutMB(t.allocID); err == nil && t.task.MemoryMB() > 0 {
+				frac := out / t.task.MemoryMB()
+				iter *= 1 + 0.5*frac
+			}
+			t.itersDone += w * 1000 / iter
+			if t.itersDone >= float64(t.iters) {
+				t.done = true
+				t.finishAt = now + w
+				s.complete(now+w, d, t)
+			}
+		}
+
+		// Memory reclamation: touch swapped training back in when the
+		// device has headroom (Fig. 16's reclaim at QPS drop).
+		if d.pool.CapacityMB()-d.pool.DeviceUsedMB() > 1024 {
+			for _, t := range d.training {
+				if t.done {
+					continue
+				}
+				if out, err := d.pool.SwappedOutMB(t.allocID); err == nil && out > 0 {
+					_, _ = d.pool.Touch(now, t.allocID)
+					break // one reclaim per window per device
+				}
+			}
+		}
+
+		// Utilization (Fig. 10): the service keeps its partition busy
+		// for the fraction of time batches are in flight; active
+		// training burns its share fully.
+		busy := (qps / float64(svc.batch)) * (latOrZero(s.opts.Oracle, svc, coloc) / 1000)
+		if busy > 1 {
+			busy = 1
+		}
+		trainBusy := 0.0
+		for _, t := range d.training {
+			if !t.done && !t.paused {
+				trainBusy += share
+			}
+		}
+		d.smUtil = svc.delta*busy + trainBusy
+		if d.smUtil > 1 {
+			d.smUtil = 1
+		}
+		smSum += d.smUtil
+		memSum += minf(d.pool.DeviceUsedMB(), d.pool.CapacityMB()) / d.pool.CapacityMB()
+	}
+	_ = s.res.SMUtil.Add(now, smSum/float64(len(s.devices)))
+	_ = s.res.MemUtil.Add(now, memSum/float64(len(s.devices)))
+}
+
+func latOrZero(o *perf.Oracle, svc *serviceState, coloc []model.TrainingTask) float64 {
+	l, err := o.TrueLatency(svc.info.Name, svc.batch, svc.delta, coloc)
+	if err != nil {
+		return 0
+	}
+	return l
+}
+
+// complete finishes a task: record metrics, free resources, reschedule.
+func (s *Sim) complete(now float64, d *deviceState, t *taskState) {
+	s.res.Completed++
+	s.res.CTs = append(s.res.CTs, t.finishAt-t.submitAt)
+	s.res.WaitingT = append(s.res.WaitingT, t.startAt-t.submitAt)
+	if t.finishAt > s.res.Makespan {
+		s.res.Makespan = t.finishAt
+	}
+	s.queue.RecordUsage(t.task.Name, t.finishAt-t.startAt)
+	_ = d.pool.Free(now, t.allocID)
+	_ = d.dev.Remove(t.allocID)
+	// Drop from the device's active list.
+	keep := d.training[:0]
+	for _, other := range d.training {
+		if other != t {
+			keep = append(keep, other)
+		}
+	}
+	d.training = keep
+	// Retune for the remaining residents and pull the next queued task
+	// ("a new co-location decision is made for pending training tasks
+	// only after an existing training task has been completed", §5.2).
+	_ = s.configure(now, d, true)
+	s.trySchedule(now)
+}
+
+// resumeRetrySec is how often a paused device re-attempts tuning;
+// pauseEvictSec is how long a task may stay paused before it is
+// checkpointed and requeued for placement elsewhere.
+const (
+	resumeRetrySec = 10.0
+	pauseEvictSec  = 120.0
+)
+
+func (d *deviceState) hasPaused() bool {
+	for _, t := range d.training {
+		if !t.done && t.paused {
+			return true
+		}
+	}
+	return false
+}
+
+// requeue evicts a paused task back to the scheduling queue with its
+// progress checkpointed.
+func (s *Sim) requeue(now float64, d *deviceState, t *taskState) {
+	qj, ok := s.jobs[t.id]
+	if !ok || qj.requeues >= 2*len(s.devices) {
+		return
+	}
+	qj.requeues++
+	if qj.excluded == nil {
+		qj.excluded = make(map[string]bool)
+	}
+	qj.excluded[d.dev.ID] = true
+	qj.progress = t.itersDone
+	_ = d.pool.Free(now, t.allocID)
+	_ = d.dev.Remove(t.allocID)
+	keep := d.training[:0]
+	for _, other := range d.training {
+		if other != t {
+			keep = append(keep, other)
+		}
+	}
+	d.training = keep
+	// Drop the evicted taskState from the global list; a fresh one is
+	// created on re-placement.
+	tasks := s.tasks[:0]
+	for _, other := range s.tasks {
+		if other != t {
+			tasks = append(tasks, other)
+		}
+	}
+	s.tasks = tasks
+	s.res.Admitted--
+	_ = s.queue.Push(qj.job)
+	_ = s.configure(now, d, true)
+	s.trySchedule(now)
+}
+
+// finalize converts accumulators into rates.
+func (s *Sim) finalize(now float64) {
+	for _, d := range s.devices {
+		svc := d.svc
+		name := svc.info.Name
+		if svc.totalWin > 0 {
+			// Aggregate violation rate over all devices hosting the
+			// same service: accumulate weighted by windows.
+			prevRate := s.res.SLOViolation[name]
+			prevWin := s.res.MeanP99[name+"/windows"]
+			totalWin := prevWin + float64(svc.totalWin)
+			s.res.SLOViolation[name] = (prevRate*prevWin + float64(svc.violWin)) / totalWin
+			s.res.MeanP99[name+"/windows"] = totalWin
+		}
+		frac := d.pool.SwapFraction(now)
+		if frac > s.res.SwapFraction[name] {
+			s.res.SwapFraction[name] = frac
+		}
+		s.res.SwapEvents += len(d.pool.Events())
+		for _, e := range d.pool.Events() {
+			s.res.AvgTransferMs += e.TransferMs
+		}
+	}
+	if s.res.SwapEvents > 0 {
+		s.res.AvgTransferMs /= float64(s.res.SwapEvents)
+	}
+	// MeanP99 accumulated sums; divide by window counters.
+	for _, svcInfo := range s.opts.Services {
+		name := svcInfo.Name
+		if wins := s.res.MeanP99[name+"/windows"]; wins > 0 {
+			s.res.MeanP99[name] /= wins
+		}
+		delete(s.res.MeanP99, name+"/windows")
+	}
+}
+
+func relChange(old, new float64) float64 {
+	if old <= 0 {
+		if new > 0 {
+			return 1
+		}
+		return 0
+	}
+	return absf(new-old) / old
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clampf(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

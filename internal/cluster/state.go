@@ -1,0 +1,187 @@
+// Package cluster is the co-simulation engine: it replays a training
+// arrival trace against a simulated GPU fleet hosting the Tab. 1
+// inference services, drives the configured multiplexing policy (Mudi
+// or a baseline) through placement, tuning, QPS monitoring, and memory
+// management, and extracts the metrics behind the paper's end-to-end
+// figures (Figs. 8–10, 13–18, Tab. 4).
+//
+// The simulation advances in control windows (1 s by default), exactly
+// like the paper's own 1000-GPU simulator: fitted/true performance
+// functions generate feedback at runtime (§7.1, "Simulated cluster").
+package cluster
+
+import (
+	"fmt"
+
+	"mudi/internal/core"
+	"mudi/internal/gpu"
+	"mudi/internal/memmgr"
+	"mudi/internal/model"
+	"mudi/internal/perf"
+	"mudi/internal/sched"
+	"mudi/internal/trace"
+	"mudi/internal/xrand"
+)
+
+// serviceState is the per-device inference service instance.
+type serviceState struct {
+	info      model.InferenceService
+	qpsTrace  trace.QPSTrace
+	curQPS    float64 // QPS at the last (re)tune
+	batch     int
+	delta     float64
+	violWin   int // windows with a P99 over budget
+	totalWin  int
+	reconfigs int // shadow-instance restarts
+}
+
+// taskState is one admitted training task.
+type taskState struct {
+	id        int
+	task      model.TrainingTask
+	iters     int
+	itersDone float64
+	submitAt  float64
+	startAt   float64
+	finishAt  float64
+	deviceID  string
+	paused    bool
+	pausedAt  float64
+	done      bool
+	allocID   string
+}
+
+// deviceState couples the GPU bookkeeping, the memory pool, and the
+// residents.
+type deviceState struct {
+	dev           *gpu.Device
+	pool          *memmgr.Pool
+	svc           *serviceState
+	training      []*taskState
+	smUtil        float64 // last window's SM utilization
+	lastResumeTry float64
+}
+
+// trainShare is the per-task share under the current inference delta.
+func (d *deviceState) trainShare() float64 {
+	n := 0
+	for _, t := range d.training {
+		if !t.paused {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	share := (1 - d.svc.delta) / float64(n)
+	if share < 0 {
+		return 0
+	}
+	return share
+}
+
+// residentTasks lists the catalog entries of all unfinished residents
+// (paused or not) — the set a Configure decision must plan for, since
+// a feasible decision resumes the paused ones.
+func (d *deviceState) residentTasks() []model.TrainingTask {
+	out := make([]model.TrainingTask, 0, len(d.training))
+	for _, t := range d.training {
+		if !t.done {
+			out = append(out, t.task)
+		}
+	}
+	return out
+}
+
+// activeTasks lists only residents that are actually executing — a
+// paused task's kernels are stopped (and its memory swapped out), so it
+// imposes no interference on the service.
+func (d *deviceState) activeTasks() []model.TrainingTask {
+	out := make([]model.TrainingTask, 0, len(d.training))
+	for _, t := range d.training {
+		if !t.done && !t.paused {
+			out = append(out, t.task)
+		}
+	}
+	return out
+}
+
+// view builds the policy-facing snapshot. FreeShare is the share not
+// claimed by the inference service — the room training can (re)divide —
+// not the gpu.Device residual, because adding a task to a Mudi-more
+// device redistributes the training shares rather than consuming new
+// ones.
+func (d *deviceState) view() core.DeviceView {
+	free := 1 - d.svc.delta
+	if free < 0 {
+		free = 0
+	}
+	paused := false
+	for _, t := range d.training {
+		if !t.done && t.paused {
+			paused = true
+			break
+		}
+	}
+	return core.DeviceView{
+		Paused:        paused,
+		ID:            d.dev.ID,
+		ServiceName:   d.svc.info.Name,
+		SLOms:         d.svc.info.SLOms,
+		QPS:           d.svc.curQPS,
+		Batch:         d.svc.batch,
+		Delta:         d.svc.delta,
+		ResidentTasks: d.residentTasks(),
+		FreeShare:     free,
+		MemoryFreeMB:  d.pool.CapacityMB() - d.pool.DeviceUsedMB(),
+		SMUtil:        d.smUtil,
+	}
+}
+
+// deviceMeasurer adapts the oracle as the policy's live feedback for
+// one device: measurements reflect the device's actual co-location.
+type deviceMeasurer struct {
+	oracle *perf.Oracle
+	dev    *deviceState
+	rng    *xrand.Rand
+}
+
+// TrainIterMs implements tuner.Measurer: the mean measured iteration
+// across active residents, at a hypothetical (batch, delta).
+func (m *deviceMeasurer) TrainIterMs(batch int, delta float64) (float64, error) {
+	tasks := m.dev.residentTasks()
+	if len(tasks) == 0 {
+		return 0, fmt.Errorf("cluster: no training on %s", m.dev.dev.ID)
+	}
+	share := (1 - delta) / float64(len(tasks))
+	if share <= 0 {
+		share = 0.01
+	}
+	var sum float64
+	for _, t := range tasks {
+		v, err := m.oracle.MeasureIteration(t, share, m.dev.svc.info.Name, batch, delta, m.rng)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum / float64(len(tasks)), nil
+}
+
+// InfLatencyMs implements core.Measurer.
+func (m *deviceMeasurer) InfLatencyMs(batch int, delta float64) (float64, error) {
+	return m.oracle.MeasureLatency(m.dev.svc.info.Name, batch, delta, m.dev.residentTasks(), m.rng)
+}
+
+var _ core.Measurer = (*deviceMeasurer)(nil)
+
+// queueJob wraps an arrival for the scheduling queue.
+type queueJob struct {
+	job      *sched.Job
+	arrival  trace.TaskArrival
+	progress float64 // iterations completed before an eviction (checkpointing)
+	requeues int
+	// excluded lists devices this job was evicted from; the scheduler
+	// steers the retry elsewhere.
+	excluded map[string]bool
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+
+	"mudi/internal/stats"
+)
+
+// resultJSON is the machine-readable projection of a Result: scalars,
+// per-service maps, and the utilization series downsampled to a fixed
+// number of points.
+type resultJSON struct {
+	Policy            string             `json:"policy"`
+	SLOViolation      map[string]float64 `json:"slo_violation"`
+	MeanSLOViolation  float64            `json:"mean_slo_violation"`
+	MeanP99Ms         map[string]float64 `json:"mean_p99_ms"`
+	MeanCTSec         float64            `json:"mean_ct_sec"`
+	P90CTSec          float64            `json:"p90_ct_sec"`
+	MeanWaitingSec    float64            `json:"mean_waiting_sec"`
+	MakespanSec       float64            `json:"makespan_sec"`
+	Completed         int                `json:"completed"`
+	Admitted          int                `json:"admitted"`
+	SMUtilAvg         float64            `json:"sm_util_avg"`
+	MemUtilAvg        float64            `json:"mem_util_avg"`
+	SMUtilSeries      []float64          `json:"sm_util_series,omitempty"`
+	MemUtilSeries     []float64          `json:"mem_util_series,omitempty"`
+	SwapEvents        int                `json:"swap_events"`
+	SwapFraction      map[string]float64 `json:"swap_fraction"`
+	AvgTransferMs     float64            `json:"avg_transfer_ms"`
+	Reconfigs         int                `json:"reconfigs"`
+	PausedEpisodes    int                `json:"paused_episodes"`
+	PlacementP50Ms    float64            `json:"placement_p50_ms"`
+	PlacementP99Ms    float64            `json:"placement_p99_ms"`
+	Trace             []TracePoint       `json:"trace,omitempty"`
+	UtilSeriesPoints  int                `json:"util_series_points,omitempty"`
+	UtilSeriesSpanSec float64            `json:"util_series_span_sec,omitempty"`
+}
+
+// WriteJSON emits the result in a machine-readable form for downstream
+// analysis and plotting. The utilization series are downsampled to
+// seriesPoints samples over [0, makespan] (0 omits them).
+func (r *Result) WriteJSON(w io.Writer, seriesPoints int) error {
+	out := resultJSON{
+		Policy:           r.Policy,
+		SLOViolation:     r.SLOViolation,
+		MeanSLOViolation: r.MeanSLOViolation(),
+		MeanP99Ms:        r.MeanP99,
+		MeanCTSec:        r.MeanCT(),
+		P90CTSec:         stats.Percentile(r.CTs, 90),
+		MeanWaitingSec:   r.MeanWaiting(),
+		MakespanSec:      r.Makespan,
+		Completed:        r.Completed,
+		Admitted:         r.Admitted,
+		SMUtilAvg:        r.SMUtil.TimeAverage(0, r.Makespan),
+		MemUtilAvg:       r.MemUtil.TimeAverage(0, r.Makespan),
+		SwapEvents:       r.SwapEvents,
+		SwapFraction:     r.SwapFraction,
+		AvgTransferMs:    r.AvgTransferMs,
+		Reconfigs:        r.Reconfigs,
+		PausedEpisodes:   r.PausedEpisodes,
+		PlacementP50Ms:   stats.Percentile(r.PlacementOverheadMs, 50),
+		PlacementP99Ms:   stats.Percentile(r.PlacementOverheadMs, 99),
+		Trace:            r.Trace,
+	}
+	if seriesPoints > 0 && r.Makespan > 0 {
+		_, out.SMUtilSeries = r.SMUtil.Downsample(0, r.Makespan, seriesPoints)
+		_, out.MemUtilSeries = r.MemUtil.Downsample(0, r.Makespan, seriesPoints)
+		out.UtilSeriesPoints = seriesPoints
+		out.UtilSeriesSpanSec = r.Makespan
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

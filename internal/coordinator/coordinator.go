@@ -1,0 +1,371 @@
+// Package coordinator implements the paper's Local Coordinator as a
+// live concurrent component (§6): per device, a Monitor goroutine
+// samples the service's QPS and latency, a Tuner goroutine reacts to
+// trigger events by running the policy's Configure, and Service/
+// Training Agents watch the ETCD-style config store and apply updates
+// to their processes. All communication flows through the kvstore —
+// "when a configuration key/value pair is updated, the controller
+// process in the Agent ... perceives the new configuration and updates
+// accordingly".
+//
+// The cluster simulator (internal/cluster) folds this control loop
+// into its deterministic windowed engine; this package runs it for
+// real, with goroutines and wall-clock ticks, against the same oracle.
+// It exists to exercise the concurrent implementation path and powers
+// `mudisim -live`.
+package coordinator
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mudi/internal/core"
+	"mudi/internal/kvstore"
+	"mudi/internal/model"
+	"mudi/internal/perf"
+	"mudi/internal/trace"
+	"mudi/internal/xrand"
+)
+
+// Config parameterizes the live coordinator.
+type Config struct {
+	// TickInterval is the Monitor's wall-clock sampling period
+	// (default 10 ms — each tick advances one simulated second).
+	TickInterval time.Duration
+	// QPSChangeThreshold mirrors the paper's 50% trigger.
+	QPSChangeThreshold float64
+	Seed               uint64
+}
+
+func (c Config) defaults() Config {
+	if c.TickInterval <= 0 {
+		c.TickInterval = 10 * time.Millisecond
+	}
+	if c.QPSChangeThreshold <= 0 {
+		c.QPSChangeThreshold = 0.5
+	}
+	return c
+}
+
+// DeviceSpec declares one device for the coordinator to manage.
+type DeviceSpec struct {
+	ID      string
+	Service model.InferenceService
+	// Training is the co-located task ("" fields = none).
+	Training *model.TrainingTask
+}
+
+// deviceRuntime is the live per-device state.
+type deviceRuntime struct {
+	spec  DeviceSpec
+	qps   trace.QPSTrace
+	simT  atomic.Uint64 // simulated seconds, advanced by the Monitor
+	batch atomic.Int64
+	delta atomic.Uint64 // delta ×1e6
+
+	tuneReqs chan float64 // QPS values needing a retune
+
+	violations atomic.Int64
+	windows    atomic.Int64
+	retunes    atomic.Int64
+	applied    atomic.Int64 // config updates perceived by the Agents
+	iterMs     atomic.Uint64
+}
+
+func (d *deviceRuntime) loadDelta() float64 { return float64(d.delta.Load()) / 1e6 }
+func (d *deviceRuntime) storeDelta(v float64) {
+	d.delta.Store(uint64(v * 1e6))
+}
+
+// Coordinator drives the live control loops.
+type Coordinator struct {
+	cfg    Config
+	store  *kvstore.Store
+	oracle *perf.Oracle
+	policy core.Policy
+	devs   []*deviceRuntime
+	rng    *xrand.Rand
+	mu     sync.Mutex // serializes policy.Configure (policies are not concurrent-safe)
+}
+
+// New assembles a coordinator over the given devices.
+func New(cfg Config, oracle *perf.Oracle, policy core.Policy, specs []DeviceSpec) (*Coordinator, error) {
+	if oracle == nil || policy == nil {
+		return nil, fmt.Errorf("coordinator: nil oracle or policy")
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("coordinator: no devices")
+	}
+	cfg = cfg.defaults()
+	c := &Coordinator{
+		cfg:    cfg,
+		store:  kvstore.New(),
+		oracle: oracle,
+		policy: policy,
+		rng:    xrand.New(cfg.Seed).ForkString("coordinator"),
+	}
+	for _, spec := range specs {
+		if spec.ID == "" {
+			return nil, fmt.Errorf("coordinator: empty device id")
+		}
+		d := &deviceRuntime{
+			spec:     spec,
+			qps:      trace.NewFluctuatingQPS(spec.Service.BaseQPS, c.rng.ForkString("qps:"+spec.ID)),
+			tuneReqs: make(chan float64, 8),
+		}
+		d.batch.Store(64)
+		d.storeDelta(0.5)
+		c.devs = append(c.devs, d)
+	}
+	return c, nil
+}
+
+// Store exposes the config store (for inspection in tests/demos).
+func (c *Coordinator) Store() *kvstore.Store { return c.store }
+
+// Stats summarizes one device's live counters.
+type Stats struct {
+	DeviceID       string
+	Windows        int64
+	Violations     int64
+	Retunes        int64
+	ConfigsApplied int64
+	Batch          int
+	Delta          float64
+	TrainIterMs    float64
+}
+
+// Stats returns a snapshot per device.
+func (c *Coordinator) Stats() []Stats {
+	out := make([]Stats, 0, len(c.devs))
+	for _, d := range c.devs {
+		out = append(out, Stats{
+			DeviceID:       d.spec.ID,
+			Windows:        d.windows.Load(),
+			Violations:     d.violations.Load(),
+			Retunes:        d.retunes.Load(),
+			ConfigsApplied: d.applied.Load(),
+			Batch:          int(d.batch.Load()),
+			Delta:          d.loadDelta(),
+			TrainIterMs:    float64(d.iterMs.Load()) / 1e3,
+		})
+	}
+	return out
+}
+
+// Run starts the Monitor, Tuner, and Agent goroutines for every device
+// and blocks until ctx is done. It is safe to call once.
+func (c *Coordinator) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for _, d := range c.devs {
+		d := d
+		wg.Add(1)
+		go func() { defer wg.Done(); c.monitor(ctx, d) }()
+		wg.Add(1)
+		go func() { defer wg.Done(); c.tuner(ctx, d) }()
+		wg.Add(1)
+		go func() { defer wg.Done(); c.serviceAgent(ctx, d) }()
+		if d.spec.Training != nil {
+			wg.Add(1)
+			go func() { defer wg.Done(); c.trainingAgent(ctx, d) }()
+		}
+	}
+	wg.Wait()
+	return nil
+}
+
+// monitor periodically samples QPS and latency, stores them, and fires
+// the Tuner when the QPS change or an SLO risk demands it (§6 Monitor).
+func (c *Coordinator) monitor(ctx context.Context, d *deviceRuntime) {
+	ticker := time.NewTicker(c.cfg.TickInterval)
+	defer ticker.Stop()
+	rng := c.rng.ForkString("mon:" + d.spec.ID)
+	lastTunedQPS := d.qps.At(0)
+	// Initial tune.
+	select {
+	case d.tuneReqs <- lastTunedQPS:
+	default:
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		simNow := float64(d.simT.Add(1))
+		qps := d.qps.At(simNow)
+		coloc := d.colocSlice()
+		batch := int(d.batch.Load())
+		delta := d.loadDelta()
+		lat, err := c.oracle.MeasureLatency(d.spec.Service.Name, batch, delta, coloc, rng)
+		if err != nil {
+			continue
+		}
+		budget := d.spec.Service.SLOms * float64(batch) / qps
+		d.windows.Add(1)
+		_, _ = c.store.Put("stats/"+d.spec.ID+"/qps", strconv.FormatFloat(qps, 'f', 2, 64))
+		_, _ = c.store.Put("stats/"+d.spec.ID+"/p99", strconv.FormatFloat(lat, 'f', 2, 64))
+		violated := lat > budget
+		if violated {
+			d.violations.Add(1)
+		}
+		change := 0.0
+		if lastTunedQPS > 0 {
+			change = abs(qps-lastTunedQPS) / lastTunedQPS
+		}
+		if violated || change >= c.cfg.QPSChangeThreshold {
+			lastTunedQPS = qps
+			select {
+			case d.tuneReqs <- qps:
+			default: // a tune is already pending
+			}
+		}
+	}
+}
+
+// tuner consumes trigger events, runs the policy's two-phase episode,
+// and publishes the decided configuration to the store (§6 Tuner).
+func (c *Coordinator) tuner(ctx context.Context, d *deviceRuntime) {
+	meas := &liveMeasurer{c: c, d: d, rng: c.rng.ForkString("meas:" + d.spec.ID)}
+	for {
+		var qps float64
+		select {
+		case <-ctx.Done():
+			return
+		case qps = <-d.tuneReqs:
+		}
+		view := core.DeviceView{
+			ID:            d.spec.ID,
+			ServiceName:   d.spec.Service.Name,
+			SLOms:         d.spec.Service.SLOms,
+			QPS:           qps,
+			Batch:         int(d.batch.Load()),
+			Delta:         d.loadDelta(),
+			ResidentTasks: d.colocSlice(),
+			FreeShare:     1 - d.loadDelta(),
+		}
+		c.mu.Lock()
+		dec, err := c.policy.Configure(view, meas)
+		c.mu.Unlock()
+		if err != nil || !dec.Feasible {
+			continue
+		}
+		d.retunes.Add(1)
+		_, _ = c.store.Put(configKey(d.spec.ID, "batch"), strconv.Itoa(dec.Batch))
+		_, _ = c.store.Put(configKey(d.spec.ID, "gpu"), strconv.FormatFloat(dec.Delta, 'f', 6, 64))
+	}
+}
+
+// serviceAgent watches the service's config keys and applies updates
+// on-the-fly (batch) or via the shadow-instance path (GPU%).
+func (c *Coordinator) serviceAgent(ctx context.Context, d *deviceRuntime) {
+	events, cancel := c.store.Watch("config/"+d.spec.ID+"/", 64)
+	defer cancel()
+	// Apply any configuration written before the watch registered (the
+	// reconnect contract: re-read current state on connect).
+	if v, _, ok := c.store.Get(configKey(d.spec.ID, "batch")); ok {
+		if b, err := strconv.Atoi(v); err == nil && b > 0 {
+			d.batch.Store(int64(b))
+			d.applied.Add(1)
+		}
+	}
+	if v, _, ok := c.store.Get(configKey(d.spec.ID, "gpu")); ok {
+		if g, err := strconv.ParseFloat(v, 64); err == nil && g > 0 && g <= 1 {
+			d.storeDelta(g)
+			d.applied.Add(1)
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case e, ok := <-events:
+			if !ok {
+				return
+			}
+			switch e.Key {
+			case configKey(d.spec.ID, "batch"):
+				if v, err := strconv.Atoi(e.Value); err == nil && v > 0 {
+					d.batch.Store(int64(v))
+					d.applied.Add(1)
+				}
+			case configKey(d.spec.ID, "gpu"):
+				if v, err := strconv.ParseFloat(e.Value, 64); err == nil && v > 0 && v <= 1 {
+					d.storeDelta(v)
+					d.applied.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// trainingAgent records the task's live mini-batch time to the store —
+// the feedback the Tuner's BO loop consumes (§6 "The Training Agent
+// also records the mini-batch training time").
+func (c *Coordinator) trainingAgent(ctx context.Context, d *deviceRuntime) {
+	ticker := time.NewTicker(c.cfg.TickInterval)
+	defer ticker.Stop()
+	rng := c.rng.ForkString("train:" + d.spec.ID)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		share := 1 - d.loadDelta()
+		if share < 0.05 {
+			share = 0.05
+		}
+		iter, err := c.oracle.MeasureIteration(*d.spec.Training, share, d.spec.Service.Name,
+			int(d.batch.Load()), d.loadDelta(), rng)
+		if err != nil {
+			continue
+		}
+		d.iterMs.Store(uint64(iter * 1e3))
+		_, _ = c.store.Put("stats/"+d.spec.ID+"/iter_ms", strconv.FormatFloat(iter, 'f', 3, 64))
+	}
+}
+
+func (d *deviceRuntime) colocSlice() []model.TrainingTask {
+	if d.spec.Training == nil {
+		return nil
+	}
+	return []model.TrainingTask{*d.spec.Training}
+}
+
+// liveMeasurer feeds the policy live oracle samples for this device.
+type liveMeasurer struct {
+	c   *Coordinator
+	d   *deviceRuntime
+	rng *xrand.Rand
+}
+
+func (m *liveMeasurer) TrainIterMs(batch int, delta float64) (float64, error) {
+	if m.d.spec.Training == nil {
+		return 0, fmt.Errorf("coordinator: no training on %s", m.d.spec.ID)
+	}
+	share := 1 - delta
+	if share < 0.05 {
+		share = 0.05
+	}
+	return m.c.oracle.MeasureIteration(*m.d.spec.Training, share, m.d.spec.Service.Name, batch, delta, m.rng)
+}
+
+func (m *liveMeasurer) InfLatencyMs(batch int, delta float64) (float64, error) {
+	return m.c.oracle.MeasureLatency(m.d.spec.Service.Name, batch, delta, m.d.colocSlice(), m.rng)
+}
+
+func configKey(devID, field string) string {
+	return "config/" + devID + "/" + field
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,115 @@
+package coordinator
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mudi/internal/core"
+	"mudi/internal/model"
+	"mudi/internal/perf"
+	"mudi/internal/predictor"
+	"mudi/internal/profiler"
+	"mudi/internal/xrand"
+)
+
+func buildPolicy(t *testing.T, oracle *perf.Oracle, seed uint64) core.Policy {
+	t.Helper()
+	prof := profiler.New(oracle, xrand.New(seed+100))
+	pred := predictor.New(seed)
+	profiles, err := prof.ProfileAll(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMudi(pred, core.MudiConfig{Seed: seed})
+	for _, ps := range profiles {
+		if err := pred.Train(ps); err != nil {
+			t.Fatal(err)
+		}
+		m.AddProfiles(ps)
+	}
+	return m
+}
+
+func specs(t *testing.T) []DeviceSpec {
+	t.Helper()
+	bert, _ := model.ServiceByName("BERT")
+	yolos, _ := model.ServiceByName("YOLOS")
+	lstm, _ := model.TaskByName("LSTM")
+	return []DeviceSpec{
+		{ID: "dev0", Service: bert, Training: &lstm},
+		{ID: "dev1", Service: yolos},
+	}
+}
+
+func TestLiveControlLoop(t *testing.T) {
+	oracle := perf.NewOracle(1)
+	policy := buildPolicy(t, oracle, 1)
+	c, err := New(Config{TickInterval: time.Millisecond, Seed: 1}, oracle, policy, specs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 600*time.Millisecond)
+	defer cancel()
+	if err := c.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range c.Stats() {
+		if st.Windows == 0 {
+			t.Fatalf("%s: monitor never ticked", st.DeviceID)
+		}
+		if st.Retunes == 0 {
+			t.Fatalf("%s: tuner never ran", st.DeviceID)
+		}
+		if st.ConfigsApplied == 0 {
+			t.Fatalf("%s: agents never applied a config", st.DeviceID)
+		}
+		if st.Batch < 16 || st.Batch > 512 {
+			t.Fatalf("%s: live batch %d out of range", st.DeviceID, st.Batch)
+		}
+		if st.Delta <= 0 || st.Delta > 1 {
+			t.Fatalf("%s: live delta %v out of range", st.DeviceID, st.Delta)
+		}
+		// The control loop must keep violations rare at nominal load.
+		if frac := float64(st.Violations) / float64(st.Windows); frac > 0.2 {
+			t.Fatalf("%s: live violation fraction %v", st.DeviceID, frac)
+		}
+	}
+	// The training device must have recorded mini-batch times.
+	if c.Stats()[0].TrainIterMs <= 0 {
+		t.Fatal("training agent recorded no iteration time")
+	}
+	// Config keys must exist in the store (the ETCD contract).
+	if _, _, ok := c.Store().Get("config/dev0/batch"); !ok {
+		t.Fatal("batch config never written")
+	}
+	if _, _, ok := c.Store().Get("stats/dev0/p99"); !ok {
+		t.Fatal("latency stats never written")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	oracle := perf.NewOracle(2)
+	policy := buildPolicy(t, oracle, 2)
+	if _, err := New(Config{}, nil, policy, specs(t)); err == nil {
+		t.Fatal("nil oracle accepted")
+	}
+	if _, err := New(Config{}, oracle, nil, specs(t)); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	if _, err := New(Config{}, oracle, policy, nil); err == nil {
+		t.Fatal("no devices accepted")
+	}
+	bad := specs(t)
+	bad[0].ID = ""
+	if _, err := New(Config{}, oracle, policy, bad); err == nil {
+		t.Fatal("empty device id accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.defaults()
+	if c.TickInterval != 10*time.Millisecond || c.QPSChangeThreshold != 0.5 {
+		t.Fatalf("defaults %+v", c)
+	}
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+
+	"mudi/internal/fit"
+	"mudi/internal/model"
+	"mudi/internal/opt"
+	"mudi/internal/piecewise"
+	"mudi/internal/predictor"
+	"mudi/internal/profiler"
+	"mudi/internal/sched"
+	"mudi/internal/tuner"
+)
+
+// MudiConfig parameterizes the Mudi policy.
+type MudiConfig struct {
+	Tuner tuner.Config
+	// MaxTrainPerGPU caps co-located training tasks per device:
+	// 1 for Mudi, up to 3 for Mudi-more (§5.5).
+	MaxTrainPerGPU int
+	// OnlineProfileDeltas is the GPU% grid sampled when profiling a new
+	// co-location online; defaults to the offline profiler's 6 points.
+	OnlineProfileDeltas []float64
+	// OnlineProfileBatches restricts which batch sizes are profiled
+	// online (all six by default).
+	OnlineProfileBatches []int
+	Seed                 uint64
+}
+
+func (c MudiConfig) defaults() MudiConfig {
+	if c.MaxTrainPerGPU <= 0 {
+		c.MaxTrainPerGPU = 1
+	}
+	if len(c.OnlineProfileDeltas) == 0 {
+		c.OnlineProfileDeltas = []float64{0.1, 0.3, 0.4, 0.6, 0.7, 0.9}
+	}
+	if len(c.OnlineProfileBatches) == 0 {
+		c.OnlineProfileBatches = model.BatchSizes()
+	}
+	return c
+}
+
+// Mudi is the paper's system as a Policy: architecture-based
+// interference prediction for placement, GP-LCB adaptive batching plus
+// Eq. 4 resource scaling for device control, and incremental predictor
+// updates for newly observed co-locations.
+type Mudi struct {
+	cfg       MudiConfig
+	pred      *predictor.Predictor
+	tun       *tuner.Tuner
+	framework *sched.Framework
+	slope     *slopePlugin
+	// seenColoc remembers (service, coloc-arch) pairs already profiled
+	// online to avoid repeated sampling.
+	seenColoc map[string]bool
+	// curves caches directly fitted latency curves by
+	// service|archKey|batch; Configure prefers an exact fit over the
+	// learner's generalization (§4.2: newly sampled co-locations are
+	// fitted and used directly while also updating the predictor).
+	curves map[string]piecewise.Func
+	// Overhead bookkeeping for Fig. 18.
+	boIters []int
+}
+
+// NewMudi builds the policy around a trained Interference Predictor
+// (typically the output of the Offline Profiler pipeline).
+func NewMudi(pred *predictor.Predictor, cfg MudiConfig) *Mudi {
+	cfg = cfg.defaults()
+	m := &Mudi{
+		cfg:       cfg,
+		pred:      pred,
+		tun:       tuner.New(cfg.Tuner),
+		seenColoc: make(map[string]bool),
+		curves:    make(map[string]piecewise.Func),
+	}
+	m.slope = &slopePlugin{mudi: m}
+	m.framework = sched.NewFramework(
+		&eligibilityPlugin{maxTrain: cfg.MaxTrainPerGPU, slope: m.slope},
+		m.slope,
+	)
+	return m
+}
+
+// Name implements Policy.
+func (m *Mudi) Name() string { return "mudi" }
+
+// Predictor exposes the underlying interference predictor (for the
+// evaluation harness).
+func (m *Mudi) Predictor() *predictor.Predictor { return m.pred }
+
+// curveKey identifies one fitted-curve cache entry.
+func curveKey(svc string, arch model.Arch, batch int) string {
+	return fmt.Sprintf("%s|%v|%d", svc, arch, batch)
+}
+
+// AddProfiles seeds the fitted-curve cache from offline profiles (the
+// Offline Profiler grid), alongside predictor training.
+func (m *Mudi) AddProfiles(profiles []profiler.Profile) {
+	for _, pr := range profiles {
+		if pr.Curve.Validate() != nil {
+			continue
+		}
+		m.curves[curveKey(pr.Service, pr.ColocArch(), pr.Batch)] = pr.Curve
+		m.seenColoc[pr.Service+"|"+archKey(pr.ColocArch())] = true
+	}
+}
+
+// BOIterations returns the per-episode GP-LCB iteration counts
+// collected so far (Fig. 18a).
+func (m *Mudi) BOIterations() []int { return append([]int(nil), m.boIters...) }
+
+// colocArch is the cumulative Ψ of resident tasks plus the candidate
+// (§5.5: "designates the cumulative feature layers as Ψ").
+func colocArch(resident []model.TrainingTask, extra ...model.TrainingTask) model.Arch {
+	var a model.Arch
+	for _, t := range resident {
+		a = a.Add(t.Arch)
+	}
+	for _, t := range extra {
+		a = a.Add(t.Arch)
+	}
+	return a
+}
+
+// eligibilityPlugin vetoes devices that cannot take the task at all.
+type eligibilityPlugin struct {
+	maxTrain int
+	slope    *slopePlugin // shares the per-selection view snapshot
+}
+
+func (p *eligibilityPlugin) Name() string { return "eligibility" }
+
+func (p *eligibilityPlugin) Score(_ *sched.Job, dev sched.DeviceInfo) float64 {
+	if dev.ServiceName == "" {
+		return -1 // Mudi multiplexes training next to inference services
+	}
+	if dev.TrainingCount >= p.maxTrain {
+		return -1
+	}
+	if view, ok := p.slope.views[dev.ID]; ok && view.Paused {
+		return -1 // the service already needs the whole device
+	}
+	return 0
+}
+
+// slopePlugin scores devices by the negated predicted average slope:
+// the Device Selector of §5.2. It needs the candidate task's
+// architecture, which the Mudi policy stashes before each selection.
+type slopePlugin struct {
+	mudi        *Mudi
+	currentTask model.TrainingTask
+	views       map[string]DeviceView
+}
+
+func (p *slopePlugin) Name() string { return "interference-slope" }
+
+func (p *slopePlugin) Score(_ *sched.Job, dev sched.DeviceInfo) float64 {
+	view, ok := p.views[dev.ID]
+	if !ok {
+		return -1
+	}
+	arch := colocArch(view.ResidentTasks, p.currentTask)
+	slope, err := p.mudi.pred.AvgSlope(view.ServiceName, arch)
+	if err != nil {
+		return -1
+	}
+	// A smaller slope both reduces SLO pressure and lets the service
+	// shrink, "which is advantageous for optimizing the objective"
+	// (§5.2): quantify that advantage as the predicted leftover GPU
+	// share after Eq. 4 sizes the service at the device's current QPS,
+	// averaged over the batch candidates.
+	var shareSum float64
+	batches := model.BatchSizes()
+	for _, b := range batches {
+		curve, err := p.mudi.pred.PredictCurve(view.ServiceName, b, arch)
+		if err != nil {
+			continue
+		}
+		if view.QPS <= 0 || view.SLOms <= 0 {
+			continue
+		}
+		res, err := opt.MinPartition(opt.ScaleRequest{
+			QPS: view.QPS, Batch: b, SLO: view.SLOms, Latency: curve, MaxDelta: 0.9,
+		})
+		if err != nil || !res.Feasible {
+			continue
+		}
+		shareSum += 1 - res.Delta
+	}
+	avgShare := shareSum / float64(len(batches))
+	// Higher score = better; slopes are positive magnitudes.
+	return (0.05 + avgShare) / (1 + slope)
+}
+
+// SelectDevice implements Policy (§5.2): assign the task to the device
+// whose service shows the smallest predicted average slope across the
+// batch-size set.
+func (m *Mudi) SelectDevice(task model.TrainingTask, views []DeviceView, _ map[string]Measurer) (string, bool) {
+	m.slope.currentTask = task
+	m.slope.views = make(map[string]DeviceView, len(views))
+	infos := make([]sched.DeviceInfo, len(views))
+	for i, v := range views {
+		m.slope.views[v.ID] = v
+		infos[i] = sched.DeviceInfo{
+			ID:            v.ID,
+			FreeShare:     v.FreeShare,
+			TrainingCount: len(v.ResidentTasks),
+			ServiceName:   v.ServiceName,
+			ServiceQPS:    v.QPS,
+			MemoryFreeMB:  v.MemoryFreeMB,
+			SMUtil:        v.SMUtil,
+		}
+	}
+	dev, err := m.framework.Select(&sched.Job{TaskName: task.Name}, infos)
+	if err != nil {
+		return "", false
+	}
+	return dev.ID, true
+}
+
+// Configure implements Policy (§5.3): predicted curves feed the
+// two-phase Tuner episode.
+func (m *Mudi) Configure(view DeviceView, meas Measurer) (Decision, error) {
+	if view.ServiceName == "" {
+		return Decision{}, fmt.Errorf("core: device %s has no inference service", view.ID)
+	}
+	arch := colocArch(view.ResidentTasks)
+	curves := func(b int) piecewise.Func {
+		if c, ok := m.curves[curveKey(view.ServiceName, arch, b)]; ok {
+			return c // exact fit for this co-location
+		}
+		c, err := m.pred.PredictCurve(view.ServiceName, b, arch)
+		if err != nil {
+			// Untrained service: a conservative steep default makes the
+			// solver allocate generously rather than violate the SLO.
+			return piecewise.Func{K1: -10 * view.SLOms, K2: -0.1 * view.SLOms, Cutoff: 0.6, L0: view.SLOms / 2}
+		}
+		return c
+	}
+	req := tuner.Request{
+		QPS:         view.QPS,
+		SLOms:       view.SLOms,
+		Candidates:  model.BatchSizes(),
+		Curves:      curves,
+		Measure:     meas,
+		HasTraining: len(view.ResidentTasks) > 0,
+	}
+	dec, err := m.tun.Tune(req)
+	if err != nil {
+		return Decision{}, err
+	}
+	if dec.BOIterations > 0 {
+		m.boIters = append(m.boIters, dec.BOIterations)
+	}
+	// Validation rounds: the predicted curve can be optimistic for a
+	// co-location the predictor has not fully learned. Verify the
+	// decision against a live latency measurement; if it misses the
+	// planning margin, grow the partition along the measured ratio and
+	// re-check (the Monitor's "SLO at risk" repair loop, §6, done
+	// before committing the configuration).
+	if dec.Feasible && meas != nil {
+		budget := view.SLOms * float64(dec.Batch) / view.QPS
+		margin := 0.90 * budget
+		for round := 0; round < 3; round++ {
+			lat, err := meas.InfLatencyMs(dec.Batch, dec.Delta)
+			if err != nil {
+				break
+			}
+			if lat <= margin {
+				break
+			}
+			grown := dec.Delta + 0.1
+			if grown > 0.9 && len(view.ResidentTasks) > 0 {
+				// Cannot grow further while training holds its floor:
+				// declare infeasibility so the caller pauses training.
+				dec = Decision{Feasible: false, Batch: dec.Batch, BOIterations: dec.BOIterations}
+				break
+			}
+			if grown > 1 {
+				grown = 1
+			}
+			dec.Delta = grown
+		}
+	}
+	return dec, nil
+}
+
+// ObserveColocation implements OnlineLearner: when a service meets a
+// co-location Mudi has not profiled, sample its latency curve online
+// and update the Interference Predictor incrementally (§4.1.2, the
+// Fig. 12 path).
+func (m *Mudi) ObserveColocation(view DeviceView, meas Measurer) {
+	if view.ServiceName == "" || len(view.ResidentTasks) == 0 || meas == nil {
+		return
+	}
+	arch := colocArch(view.ResidentTasks)
+	key := view.ServiceName + "|" + archKey(arch)
+	if m.seenColoc[key] {
+		return
+	}
+	m.seenColoc[key] = true
+	for _, b := range m.cfg.OnlineProfileBatches {
+		samples := make([]fit.Sample, 0, len(m.cfg.OnlineProfileDeltas))
+		for _, d := range m.cfg.OnlineProfileDeltas {
+			l, err := meas.InfLatencyMs(b, d)
+			if err != nil {
+				return
+			}
+			samples = append(samples, fit.Sample{Delta: d, Latency: l})
+		}
+		curve, err := fit.Piecewise(samples)
+		if err != nil {
+			continue
+		}
+		m.curves[curveKey(view.ServiceName, arch, b)] = curve
+		prof := profiler.Profile{
+			Service: view.ServiceName,
+			Batch:   b,
+			Coloc:   view.ResidentTasks,
+			Curve:   curve,
+			Samples: samples,
+		}
+		if err := m.pred.Update(prof); err != nil {
+			return
+		}
+	}
+}
+
+func archKey(a model.Arch) string {
+	s := ""
+	for _, n := range a {
+		s += fmt.Sprintf("%d,", n)
+	}
+	return s
+}
+
+// ShouldRetune forwards the Monitor's QPS-change trigger.
+func (m *Mudi) ShouldRetune(oldQPS, newQPS float64) bool {
+	return m.tun.ShouldRetune(oldQPS, newQPS)
+}
+
+var (
+	_ Policy        = (*Mudi)(nil)
+	_ OnlineLearner = (*Mudi)(nil)
+)

@@ -1,0 +1,168 @@
+// Package eventq is the discrete-event simulation engine: a calendar
+// queue over virtual seconds. The cluster simulator schedules workload
+// arrivals, control-loop ticks, and completions as events; Run drains
+// them in (time, sequence) order so simulations are deterministic.
+package eventq
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Handler runs when its event fires. It may schedule further events.
+type Handler func(now float64)
+
+type event struct {
+	at   float64
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   Handler
+	dead bool
+	idx  int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the simulator clock and event calendar. Not safe for
+// concurrent use: a simulation is a single logical thread.
+type Sim struct {
+	now     float64
+	seq     uint64
+	heap    eventHeap
+	stopped bool
+}
+
+// New returns a simulator at time 0.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Timer identifies a scheduled event for cancellation.
+type Timer struct{ e *event }
+
+// At schedules fn at absolute time t. Scheduling in the past is an
+// error (events must not violate causality).
+func (s *Sim) At(t float64, fn Handler) (Timer, error) {
+	if fn == nil {
+		return Timer{}, errors.New("eventq: nil handler")
+	}
+	if t < s.now {
+		return Timer{}, fmt.Errorf("eventq: schedule at %v before now %v", t, s.now)
+	}
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, e)
+	return Timer{e: e}, nil
+}
+
+// After schedules fn delay seconds from now.
+func (s *Sim) After(delay float64, fn Handler) (Timer, error) {
+	if delay < 0 {
+		return Timer{}, fmt.Errorf("eventq: negative delay %v", delay)
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling a fired or
+// already-cancelled timer is a no-op.
+func (s *Sim) Cancel(t Timer) {
+	if t.e != nil {
+		t.e.dead = true
+	}
+}
+
+// Stop halts Run after the current event returns.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run drains events until the calendar empties, the horizon passes, or
+// Stop is called. Events at exactly the horizon still fire. It returns
+// the number of events executed.
+func (s *Sim) Run(horizon float64) int {
+	s.stopped = false
+	executed := 0
+	for len(s.heap) > 0 && !s.stopped {
+		e := s.heap[0]
+		if e.at > horizon {
+			break
+		}
+		heap.Pop(&s.heap)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		e.fn(s.now)
+		executed++
+	}
+	// Advance the clock to the horizon even if the calendar drained
+	// early, so repeated Run calls observe contiguous time.
+	if !s.stopped && s.now < horizon {
+		s.now = horizon
+	}
+	return executed
+}
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.heap {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// EveryUntil schedules fn at now+period, then every period seconds,
+// until the predicate returns false or the event is cancelled via the
+// returned stop function.
+func (s *Sim) EveryUntil(period float64, fn Handler) (stop func(), err error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("eventq: non-positive period %v", period)
+	}
+	stopped := false
+	var schedule func(now float64)
+	schedule = func(now float64) {
+		if stopped {
+			return
+		}
+		fn(now)
+		if stopped {
+			return
+		}
+		if _, err := s.After(period, schedule); err != nil {
+			// Unreachable: After with positive delay cannot fail.
+			panic(err)
+		}
+	}
+	if _, err := s.After(period, schedule); err != nil {
+		return nil, err
+	}
+	return func() { stopped = true }, nil
+}

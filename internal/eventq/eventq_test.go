@@ -1,0 +1,205 @@
+package eventq
+
+import (
+	"testing"
+)
+
+func TestOrderedExecution(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3, func(float64) { order = append(order, 3) })
+	s.At(1, func(float64) { order = append(order, 1) })
+	s.At(2, func(float64) { order = append(order, 2) })
+	if n := s.Run(10); n != 3 {
+		t.Fatalf("executed %d", n)
+	}
+	if order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("clock %v, want horizon 10", s.Now())
+	}
+}
+
+func TestFIFOAmongTies(t *testing.T) {
+	s := New()
+	var order []string
+	s.At(1, func(float64) { order = append(order, "a") })
+	s.At(1, func(float64) { order = append(order, "b") })
+	s.At(1, func(float64) { order = append(order, "c") })
+	s.Run(5)
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("tie order %v", order)
+	}
+}
+
+func TestHandlersScheduleMore(t *testing.T) {
+	s := New()
+	count := 0
+	var chain Handler
+	chain = func(now float64) {
+		count++
+		if count < 5 {
+			s.After(1, chain)
+		}
+	}
+	s.At(0, chain)
+	s.Run(100)
+	if count != 5 {
+		t.Fatalf("chain executed %d times", count)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("clock %v", s.Now())
+	}
+}
+
+func TestHorizonRespected(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(5, func(float64) { fired = true })
+	s.Run(4)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if s.Now() != 4 {
+		t.Fatalf("clock %v", s.Now())
+	}
+	// Event at exactly the horizon fires.
+	s.Run(5)
+	if !fired {
+		t.Fatal("event at horizon did not fire")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	timer, err := s.At(1, func(float64) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel(timer)
+	s.Cancel(timer) // idempotent
+	if n := s.Run(10); n != 0 {
+		t.Fatalf("executed %d cancelled events", n)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+}
+
+func TestPastSchedulingRejected(t *testing.T) {
+	s := New()
+	s.At(5, func(float64) {})
+	s.Run(5)
+	if _, err := s.At(3, func(float64) {}); err == nil {
+		t.Fatal("past scheduling accepted")
+	}
+	if _, err := s.After(-1, func(float64) {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if _, err := s.At(6, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func(float64) {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run(100)
+	if count != 3 {
+		t.Fatalf("executed %d, want 3", count)
+	}
+	// Remaining events still pending; a further Run picks them up.
+	s.Run(100)
+	if count != 10 {
+		t.Fatalf("after resume executed %d", count)
+	}
+}
+
+func TestNowDuringHandler(t *testing.T) {
+	s := New()
+	var seen float64
+	s.At(7.5, func(now float64) { seen = s.Now() })
+	s.Run(10)
+	if seen != 7.5 {
+		t.Fatalf("Now inside handler = %v", seen)
+	}
+}
+
+func TestEveryUntil(t *testing.T) {
+	s := New()
+	ticks := 0
+	stop, err := s.EveryUntil(1, func(now float64) {
+		ticks++
+		if ticks == 5 {
+			s.Stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = stop
+	s.Run(100)
+	if ticks != 5 {
+		t.Fatalf("ticks %d", ticks)
+	}
+}
+
+func TestEveryUntilStop(t *testing.T) {
+	s := New()
+	ticks := 0
+	stop, _ := s.EveryUntil(1, func(now float64) { ticks++ })
+	s.Run(3.5)
+	stop()
+	s.Run(10)
+	if ticks != 3 {
+		t.Fatalf("ticks after stop %d, want 3", ticks)
+	}
+}
+
+func TestEveryUntilValidation(t *testing.T) {
+	s := New()
+	if _, err := s.EveryUntil(0, func(float64) {}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New()
+	a, _ := s.At(1, func(float64) {})
+	s.At(2, func(float64) {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+	s.Cancel(a)
+	if s.Pending() != 1 {
+		t.Fatalf("pending after cancel %d", s.Pending())
+	}
+}
+
+func TestManyEvents(t *testing.T) {
+	s := New()
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		s.At(float64(i%1000), func(float64) { count++ })
+	}
+	if got := s.Run(1000); got != n {
+		t.Fatalf("executed %d", got)
+	}
+	if count != n {
+		t.Fatalf("count %d", count)
+	}
+}

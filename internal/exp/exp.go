@@ -1,0 +1,209 @@
+// Package exp is the evaluation harness: one runner per table and
+// figure of the paper's §7, each regenerating the corresponding rows or
+// series against the simulator. The absolute numbers come from the
+// synthetic testbed (internal/perf), so the claims to compare are the
+// *shapes*: which system wins, by roughly what factor, and where the
+// crossovers fall. EXPERIMENTS.md records paper-vs-measured for every
+// runner here.
+package exp
+
+import (
+	"fmt"
+
+	"mudi/internal/baselines"
+	"mudi/internal/cluster"
+	"mudi/internal/core"
+	"mudi/internal/model"
+	"mudi/internal/perf"
+	"mudi/internal/predictor"
+	"mudi/internal/profiler"
+	"mudi/internal/report"
+	"mudi/internal/sched"
+	"mudi/internal/trace"
+	"mudi/internal/tuner"
+	"mudi/internal/xrand"
+)
+
+// Scale selects experiment sizes.
+type Scale int
+
+// Experiment scales. Small keeps unit tests and -short benches quick;
+// Physical mirrors the paper's 12-GPU/300-task cluster; Simulated
+// mirrors the 1000-GPU/5000-task run (expensive).
+const (
+	ScaleSmall Scale = iota
+	ScalePhysical
+	ScaleSimulated
+)
+
+// Config parameterizes a harness run.
+type Config struct {
+	Seed  uint64
+	Scale Scale
+}
+
+// sizes returns (devices, tasks, meanGapSec, iterScale) per scale.
+func (c Config) sizes() (int, int, float64, float64) {
+	switch c.Scale {
+	case ScalePhysical:
+		// The paper's physical cluster: 12 A100s, 300 tasks. Task
+		// lengths are shrunk so a run stays minutes of simulated time.
+		return 12, 300, 12, 0.002
+	case ScaleSimulated:
+		// The paper's simulated cluster: 1000 GPUs, 5000 tasks, trace
+		// scaled by 80 (much denser arrivals).
+		return 1000, 5000, 0.8, 0.002
+	default:
+		return 12, 24, 4, 0.001
+	}
+}
+
+// Suite caches the shared state (oracle, trained Mudi, arrival trace,
+// per-policy end-to-end results) that several figures derive from.
+type Suite struct {
+	Config   Config
+	Oracle   *perf.Oracle
+	Mudi     *core.Mudi
+	Arrivals []trace.TaskArrival
+
+	results map[string]*cluster.Result
+}
+
+// NewSuite trains the offline pipeline and prepares the shared trace.
+func NewSuite(cfg Config) (*Suite, error) {
+	oracle := perf.NewOracle(cfg.Seed)
+	mudi, err := BuildMudi(oracle, cfg.Seed, 1)
+	if err != nil {
+		return nil, err
+	}
+	_, tasks, gap, iterScale := cfg.sizes()
+	arrivals, err := trace.PhillyTrace(trace.PhillyConfig{
+		Count:      tasks,
+		MeanGapSec: gap,
+		ScaleIters: iterScale,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{
+		Config:   cfg,
+		Oracle:   oracle,
+		Mudi:     mudi,
+		Arrivals: arrivals,
+		results:  make(map[string]*cluster.Result),
+	}, nil
+}
+
+// BuildMudi runs the full offline pipeline (profiling → interference
+// modeling → curve cache) and returns a ready Mudi policy. maxTrain >
+// 1 additionally profiles multi-task co-locations (Mudi-more, §5.5).
+func BuildMudi(oracle *perf.Oracle, seed uint64, maxTrain int) (*core.Mudi, error) {
+	return BuildMudiWithTuner(oracle, seed, maxTrain, tuner.Config{})
+}
+
+// BuildMudiWithTuner is BuildMudi with an explicit Tuner configuration
+// (used by the batching-strategy ablation).
+func BuildMudiWithTuner(oracle *perf.Oracle, seed uint64, maxTrain int, tcfg tuner.Config) (*core.Mudi, error) {
+	prof := profiler.New(oracle, xrand.New(seed+100))
+	pred := predictor.New(seed)
+	var colocSets [][]model.TrainingTask
+	if maxTrain > 1 {
+		colocSets = append([][]model.TrainingTask{nil}, profiler.MultiColocSets(maxTrain)...)
+	}
+	profiles, err := prof.ProfileAll(nil, colocSets)
+	if err != nil {
+		return nil, err
+	}
+	mudi := core.NewMudi(pred, core.MudiConfig{Seed: seed, MaxTrainPerGPU: maxTrain, Tuner: tcfg})
+	for _, ps := range profiles {
+		if err := pred.Train(ps); err != nil {
+			return nil, err
+		}
+		mudi.AddProfiles(ps)
+	}
+	return mudi, nil
+}
+
+// schedPolicy resolves a queue-policy name.
+func schedPolicy(name string) (sched.Policy, error) {
+	return sched.PolicyByName(name)
+}
+
+// Policies builds the comparison set for end-to-end runs.
+func (s *Suite) Policies() (map[string]core.Policy, error) {
+	gpulets, err := baselines.NewGpulets(s.Oracle, xrand.New(s.Config.Seed+7))
+	if err != nil {
+		return nil, err
+	}
+	return map[string]core.Policy{
+		"mudi":    s.Mudi,
+		"gslice":  baselines.NewGSLICE(),
+		"gpulets": gpulets,
+		"muxflow": baselines.NewMuxFlow(s.Oracle),
+	}, nil
+}
+
+// policyOrder is the stable presentation order of the systems.
+var policyOrder = []string{"mudi", "gslice", "gpulets", "muxflow", "optimal"}
+
+// Run executes (and caches) the end-to-end simulation for one policy.
+func (s *Suite) Run(name string) (*cluster.Result, error) {
+	if res, ok := s.results[name]; ok {
+		return res, nil
+	}
+	var policy core.Policy
+	switch name {
+	case "mudi":
+		policy = s.Mudi
+	case "optimal":
+		policy = baselines.NewOptimal(s.Oracle, 1)
+	default:
+		pols, err := s.Policies()
+		if err != nil {
+			return nil, err
+		}
+		p, ok := pols[name]
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown policy %q", name)
+		}
+		policy = p
+	}
+	devices, _, _, _ := s.Config.sizes()
+	sim, err := cluster.New(cluster.Options{
+		Policy:   policy,
+		Oracle:   s.Oracle,
+		Seed:     s.Config.Seed,
+		Devices:  devices,
+		Arrivals: s.Arrivals,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	s.results[name] = res
+	return res, nil
+}
+
+// RunAll executes the standard comparison set.
+func (s *Suite) RunAll() (map[string]*cluster.Result, error) {
+	out := make(map[string]*cluster.Result)
+	for _, name := range []string{"mudi", "gslice", "gpulets", "muxflow"} {
+		res, err := s.Run(name)
+		if err != nil {
+			return nil, fmt.Errorf("exp: running %s: %w", name, err)
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
+// serviceOrder is the Tab. 1 presentation order.
+var serviceOrder = []string{"ResNet50", "Inception", "GPT2", "BERT", "RoBERTa", "YOLOS"}
+
+// tableAlias lets tests refer to the report table type without an
+// import cycle in test helpers.
+type tableAlias = report.Table

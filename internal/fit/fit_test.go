@@ -1,0 +1,346 @@
+package fit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mudi/internal/piecewise"
+	"mudi/internal/xrand"
+)
+
+func TestSolveLinear(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+	// Inputs must be untouched.
+	if a[0][0] != 2 || b[0] != 5 {
+		t.Fatal("SolveLinear mutated inputs")
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular system not rejected")
+	}
+}
+
+func TestSolveLinearShapeErrors(t *testing.T) {
+	if _, err := SolveLinear(nil, nil); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	if _, err := SolveLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched b accepted")
+	}
+	if _, err := SolveLinear([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestLeastSquaresRecoversLine(t *testing.T) {
+	// y = 3 + 2x, exactly.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 10; i++ {
+		xi := float64(i)
+		x = append(x, []float64{1, xi})
+		y = append(y, 3+2*xi)
+	}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-3) > 1e-6 || math.Abs(beta[1]-2) > 1e-6 {
+		t.Fatalf("beta = %v, want [3 2]", beta)
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	a := [][]float64{{4, 2, 0.6}, {2, 5, 1}, {0.6, 1, 3}}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct and compare.
+	n := len(a)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += l[i][k] * l[j][k]
+			}
+			if math.Abs(sum-a[i][j]) > 1e-9 {
+				t.Fatalf("LLᵀ[%d][%d] = %v, want %v", i, j, sum, a[i][j])
+			}
+		}
+	}
+	// Solve against a known RHS.
+	x := CholSolve(l, []float64{1, 2, 3})
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += a[i][j] * x[j]
+		}
+		if math.Abs(sum-float64(i+1)) > 1e-9 {
+			t.Fatalf("CholSolve residual at %d", i)
+		}
+	}
+}
+
+func TestCholeskyRejectsNonPD(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 1}} // indefinite
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("non-PD matrix accepted")
+	}
+}
+
+func pwSamples(f piecewise.Func, deltas []float64) []Sample {
+	s := make([]Sample, len(deltas))
+	for i, d := range deltas {
+		s[i] = Sample{Delta: d, Latency: f.Eval(d)}
+	}
+	return s
+}
+
+func TestKneeIndexFindsBend(t *testing.T) {
+	f := piecewise.Func{K1: -300, K2: -5, Cutoff: 0.4, L0: 40}
+	s := pwSamples(f, []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9})
+	idx, err := KneeIndex(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[idx].Delta != 0.4 {
+		t.Fatalf("knee at Δ=%v, want 0.4", s[idx].Delta)
+	}
+}
+
+func TestKneeIndexErrors(t *testing.T) {
+	if _, err := KneeIndex([]Sample{{0.1, 1}, {0.2, 2}}); err == nil {
+		t.Fatal("too-few samples accepted")
+	}
+	same := []Sample{{0.5, 1}, {0.5, 2}, {0.5, 3}}
+	if _, err := KneeIndex(same); err == nil {
+		t.Fatal("degenerate deltas accepted")
+	}
+}
+
+func TestKneeIndexFlatCurve(t *testing.T) {
+	s := []Sample{{0.1, 5}, {0.5, 5}, {0.9, 5}}
+	idx, err := KneeIndex(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("flat curve knee index %d, want 0", idx)
+	}
+}
+
+func TestPiecewiseRecoversExact(t *testing.T) {
+	truth := piecewise.Func{K1: -250, K2: -8, Cutoff: 0.5, L0: 60}
+	s := pwSamples(truth, []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9})
+	got, err := Piecewise(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.K1-truth.K1) > 1 || math.Abs(got.K2-truth.K2) > 0.5 {
+		t.Fatalf("slopes %v/%v, want %v/%v", got.K1, got.K2, truth.K1, truth.K2)
+	}
+	if math.Abs(got.Cutoff-0.5) > 1e-9 || math.Abs(got.L0-60) > 1e-4 {
+		t.Fatalf("knee (%v,%v), want (0.5,60)", got.Cutoff, got.L0)
+	}
+}
+
+func TestPiecewiseRobustToNoise(t *testing.T) {
+	truth := piecewise.Func{K1: -250, K2: -8, Cutoff: 0.5, L0: 60}
+	rng := xrand.New(99)
+	var s []Sample
+	for _, d := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		s = append(s, Sample{Delta: d, Latency: truth.Eval(d) * rng.LogNormal(0, 0.02)})
+	}
+	got, err := Piecewise(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := pwSamples(truth, []float64{0.15, 0.35, 0.55, 0.75})
+	if e := EvalError(got.Eval, test); e > 12 {
+		t.Fatalf("noisy fit error %v%% too high", e)
+	}
+}
+
+func TestPiecewiseMinimumSamples(t *testing.T) {
+	truth := piecewise.Func{K1: -100, K2: -5, Cutoff: 0.5, L0: 30}
+	s := pwSamples(truth, []float64{0.2, 0.5, 0.8})
+	got, err := Piecewise(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Piecewise(s[:2]); err == nil {
+		t.Fatal("2 samples accepted")
+	}
+}
+
+func TestPiecewisePropertyValidOutput(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		truth := piecewise.Func{
+			K1:     -rng.Range(50, 500),
+			K2:     -rng.Range(1, 30),
+			Cutoff: rng.Range(0.2, 0.8),
+			L0:     rng.Range(10, 300),
+		}
+		var s []Sample
+		for d := 0.1; d < 0.95; d += 0.1 {
+			s = append(s, Sample{Delta: d, Latency: truth.Eval(d) * rng.LogNormal(0, 0.03)})
+		}
+		got, err := Piecewise(s)
+		if err != nil {
+			return false
+		}
+		return got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolynomialExact(t *testing.T) {
+	// y = 1 + 2x + 3x².
+	var s []Sample
+	for _, d := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		s = append(s, Sample{Delta: d, Latency: 1 + 2*d + 3*d*d})
+	}
+	model, err := Polynomial(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := model(0.4); math.Abs(got-(1+0.8+0.48)) > 1e-6 {
+		t.Fatalf("poly(0.4) = %v", got)
+	}
+}
+
+func TestPolynomialErrors(t *testing.T) {
+	s := []Sample{{0.1, 1}, {0.2, 2}}
+	if _, err := Polynomial(s, 0); err == nil {
+		t.Fatal("degree 0 accepted")
+	}
+	if _, err := Polynomial(s, 3); err == nil {
+		t.Fatal("underdetermined polynomial accepted")
+	}
+}
+
+func TestMLPFitsSmoothCurve(t *testing.T) {
+	var s []Sample
+	for d := 0.05; d < 1; d += 0.05 {
+		s = append(s, Sample{Delta: d, Latency: 100 - 60*d})
+	}
+	model, err := MLPModel(s, MLPConfig{Seed: 1, Epochs: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := EvalError(model, s); e > 5 {
+		t.Fatalf("MLP train error %v%% too high", e)
+	}
+}
+
+func TestTrainMLPShapeErrors(t *testing.T) {
+	if _, err := TrainMLP(nil, nil, MLPConfig{}); err == nil {
+		t.Fatal("empty MLP input accepted")
+	}
+	if _, err := TrainMLP([][]float64{{1}, {1, 2}}, []float64{1, 2}, MLPConfig{}); err == nil {
+		t.Fatal("ragged MLP input accepted")
+	}
+}
+
+func TestEvalError(t *testing.T) {
+	model := func(d float64) float64 { return 110 }
+	test := []Sample{{0.5, 100}}
+	if got := EvalError(model, test); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("EvalError = %v, want 10", got)
+	}
+	if EvalError(model, nil) != 0 {
+		t.Fatal("empty test set should give 0")
+	}
+}
+
+// table2Trial runs the paper's Table 2 protocol once: noisy latency
+// measurements on the 10–90% GPU grid, train on a subset of n points,
+// test on the held-out noisy points. Returns mean errors (pw, poly,
+// mlp) over the trials.
+func table2Trial(t *testing.T, n int, sigma float64, trials int) (ePW, ePoly, eMLP float64) {
+	t.Helper()
+	grid := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	trainSets := map[int][]int{
+		5: {0, 2, 4, 6, 8},
+		6: {0, 2, 4, 5, 6, 8},
+		7: {0, 2, 3, 4, 5, 6, 8},
+		8: {0, 1, 2, 3, 4, 5, 6, 8},
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := xrand.New(77 + uint64(trial))
+		truth := piecewise.Func{
+			K1:     -rng.Range(250, 500),
+			K2:     -rng.Range(2, 8),
+			Cutoff: rng.Range(0.35, 0.55),
+			L0:     rng.Range(50, 90),
+		}
+		var train, test []Sample
+		for _, idx := range trainSets[n] {
+			d := grid[idx]
+			train = append(train, Sample{Delta: d, Latency: truth.Eval(d) * rng.LogNormal(0, sigma)})
+		}
+		for _, d := range []float64{0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85} {
+			test = append(test, Sample{Delta: d, Latency: truth.Eval(d) * rng.LogNormal(0, sigma)})
+		}
+		pw, err := Piecewise(train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		poly, err := Polynomial(train, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mlp, err := MLPModel(train, MLPConfig{Seed: uint64(trial), Hidden: 10, Epochs: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ePW += EvalError(pw.Eval, test)
+		ePoly += EvalError(poly, test)
+		eMLP += EvalError(mlp, test)
+	}
+	f := float64(trials)
+	return ePW / f, ePoly / f, eMLP / f
+}
+
+func TestTable2Shape(t *testing.T) {
+	// The headline claims of Table 2: (a) the piecewise fit is worst at
+	// 5 samples, (b) its error drops sharply from 5 to 6 samples, and
+	// (c) it beats polynomial and MLP fits at 6 and 7 samples.
+	// On synthetic noisy truths the MLP sits near the noise floor too,
+	// so the robust assertions here are (a) no 5→6 regression and
+	// (b) piecewise beats polynomial at 6 and 7 samples. The oracle-
+	// based Table 2 reproduction (internal/profiler) additionally
+	// checks the MLP ordering.
+	const sigma, trials = 0.06, 40
+	pw5, _, _ := table2Trial(t, 5, sigma, trials)
+	pw6, poly6, _ := table2Trial(t, 6, sigma, trials)
+	pw7, poly7, _ := table2Trial(t, 7, sigma, trials)
+	if pw6 >= pw5*1.05 {
+		t.Fatalf("5→6 regressed: pw5=%.2f pw6=%.2f", pw5, pw6)
+	}
+	if pw6 >= poly6 {
+		t.Fatalf("n=6: piecewise %.2f should beat poly %.2f", pw6, poly6)
+	}
+	if pw7 >= poly7 {
+		t.Fatalf("n=7: piecewise %.2f should beat poly %.2f", pw7, poly7)
+	}
+}

@@ -1,0 +1,152 @@
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports a linear system that could not be solved.
+var ErrSingular = errors.New("fit: singular system")
+
+// SolveLinear solves A·x = b for a dense square A using Gaussian
+// elimination with partial pivoting. A and b are not modified.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("fit: bad system shape %dx? vs %d", n, len(b))
+	}
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("fit: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖X·β − y‖² via the normal equations with a
+// small ridge term for conditioning. X is row-major (one row per
+// sample). Returns the coefficient vector β of length len(X[0]).
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("fit: least squares shape mismatch (%d rows, %d targets)", n, len(y))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("fit: zero-width design matrix")
+	}
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for r := 0; r < n; r++ {
+		if len(x[r]) != p {
+			return nil, fmt.Errorf("fit: ragged design matrix at row %d", r)
+		}
+		for i := 0; i < p; i++ {
+			xty[i] += x[r][i] * y[r]
+			for j := i; j < p; j++ {
+				xtx[i][j] += x[r][i] * x[r][j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		xtx[i][i] += 1e-9 // ridge for numerical stability
+	}
+	return SolveLinear(xtx, xty)
+}
+
+// Cholesky computes the lower-triangular factor L of a symmetric
+// positive-definite matrix A (A = L·Lᵀ). A is not modified.
+func Cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("%w: non-PD at row %d (%v)", ErrSingular, i, sum)
+				}
+				l[i][j] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholSolve solves A·x = b given the Cholesky factor L of A.
+func CholSolve(l [][]float64, b []float64) []float64 {
+	n := len(l)
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * y[k]
+		}
+		y[i] = sum / l[i][i]
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}

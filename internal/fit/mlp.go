@@ -1,0 +1,209 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"mudi/internal/xrand"
+)
+
+// MLP is a small fully connected feed-forward network with one hidden
+// tanh layer and a linear output, trained by full-batch gradient
+// descent. It exists to reproduce Table 2's "MLP fitting" row: a model
+// that needs many more samples than the piecewise fit to reach the same
+// accuracy.
+type MLP struct {
+	inDim, hidden int
+	w1            [][]float64 // hidden × in
+	b1            []float64
+	w2            []float64 // hidden
+	b2            float64
+	// Input/output normalization learned from the training set.
+	inMean, inStd []float64
+	outMean       float64
+	outStd        float64
+}
+
+// MLPConfig controls training.
+type MLPConfig struct {
+	Hidden int     // hidden units; default 8
+	Epochs int     // gradient steps; default 2000
+	LR     float64 // learning rate; default 0.05
+	Seed   uint64  // weight-init seed
+}
+
+func (c *MLPConfig) defaults() {
+	if c.Hidden <= 0 {
+		c.Hidden = 8
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 2000
+	}
+	if c.LR <= 0 {
+		c.LR = 0.05
+	}
+}
+
+// TrainMLP fits inputs → targets. Each input row must share a length.
+func TrainMLP(inputs [][]float64, targets []float64, cfg MLPConfig) (*MLP, error) {
+	cfg.defaults()
+	n := len(inputs)
+	if n == 0 || len(targets) != n {
+		return nil, fmt.Errorf("fit: MLP shape mismatch (%d inputs, %d targets)", n, len(targets))
+	}
+	inDim := len(inputs[0])
+	for i, row := range inputs {
+		if len(row) != inDim {
+			return nil, fmt.Errorf("fit: ragged MLP input at row %d", i)
+		}
+	}
+	m := &MLP{inDim: inDim, hidden: cfg.Hidden}
+	m.normalize(inputs, targets)
+
+	rng := xrand.New(cfg.Seed + 0x51ab)
+	m.w1 = make([][]float64, cfg.Hidden)
+	m.b1 = make([]float64, cfg.Hidden)
+	m.w2 = make([]float64, cfg.Hidden)
+	scale := 1 / math.Sqrt(float64(inDim))
+	for h := 0; h < cfg.Hidden; h++ {
+		m.w1[h] = make([]float64, inDim)
+		for j := range m.w1[h] {
+			m.w1[h][j] = rng.Normal(0, scale)
+		}
+		m.w2[h] = rng.Normal(0, 1/math.Sqrt(float64(cfg.Hidden)))
+	}
+
+	// Pre-normalize the dataset once.
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range inputs {
+		xs[i] = m.normIn(inputs[i])
+		ys[i] = (targets[i] - m.outMean) / m.outStd
+	}
+
+	hiddenAct := make([]float64, cfg.Hidden)
+	gw1 := make([][]float64, cfg.Hidden)
+	for h := range gw1 {
+		gw1[h] = make([]float64, inDim)
+	}
+	gb1 := make([]float64, cfg.Hidden)
+	gw2 := make([]float64, cfg.Hidden)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for h := 0; h < cfg.Hidden; h++ {
+			gb1[h], gw2[h] = 0, 0
+			for j := 0; j < inDim; j++ {
+				gw1[h][j] = 0
+			}
+		}
+		var gb2 float64
+		for i := 0; i < n; i++ {
+			// Forward.
+			out := m.b2
+			for h := 0; h < cfg.Hidden; h++ {
+				z := m.b1[h]
+				for j := 0; j < inDim; j++ {
+					z += m.w1[h][j] * xs[i][j]
+				}
+				hiddenAct[h] = math.Tanh(z)
+				out += m.w2[h] * hiddenAct[h]
+			}
+			// Backward (squared error).
+			dOut := 2 * (out - ys[i]) / float64(n)
+			gb2 += dOut
+			for h := 0; h < cfg.Hidden; h++ {
+				gw2[h] += dOut * hiddenAct[h]
+				dHid := dOut * m.w2[h] * (1 - hiddenAct[h]*hiddenAct[h])
+				gb1[h] += dHid
+				for j := 0; j < inDim; j++ {
+					gw1[h][j] += dHid * xs[i][j]
+				}
+			}
+		}
+		m.b2 -= cfg.LR * gb2
+		for h := 0; h < cfg.Hidden; h++ {
+			m.b1[h] -= cfg.LR * gb1[h]
+			m.w2[h] -= cfg.LR * gw2[h]
+			for j := 0; j < inDim; j++ {
+				m.w1[h][j] -= cfg.LR * gw1[h][j]
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *MLP) normalize(inputs [][]float64, targets []float64) {
+	n := float64(len(inputs))
+	m.inMean = make([]float64, m.inDim)
+	m.inStd = make([]float64, m.inDim)
+	for _, row := range inputs {
+		for j, v := range row {
+			m.inMean[j] += v
+		}
+	}
+	for j := range m.inMean {
+		m.inMean[j] /= n
+	}
+	for _, row := range inputs {
+		for j, v := range row {
+			d := v - m.inMean[j]
+			m.inStd[j] += d * d
+		}
+	}
+	for j := range m.inStd {
+		m.inStd[j] = math.Sqrt(m.inStd[j] / n)
+		if m.inStd[j] < 1e-9 {
+			m.inStd[j] = 1
+		}
+	}
+	for _, t := range targets {
+		m.outMean += t
+	}
+	m.outMean /= n
+	for _, t := range targets {
+		d := t - m.outMean
+		m.outStd += d * d
+	}
+	m.outStd = math.Sqrt(m.outStd / n)
+	if m.outStd < 1e-9 {
+		m.outStd = 1
+	}
+}
+
+func (m *MLP) normIn(row []float64) []float64 {
+	out := make([]float64, m.inDim)
+	for j := range out {
+		out[j] = (row[j] - m.inMean[j]) / m.inStd[j]
+	}
+	return out
+}
+
+// Predict evaluates the network at the given input vector.
+func (m *MLP) Predict(input []float64) float64 {
+	x := m.normIn(input)
+	out := m.b2
+	for h := 0; h < m.hidden; h++ {
+		z := m.b1[h]
+		for j := 0; j < m.inDim; j++ {
+			z += m.w1[h][j] * x[j]
+		}
+		out += m.w2[h] * math.Tanh(z)
+	}
+	return out*m.outStd + m.outMean
+}
+
+// MLPModel trains a 1-D latency model over the samples and returns an
+// evaluator with the same signature as Polynomial, for Table 2.
+func MLPModel(samples []Sample, cfg MLPConfig) (func(float64) float64, error) {
+	inputs := make([][]float64, len(samples))
+	targets := make([]float64, len(samples))
+	for i, s := range samples {
+		inputs[i] = []float64{s.Delta}
+		targets[i] = s.Latency
+	}
+	m, err := TrainMLP(inputs, targets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return func(d float64) float64 { return m.Predict([]float64{d}) }, nil
+}

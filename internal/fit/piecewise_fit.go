@@ -1,0 +1,228 @@
+// Package fit contains the curve-fitting substrate behind Mudi's
+// Latency Profiler (§4.1.1): kneedle-style cutoff detection followed by
+// per-segment least squares, plus the polynomial and MLP alternatives
+// the paper compares against in Table 2.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mudi/internal/piecewise"
+)
+
+// Sample is one profiled observation: latency (ms) at GPU partition
+// delta (fraction in (0, 1]).
+type Sample struct {
+	Delta   float64
+	Latency float64
+}
+
+// SortSamples orders samples by ascending delta in place.
+func SortSamples(s []Sample) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Delta < s[j].Delta })
+}
+
+// KneeIndex locates the cutoff point among the (sorted-by-delta)
+// samples using the paper's curvature heuristic: for every set of three
+// consecutive points compute the discrete curvature of the middle point
+// and pick the middle point of the set with the LOWEST curvature among
+// candidate knees — i.e. the point where the curve flattens out
+// (Satopaa et al., "kneedle" [59]).
+//
+// Implementation detail: on a latency-vs-resource curve the knee is the
+// point of maximum bend separating the steep from the shallow regime.
+// We compute the angle-based curvature for each interior point and pick
+// the maximum bend; ties resolve to the smaller delta so that the knee
+// is conservative (more resources to the inference service).
+func KneeIndex(s []Sample) (int, error) {
+	if len(s) < 3 {
+		return 0, fmt.Errorf("fit: need ≥3 samples for knee detection, have %d", len(s))
+	}
+	// Normalize both axes to [0,1] so curvature is scale-free.
+	minD, maxD := s[0].Delta, s[len(s)-1].Delta
+	minL, maxL := math.Inf(1), math.Inf(-1)
+	for _, p := range s {
+		minL = math.Min(minL, p.Latency)
+		maxL = math.Max(maxL, p.Latency)
+	}
+	spanD, spanL := maxD-minD, maxL-minL
+	if spanD <= 0 {
+		return 0, errors.New("fit: all samples share one delta")
+	}
+	if spanL <= 0 {
+		// Perfectly flat curve: knee at the first point.
+		return 0, nil
+	}
+	nx := func(p Sample) (float64, float64) {
+		return (p.Delta - minD) / spanD, (p.Latency - minL) / spanL
+	}
+	best, bestIdx := -1.0, 1
+	for i := 1; i < len(s)-1; i++ {
+		x0, y0 := nx(s[i-1])
+		x1, y1 := nx(s[i])
+		x2, y2 := nx(s[i+1])
+		// Turn magnitude via the cross product of the two segment
+		// vectors; larger |cross| = sharper bend at the middle point.
+		ax, ay := x1-x0, y1-y0
+		bx, by := x2-x1, y2-y1
+		la := math.Hypot(ax, ay)
+		lb := math.Hypot(bx, by)
+		if la == 0 || lb == 0 {
+			continue
+		}
+		bend := math.Abs(ax*by-ay*bx) / (la * lb)
+		if bend > best+1e-12 {
+			best, bestIdx = bend, i
+		}
+	}
+	return bestIdx, nil
+}
+
+// Piecewise fits Eq. 1 to the samples: locate the knee, then fit each
+// segment with least squares anchored at the shared knee point. At
+// least 3 samples are required; with exactly 3 the knee is the middle
+// point and each segment is the exact line through two points.
+func Piecewise(samples []Sample) (piecewise.Func, error) {
+	if len(samples) < 3 {
+		return piecewise.Func{}, fmt.Errorf("fit: need ≥3 samples, have %d", len(samples))
+	}
+	s := append([]Sample(nil), samples...)
+	SortSamples(s)
+	knee, err := KneeIndex(s)
+	if err != nil {
+		return piecewise.Func{}, err
+	}
+
+	// With a candidate knee location fixed, the remaining parameters
+	// (l0, k1, k2) are linear: fit the hinge basis
+	// [1, min(Δ−Δ0, 0), max(Δ−Δ0, 0)] by least squares so that noisy
+	// samples average out. The true knee rarely sits exactly on a
+	// profiled grid point, so refine the curvature pick by trying every
+	// sample position and the midpoints between adjacent samples,
+	// keeping the candidate with the smallest residual.
+	candidates := []float64{s[knee].Delta}
+	for i := range s {
+		candidates = append(candidates, s[i].Delta)
+		if i+1 < len(s) {
+			candidates = append(candidates, (s[i].Delta+s[i+1].Delta)/2)
+		}
+	}
+	best := piecewise.Func{}
+	bestSSE := math.Inf(1)
+	for _, d0 := range candidates {
+		f, sse, err := hingeFit(s, d0)
+		if err != nil {
+			continue
+		}
+		if f.Validate() != nil {
+			continue
+		}
+		if sse < bestSSE {
+			best, bestSSE = f, sse
+		}
+	}
+	if math.IsInf(bestSSE, 1) {
+		return piecewise.Func{}, fmt.Errorf("fit: no valid piecewise fit for %d samples", len(s))
+	}
+	return best, nil
+}
+
+// hingeFit solves the 3-parameter least squares with the knee anchored
+// at d0 and returns the fit plus its sum of squared residuals.
+func hingeFit(s []Sample, d0 float64) (piecewise.Func, float64, error) {
+	x := make([][]float64, len(s))
+	y := make([]float64, len(s))
+	nLeft, nRight := 0, 0
+	for i, p := range s {
+		neg, pos := 0.0, 0.0
+		if d := p.Delta - d0; d < 0 {
+			neg = d
+			nLeft++
+		} else {
+			pos = d
+			if d > 0 {
+				nRight++
+			}
+		}
+		x[i] = []float64{1, neg, pos}
+		y[i] = p.Latency
+	}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		return piecewise.Func{}, 0, err
+	}
+	f := piecewise.Func{K1: beta[1], K2: beta[2], Cutoff: d0, L0: beta[0]}
+	// A knee leaving one side without two points cannot pin that
+	// segment's slope; mirror the constrained one.
+	if nLeft < 2 {
+		f.K1 = f.K2
+	}
+	if nRight < 2 {
+		f.K2 = f.K1
+	}
+	var sse float64
+	for _, p := range s {
+		r := f.Eval(p.Delta) - p.Latency
+		sse += r * r
+	}
+	return f, sse, nil
+}
+
+// Polynomial fits a degree-d polynomial y = Σ c_i·x^i by least squares
+// and returns an evaluator. Used by Table 2 as a comparison model.
+func Polynomial(samples []Sample, degree int) (func(float64) float64, error) {
+	if degree < 1 {
+		return nil, fmt.Errorf("fit: polynomial degree %d < 1", degree)
+	}
+	if len(samples) < degree+1 {
+		return nil, fmt.Errorf("fit: %d samples cannot determine degree-%d polynomial", len(samples), degree)
+	}
+	x := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, p := range samples {
+		row := make([]float64, degree+1)
+		v := 1.0
+		for j := 0; j <= degree; j++ {
+			row[j] = v
+			v *= p.Delta
+		}
+		x[i] = row
+		y[i] = p.Latency
+	}
+	coef, err := LeastSquares(x, y)
+	if err != nil {
+		return nil, err
+	}
+	return func(d float64) float64 {
+		sum, v := 0.0, 1.0
+		for j := 0; j <= degree; j++ {
+			sum += coef[j] * v
+			v *= d
+		}
+		return sum
+	}, nil
+}
+
+// EvalError returns the mean absolute percentage error of model over
+// the test samples, expressed in percent (matching Table 2's units).
+func EvalError(model func(float64) float64, test []Sample) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for _, p := range test {
+		if p.Latency == 0 {
+			continue
+		}
+		sum += math.Abs(model(p.Delta)-p.Latency) / p.Latency
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * sum / float64(n)
+}

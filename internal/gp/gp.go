@@ -1,0 +1,261 @@
+// Package gp implements Gaussian-process regression and the
+// LCB-acquisition Bayesian optimizer that Mudi's Tuner uses for
+// adaptive batching (§5.3.1): a GP surrogate over candidate batch
+// sizes, the acquisition A(b) = μ(b) − β_n^{1/2}·σ(b) with
+// β_n = 2·log(|R|/n²), and SLO-constraint filtering.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mudi/internal/fit"
+)
+
+// GP is a Gaussian-process regressor with an RBF kernel over scalar
+// inputs (the Tuner's search dimension is the batch size, mapped to
+// log2 space by the caller).
+type GP struct {
+	LengthScale float64 // RBF length scale; default 1
+	SignalVar   float64 // kernel amplitude; default 1
+	NoiseVar    float64 // observation noise; default 1e-4
+
+	xs    []float64
+	ys    []float64
+	yMean float64
+	chol  [][]float64
+	alpha []float64
+}
+
+// New returns a GP with the given hyperparameters (zeros select
+// defaults).
+func New(lengthScale, signalVar, noiseVar float64) *GP {
+	g := &GP{LengthScale: lengthScale, SignalVar: signalVar, NoiseVar: noiseVar}
+	g.defaults()
+	return g
+}
+
+func (g *GP) defaults() {
+	if g.LengthScale <= 0 {
+		g.LengthScale = 1
+	}
+	if g.SignalVar <= 0 {
+		g.SignalVar = 1
+	}
+	if g.NoiseVar <= 0 {
+		g.NoiseVar = 1e-4
+	}
+}
+
+func (g *GP) kernel(a, b float64) float64 {
+	d := (a - b) / g.LengthScale
+	return g.SignalVar * math.Exp(-0.5*d*d)
+}
+
+// Observe adds one (x, y) observation and refits the posterior.
+func (g *GP) Observe(x, y float64) error {
+	g.xs = append(g.xs, x)
+	g.ys = append(g.ys, y)
+	return g.refit()
+}
+
+// N returns the number of observations.
+func (g *GP) N() int { return len(g.xs) }
+
+func (g *GP) refit() error {
+	g.defaults()
+	n := len(g.xs)
+	g.yMean = 0
+	for _, y := range g.ys {
+		g.yMean += y
+	}
+	g.yMean /= float64(n)
+
+	k := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := g.kernel(g.xs[i], g.xs[j])
+			k[i][j] = v
+			k[j][i] = v
+		}
+		k[i][i] += g.NoiseVar
+	}
+	chol, err := fit.Cholesky(k)
+	if err != nil {
+		return fmt.Errorf("gp: posterior fit: %w", err)
+	}
+	g.chol = chol
+	centered := make([]float64, n)
+	for i, y := range g.ys {
+		centered[i] = y - g.yMean
+	}
+	g.alpha = fit.CholSolve(chol, centered)
+	return nil
+}
+
+// Predict returns the posterior mean and variance at x. With no
+// observations it returns the prior (0 mean is replaced by 0, variance
+// = signal variance).
+func (g *GP) Predict(x float64) (mean, variance float64) {
+	g.defaults()
+	n := len(g.xs)
+	if n == 0 {
+		return 0, g.SignalVar
+	}
+	kstar := make([]float64, n)
+	for i := range g.xs {
+		kstar[i] = g.kernel(x, g.xs[i])
+	}
+	mean = g.yMean
+	for i := range kstar {
+		mean += kstar[i] * g.alpha[i]
+	}
+	// variance = k(x,x) − k*ᵀ K⁻¹ k*; compute v = L⁻¹ k* by forward
+	// substitution.
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := kstar[i]
+		for k := 0; k < i; k++ {
+			sum -= g.chol[i][k] * v[k]
+		}
+		v[i] = sum / g.chol[i][i]
+	}
+	variance = g.kernel(x, x)
+	for _, vi := range v {
+		variance -= vi * vi
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// ---------------------------------------------------------------------------
+// GP-LCB optimizer
+
+// Objective evaluates a candidate and returns the observed objective
+// value (to minimize) plus whether the candidate satisfied all
+// constraints (the Tuner's SLO check). Evaluation is the expensive
+// step — one real (or simulated) measurement per call.
+type Objective func(candidate float64) (value float64, feasible bool)
+
+// LCBResult summarizes one optimization run.
+type LCBResult struct {
+	Best       float64 // best feasible candidate found
+	BestValue  float64 // its observed objective value
+	Iterations int     // objective evaluations performed
+	Converged  bool    // true when the stop rule fired before MaxIters
+	Feasible   bool    // false when no candidate satisfied the constraints
+}
+
+// LCBConfig configures Minimize.
+type LCBConfig struct {
+	MaxIters    int     // hard cap on evaluations; default 25 (§7.5)
+	Tol         float64 // relative improvement threshold for convergence; default 0.01
+	Patience    int     // consecutive non-improving rounds before stopping; default 3
+	LengthScale float64 // GP length scale in candidate space; default 1
+}
+
+func (c *LCBConfig) defaults() {
+	if c.MaxIters <= 0 {
+		c.MaxIters = 25
+	}
+	if c.Tol <= 0 {
+		c.Tol = 0.01
+	}
+	if c.Patience <= 0 {
+		c.Patience = 3
+	}
+	if c.LengthScale <= 0 {
+		c.LengthScale = 1
+	}
+}
+
+// ErrNoCandidates reports an empty search space.
+var ErrNoCandidates = errors.New("gp: empty candidate set")
+
+// Minimize runs constrained GP-LCB over the discrete candidate set.
+// Each iteration evaluates the candidate minimizing the acquisition
+// A(x) = μ(x) − √β_n·σ(x) with β_n = 2·log(|R|/n²) (Eq. 3). Infeasible
+// observations are kept in the surrogate with a penalty so the search
+// moves away from them, mirroring how the Tuner folds the SLO
+// constraint into the GP framework.
+func Minimize(candidates []float64, obj Objective, cfg LCBConfig) (LCBResult, error) {
+	cfg.defaults()
+	if len(candidates) == 0 {
+		return LCBResult{}, ErrNoCandidates
+	}
+	g := New(cfg.LengthScale, 1, 1e-6)
+
+	res := LCBResult{BestValue: math.Inf(1)}
+	evaluated := make(map[float64]bool)
+	var worst float64 // running worst feasible value, for the penalty
+	sizeR := float64(len(candidates))
+	staleRounds := 0
+
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		// Pick the acquisition minimizer among unevaluated candidates;
+		// once all are evaluated, allow re-evaluation (noisy setting).
+		beta := 2 * math.Log(math.Max(sizeR/float64(iter*iter), 1.0001))
+		sqrtBeta := math.Sqrt(beta)
+		bestAcq := math.Inf(1)
+		pick := candidates[0]
+		found := false
+		for _, c := range candidates {
+			if evaluated[c] && len(evaluated) < len(candidates) {
+				continue
+			}
+			mu, v := g.Predict(c)
+			acq := mu - sqrtBeta*math.Sqrt(v)
+			if acq < bestAcq {
+				bestAcq, pick, found = acq, c, true
+			}
+		}
+		if !found {
+			break
+		}
+		value, feasible := obj(pick)
+		evaluated[pick] = true
+		res.Iterations = iter
+
+		improved := false
+		if feasible {
+			if value > worst {
+				worst = value
+			}
+			if value < res.BestValue*(1-cfg.Tol) || !res.Feasible {
+				improved = true
+			}
+			if value < res.BestValue {
+				res.Best, res.BestValue = pick, value
+			}
+			res.Feasible = true
+			if err := g.Observe(pick, value); err != nil {
+				return res, err
+			}
+		} else {
+			// Penalize infeasible points above the worst feasible value
+			// so the LCB surface repels them.
+			penalty := worst
+			if penalty == 0 {
+				penalty = math.Abs(value)
+			}
+			if err := g.Observe(pick, penalty*1.5+1); err != nil {
+				return res, err
+			}
+		}
+
+		if improved {
+			staleRounds = 0
+		} else if res.Feasible {
+			staleRounds++
+			if staleRounds >= cfg.Patience {
+				res.Converged = true
+				break
+			}
+		}
+	}
+	return res, nil
+}

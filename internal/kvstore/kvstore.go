@@ -1,0 +1,176 @@
+// Package kvstore is an embedded, watchable key/value store with
+// monotonically increasing revisions — the stand-in for the ETCD
+// instance the paper uses to fan configuration updates out to the
+// Service/Training Agents (§6). Watches deliver puts and deletes in
+// revision order on buffered channels.
+package kvstore
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// EventType distinguishes watch events.
+type EventType int
+
+// Watch event types.
+const (
+	EventPut EventType = iota
+	EventDelete
+)
+
+// Event is one observed mutation.
+type Event struct {
+	Type     EventType
+	Key      string
+	Value    string
+	Revision int64
+}
+
+// Store is the in-memory store. The zero value is not usable; call New.
+type Store struct {
+	mu       sync.Mutex
+	data     map[string]entry
+	revision int64
+	watchers map[int]*watcher
+	nextID   int
+	closed   bool
+}
+
+type entry struct {
+	value    string
+	revision int64
+}
+
+type watcher struct {
+	prefix string
+	ch     chan Event
+}
+
+// ErrClosed reports use after Close.
+var ErrClosed = errors.New("kvstore: store closed")
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		data:     make(map[string]entry),
+		watchers: make(map[int]*watcher),
+	}
+}
+
+// Put stores value under key and notifies watchers. It returns the new
+// revision.
+func (s *Store) Put(key, value string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if key == "" {
+		return 0, errors.New("kvstore: empty key")
+	}
+	s.revision++
+	s.data[key] = entry{value: value, revision: s.revision}
+	s.notify(Event{Type: EventPut, Key: key, Value: value, Revision: s.revision})
+	return s.revision, nil
+}
+
+// Get returns the value and its revision; ok is false for a missing
+// key.
+func (s *Store) Get(key string) (value string, revision int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.data[key]
+	return e.value, e.revision, ok
+}
+
+// Delete removes key, notifying watchers. Deleting a missing key is a
+// no-op returning the current revision.
+func (s *Store) Delete(key string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if _, ok := s.data[key]; !ok {
+		return s.revision, nil
+	}
+	s.revision++
+	delete(s.data, key)
+	s.notify(Event{Type: EventDelete, Key: key, Revision: s.revision})
+	return s.revision, nil
+}
+
+// List returns all keys with the given prefix, sorted.
+func (s *Store) List(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Revision returns the store's current revision.
+func (s *Store) Revision() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.revision
+}
+
+// Watch subscribes to mutations on keys with the given prefix. The
+// returned channel is buffered; if a watcher falls more than buffer
+// behind, further events for it are dropped (slow-consumer policy —
+// agents re-read current state on reconnect). cancel stops delivery and
+// closes the channel.
+func (s *Store) Watch(prefix string, buffer int) (events <-chan Event, cancel func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	w := &watcher{prefix: prefix, ch: make(chan Event, buffer)}
+	s.watchers[id] = w
+	return w.ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if ww, ok := s.watchers[id]; ok {
+			delete(s.watchers, id)
+			close(ww.ch)
+		}
+	}
+}
+
+// notify must be called with the lock held.
+func (s *Store) notify(e Event) {
+	for _, w := range s.watchers {
+		if strings.HasPrefix(e.Key, w.prefix) {
+			select {
+			case w.ch <- e:
+			default: // drop for slow consumers
+			}
+		}
+	}
+}
+
+// Close shuts the store; all watch channels are closed.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for id, w := range s.watchers {
+		delete(s.watchers, id)
+		close(w.ch)
+	}
+}

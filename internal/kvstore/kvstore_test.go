@@ -1,0 +1,184 @@
+package kvstore
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	rev, err := s.Put("a/b", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev != 1 {
+		t.Fatalf("revision %d, want 1", rev)
+	}
+	v, r, ok := s.Get("a/b")
+	if !ok || v != "1" || r != 1 {
+		t.Fatalf("Get = %q %d %v", v, r, ok)
+	}
+	if _, _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestRevisionsMonotonic(t *testing.T) {
+	s := New()
+	var last int64
+	for i := 0; i < 10; i++ {
+		rev, _ := s.Put("k", "v")
+		if rev <= last {
+			t.Fatalf("revision %d not increasing", rev)
+		}
+		last = rev
+	}
+	if s.Revision() != last {
+		t.Fatal("Revision() mismatch")
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	s := New()
+	if _, err := s.Put("", "v"); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	s.Put("k", "v")
+	rev, err := s.Delete("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev != 2 {
+		t.Fatalf("delete revision %d", rev)
+	}
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key still present")
+	}
+	// Deleting again is a no-op at the same revision.
+	rev2, err := s.Delete("k")
+	if err != nil || rev2 != 2 {
+		t.Fatalf("noop delete = %d, %v", rev2, err)
+	}
+}
+
+func TestList(t *testing.T) {
+	s := New()
+	s.Put("cfg/svc1/batch", "64")
+	s.Put("cfg/svc1/gpu", "0.5")
+	s.Put("cfg/svc2/batch", "32")
+	s.Put("other", "x")
+	keys := s.List("cfg/svc1/")
+	if len(keys) != 2 || keys[0] != "cfg/svc1/batch" || keys[1] != "cfg/svc1/gpu" {
+		t.Fatalf("List = %v", keys)
+	}
+	if got := s.List("zzz"); len(got) != 0 {
+		t.Fatalf("List(zzz) = %v", got)
+	}
+}
+
+func TestWatchDeliversInOrder(t *testing.T) {
+	s := New()
+	events, cancel := s.Watch("cfg/", 16)
+	defer cancel()
+	s.Put("cfg/a", "1")
+	s.Put("other", "x") // filtered out
+	s.Put("cfg/b", "2")
+	s.Delete("cfg/a")
+
+	var got []Event
+	for i := 0; i < 3; i++ {
+		select {
+		case e := <-events:
+			got = append(got, e)
+		case <-time.After(time.Second):
+			t.Fatal("timed out waiting for events")
+		}
+	}
+	if got[0].Key != "cfg/a" || got[0].Type != EventPut {
+		t.Fatalf("event 0 = %+v", got[0])
+	}
+	if got[1].Key != "cfg/b" || got[1].Value != "2" {
+		t.Fatalf("event 1 = %+v", got[1])
+	}
+	if got[2].Type != EventDelete || got[2].Key != "cfg/a" {
+		t.Fatalf("event 2 = %+v", got[2])
+	}
+	if !(got[0].Revision < got[1].Revision && got[1].Revision < got[2].Revision) {
+		t.Fatal("revisions not ordered")
+	}
+}
+
+func TestWatchCancel(t *testing.T) {
+	s := New()
+	events, cancel := s.Watch("", 4)
+	cancel()
+	if _, ok := <-events; ok {
+		t.Fatal("channel not closed after cancel")
+	}
+	cancel() // double cancel is safe
+	s.Put("k", "v")
+}
+
+func TestSlowWatcherDrops(t *testing.T) {
+	s := New()
+	events, cancel := s.Watch("", 2)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		s.Put("k", "v")
+	}
+	// Only the buffer size worth of events is retained.
+	n := 0
+	for {
+		select {
+		case <-events:
+			n++
+		default:
+			if n != 2 {
+				t.Fatalf("delivered %d events, want 2 (buffer)", n)
+			}
+			return
+		}
+	}
+}
+
+func TestClose(t *testing.T) {
+	s := New()
+	events, _ := s.Watch("", 4)
+	s.Close()
+	if _, ok := <-events; ok {
+		t.Fatal("watch channel not closed on Close")
+	}
+	if _, err := s.Put("k", "v"); err != ErrClosed {
+		t.Fatalf("Put after close: %v", err)
+	}
+	if _, err := s.Delete("k"); err != ErrClosed {
+		t.Fatalf("Delete after close: %v", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := string(rune('a' + g))
+				s.Put(key, "v")
+				s.Get(key)
+				s.List("")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Revision() != 800 {
+		t.Fatalf("revision %d, want 800", s.Revision())
+	}
+}

@@ -1,0 +1,81 @@
+package learn
+
+import "mudi/internal/xrand"
+
+// GBRT is gradient-boosted regression trees: shallow trees fit
+// sequentially to the residuals, shrunk by a learning rate. It joins
+// the Interference Modeler's candidate zoo ("lightweight models such
+// as random forest (RF), support vector regression (SVR), etc.").
+type GBRT struct {
+	Trees    int     // boosting rounds; default 60
+	Depth    int     // per-tree depth; default 3
+	LearnRte float64 // shrinkage; default 0.1
+	Seed     uint64
+
+	base  float64
+	trees []*treeNode
+}
+
+// NewGBRT returns a gradient-boosted trees regressor.
+func NewGBRT(trees int, seed uint64) *GBRT {
+	return &GBRT{Trees: trees, Seed: seed}
+}
+
+// Name implements Regressor.
+func (g *GBRT) Name() string { return "GBRT" }
+
+// Fit implements Regressor.
+func (g *GBRT) Fit(x [][]float64, y []float64) error {
+	w, err := checkShape(x, y)
+	if err != nil {
+		return err
+	}
+	if g.Trees <= 0 {
+		g.Trees = 60
+	}
+	if g.Depth <= 0 {
+		g.Depth = 3
+	}
+	if g.LearnRte <= 0 {
+		g.LearnRte = 0.1
+	}
+	n := len(x)
+	g.base = 0
+	for _, v := range y {
+		g.base += v
+	}
+	g.base /= float64(n)
+
+	residual := make([]float64, n)
+	for i, v := range y {
+		residual[i] = v - g.base
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := xrand.New(g.Seed + 0x6b)
+	g.trees = g.trees[:0]
+	for round := 0; round < g.Trees; round++ {
+		// Boosted trees use all features per split (mtry = w): the
+		// sequential residual fitting provides the diversity.
+		tree := buildTree(x, residual, idx, g.Depth, 2, w, rng.Fork(uint64(round)))
+		g.trees = append(g.trees, tree)
+		for i := range residual {
+			residual[i] -= g.LearnRte * tree.eval(x[i])
+		}
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (g *GBRT) Predict(x []float64) float64 {
+	if g.trees == nil {
+		return 0
+	}
+	sum := g.base
+	for _, t := range g.trees {
+		sum += g.LearnRte * t.eval(x)
+	}
+	return sum
+}

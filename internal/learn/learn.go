@@ -1,0 +1,461 @@
+// Package learn implements the lightweight regressors used by Mudi's
+// Interference Modeler (§4.1.2): random forest, k-nearest-neighbour,
+// kernel ridge regression (the SVR stand-in), and linear regression,
+// plus per-target model selection by cross-validation and incremental
+// refitting for new workloads (Fig. 11/12).
+package learn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mudi/internal/fit"
+	"mudi/internal/xrand"
+)
+
+// Regressor is a single-output regression model.
+type Regressor interface {
+	// Fit trains on the dataset. Rows of x must share one width.
+	Fit(x [][]float64, y []float64) error
+	// Predict evaluates the model at one input vector.
+	Predict(x []float64) float64
+	// Name identifies the model family (for Fig. 11's per-bar labels).
+	Name() string
+}
+
+// ErrNoData reports fitting with an empty dataset.
+var ErrNoData = errors.New("learn: empty dataset")
+
+func checkShape(x [][]float64, y []float64) (int, error) {
+	if len(x) == 0 || len(y) != len(x) {
+		return 0, fmt.Errorf("%w: %d inputs, %d targets", ErrNoData, len(x), len(y))
+	}
+	w := len(x[0])
+	for i, row := range x {
+		if len(row) != w {
+			return 0, fmt.Errorf("learn: ragged input at row %d", i)
+		}
+	}
+	return w, nil
+}
+
+// scaler standardizes features to zero mean and unit variance — without
+// it, distance-based models (kNN, kernel ridge) are dominated by the
+// large-magnitude layer-count features and mean-revert on unseen
+// architectures.
+type scaler struct {
+	mean, std []float64
+}
+
+func fitScaler(x [][]float64) *scaler {
+	w := len(x[0])
+	s := &scaler{mean: make([]float64, w), std: make([]float64, w)}
+	n := float64(len(x))
+	for _, row := range x {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] < 1e-9 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+func (s *scaler) apply(row []float64) []float64 {
+	out := make([]float64, len(s.mean))
+	for j := range out {
+		v := 0.0
+		if j < len(row) {
+			v = row[j]
+		}
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Linear regression
+
+// Linear is ordinary least squares with an intercept.
+type Linear struct {
+	beta []float64 // [intercept, coefficients...]
+}
+
+// NewLinear returns an untrained linear regressor.
+func NewLinear() *Linear { return &Linear{} }
+
+// Name implements Regressor.
+func (l *Linear) Name() string { return "LR" }
+
+// Fit implements Regressor.
+func (l *Linear) Fit(x [][]float64, y []float64) error {
+	w, err := checkShape(x, y)
+	if err != nil {
+		return err
+	}
+	design := make([][]float64, len(x))
+	for i, row := range x {
+		d := make([]float64, w+1)
+		d[0] = 1
+		copy(d[1:], row)
+		design[i] = d
+	}
+	beta, err := fit.LeastSquares(design, y)
+	if err != nil {
+		return err
+	}
+	l.beta = beta
+	return nil
+}
+
+// Predict implements Regressor.
+func (l *Linear) Predict(x []float64) float64 {
+	if l.beta == nil {
+		return 0
+	}
+	sum := l.beta[0]
+	for i, v := range x {
+		if i+1 < len(l.beta) {
+			sum += l.beta[i+1] * v
+		}
+	}
+	return sum
+}
+
+// ---------------------------------------------------------------------------
+// k-nearest neighbours
+
+// KNN predicts the inverse-distance-weighted mean of the k nearest
+// training targets.
+type KNN struct {
+	K     int
+	xs    [][]float64
+	ys    []float64
+	scale *scaler
+}
+
+// NewKNN returns a k-nearest-neighbour regressor (k defaults to 3 at
+// fit time if non-positive).
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Name implements Regressor.
+func (k *KNN) Name() string { return "kNN" }
+
+// Fit implements Regressor.
+func (k *KNN) Fit(x [][]float64, y []float64) error {
+	if _, err := checkShape(x, y); err != nil {
+		return err
+	}
+	if k.K <= 0 {
+		k.K = 3
+	}
+	k.scale = fitScaler(x)
+	k.xs = make([][]float64, len(x))
+	for i := range x {
+		k.xs[i] = k.scale.apply(x[i])
+	}
+	k.ys = append([]float64(nil), y...)
+	return nil
+}
+
+// Predict implements Regressor.
+func (k *KNN) Predict(x []float64) float64 {
+	if len(k.xs) == 0 {
+		return 0
+	}
+	x = k.scale.apply(x)
+	type nd struct {
+		d float64
+		y float64
+	}
+	ds := make([]nd, len(k.xs))
+	for i, row := range k.xs {
+		var sum float64
+		for j := range row {
+			if j < len(x) {
+				d := row[j] - x[j]
+				sum += d * d
+			}
+		}
+		ds[i] = nd{d: math.Sqrt(sum), y: k.ys[i]}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	n := k.K
+	if n > len(ds) {
+		n = len(ds)
+	}
+	var wsum, ysum float64
+	for i := 0; i < n; i++ {
+		w := 1 / (ds[i].d + 1e-9)
+		wsum += w
+		ysum += w * ds[i].y
+	}
+	return ysum / wsum
+}
+
+// ---------------------------------------------------------------------------
+// Kernel ridge regression (SVR stand-in)
+
+// KernelRidge performs ridge regression in an RBF feature space — the
+// closed-form cousin of support vector regression, matching the paper's
+// "SVR" model family.
+type KernelRidge struct {
+	Gamma  float64 // RBF width; default 1/width at fit time
+	Lambda float64 // ridge strength; default 1e-3
+	xs     [][]float64
+	alpha  []float64
+	yMean  float64
+	scale  *scaler
+}
+
+// NewKernelRidge returns an RBF kernel ridge regressor.
+func NewKernelRidge(gamma, lambda float64) *KernelRidge {
+	return &KernelRidge{Gamma: gamma, Lambda: lambda}
+}
+
+// Name implements Regressor.
+func (k *KernelRidge) Name() string { return "SVR" }
+
+func (k *KernelRidge) kernel(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Exp(-k.Gamma * sum)
+}
+
+// Fit implements Regressor.
+func (k *KernelRidge) Fit(x [][]float64, y []float64) error {
+	w, err := checkShape(x, y)
+	if err != nil {
+		return err
+	}
+	if k.Gamma <= 0 {
+		k.Gamma = 1 / float64(w)
+	}
+	if k.Lambda <= 0 {
+		k.Lambda = 1e-3
+	}
+	n := len(x)
+	k.scale = fitScaler(x)
+	k.xs = make([][]float64, n)
+	for i := range x {
+		k.xs[i] = k.scale.apply(x[i])
+	}
+	k.yMean = 0
+	for _, v := range y {
+		k.yMean += v
+	}
+	k.yMean /= float64(n)
+
+	gram := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		gram[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := k.kernel(k.xs[i], k.xs[j])
+			gram[i][j] = v
+			gram[j][i] = v
+		}
+		gram[i][i] += k.Lambda
+	}
+	centered := make([]float64, n)
+	for i, v := range y {
+		centered[i] = v - k.yMean
+	}
+	l, err := fit.Cholesky(gram)
+	if err != nil {
+		return err
+	}
+	k.alpha = fit.CholSolve(l, centered)
+	return nil
+}
+
+// Predict implements Regressor.
+func (k *KernelRidge) Predict(x []float64) float64 {
+	if k.alpha == nil {
+		return 0
+	}
+	x = k.scale.apply(x)
+	sum := k.yMean
+	for i, row := range k.xs {
+		sum += k.alpha[i] * k.kernel(row, x)
+	}
+	return sum
+}
+
+// ---------------------------------------------------------------------------
+// Random forest
+
+// Forest is a random forest of regression trees with bootstrap sampling
+// and random feature subsets at each split.
+type Forest struct {
+	Trees    int // default 30
+	MaxDepth int // default 6
+	MinLeaf  int // default 2
+	Seed     uint64
+	trees    []*treeNode
+}
+
+// NewForest returns a random forest regressor with the given ensemble
+// size (default 30 if non-positive).
+func NewForest(trees int, seed uint64) *Forest {
+	return &Forest{Trees: trees, Seed: seed}
+}
+
+// Name implements Regressor.
+func (f *Forest) Name() string { return "RF" }
+
+type treeNode struct {
+	feature  int
+	thresh   float64
+	value    float64
+	lo, hi   *treeNode
+	terminal bool
+}
+
+// Fit implements Regressor.
+func (f *Forest) Fit(x [][]float64, y []float64) error {
+	w, err := checkShape(x, y)
+	if err != nil {
+		return err
+	}
+	if f.Trees <= 0 {
+		f.Trees = 30
+	}
+	if f.MaxDepth <= 0 {
+		f.MaxDepth = 6
+	}
+	if f.MinLeaf <= 0 {
+		f.MinLeaf = 2
+	}
+	rng := xrand.New(f.Seed + 0xf0)
+	n := len(x)
+	f.trees = make([]*treeNode, f.Trees)
+	// Feature subset size: sqrt heuristic, at least 1.
+	mtry := int(math.Sqrt(float64(w)))
+	if mtry < 1 {
+		mtry = 1
+	}
+	for t := 0; t < f.Trees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		f.trees[t] = buildTree(x, y, idx, f.MaxDepth, f.MinLeaf, mtry, rng.Fork(uint64(t)))
+	}
+	return nil
+}
+
+func buildTree(x [][]float64, y []float64, idx []int, depth, minLeaf, mtry int, rng *xrand.Rand) *treeNode {
+	mean := 0.0
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	if depth == 0 || len(idx) <= minLeaf {
+		return &treeNode{terminal: true, value: mean}
+	}
+	// Variance before split.
+	var sse float64
+	for _, i := range idx {
+		d := y[i] - mean
+		sse += d * d
+	}
+	if sse < 1e-12 {
+		return &treeNode{terminal: true, value: mean}
+	}
+	w := len(x[0])
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	features := rng.Perm(w)[:mtry]
+	order := make([]int, len(idx))
+	for _, feat := range features {
+		// Sort the node's samples by the feature once, then scan every
+		// split boundary with running sums: the best split minimizes
+		//   SSE_left + SSE_right
+		// where SSE = Σy² − (Σy)²/n per side — O(n log n) per feature
+		// instead of the naive O(n²).
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][feat] < x[order[b]][feat] })
+		var totalSum, totalSq float64
+		for _, i := range order {
+			totalSum += y[i]
+			totalSq += y[i] * y[i]
+		}
+		n := float64(len(order))
+		var leftSum, leftSq float64
+		for j := 0; j < len(order)-1; j++ {
+			yi := y[order[j]]
+			leftSum += yi
+			leftSq += yi * yi
+			vj, vj1 := x[order[j]][feat], x[order[j+1]][feat]
+			if vj == vj1 {
+				continue
+			}
+			nl := float64(j + 1)
+			nr := n - nl
+			sseL := leftSq - leftSum*leftSum/nl
+			rightSum := totalSum - leftSum
+			sseR := (totalSq - leftSq) - rightSum*rightSum/nr
+			if gain := sse - (sseL + sseR); gain > bestGain {
+				bestGain, bestFeat, bestThresh = gain, feat, (vj+vj1)/2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{terminal: true, value: mean}
+	}
+	var loIdx, hiIdx []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThresh {
+			loIdx = append(loIdx, i)
+		} else {
+			hiIdx = append(hiIdx, i)
+		}
+	}
+	return &treeNode{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		lo:      buildTree(x, y, loIdx, depth-1, minLeaf, mtry, rng),
+		hi:      buildTree(x, y, hiIdx, depth-1, minLeaf, mtry, rng),
+	}
+}
+
+func (n *treeNode) eval(x []float64) float64 {
+	for !n.terminal {
+		if x[n.feature] <= n.thresh {
+			n = n.lo
+		} else {
+			n = n.hi
+		}
+	}
+	return n.value
+}
+
+// Predict implements Regressor.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range f.trees {
+		sum += t.eval(x)
+	}
+	return sum / float64(len(f.trees))
+}

@@ -1,0 +1,163 @@
+package memmgr
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mudi/internal/xrand"
+)
+
+// TestPoolConservationProperty drives a random operation sequence and
+// checks the core invariants after every step:
+//   - device + host residency equals each allocation's total size;
+//   - device residency never exceeds capacity;
+//   - inference allocations are never swapped out.
+func TestPoolConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		capacity := rng.Range(1000, 8000)
+		p := NewPool(capacity)
+		type rec struct {
+			prio Priority
+			size float64
+		}
+		allocs := map[string]rec{}
+		now := 0.0
+		nextID := 0
+
+		check := func() bool {
+			var devSum float64
+			for id, r := range allocs {
+				out, err := p.SwappedOutMB(id)
+				if err != nil {
+					return false
+				}
+				if out < -1e-9 || out > r.size+1e-9 {
+					return false
+				}
+				if r.prio == PriorityInference && out > 1e-9 {
+					return false // pinned memory must stay resident
+				}
+				devSum += r.size - out
+			}
+			if devSum > capacity+1e-6 {
+				return false
+			}
+			if diff := p.DeviceUsedMB() - devSum; diff > 1e-6 || diff < -1e-6 {
+				return false
+			}
+			return true
+		}
+
+		for step := 0; step < 60; step++ {
+			now += rng.Range(0.1, 5)
+			switch rng.Intn(4) {
+			case 0: // alloc
+				id := fmt.Sprintf("a%d", nextID)
+				nextID++
+				prio := PriorityTraining
+				size := rng.Range(0, capacity*0.8)
+				if rng.Float64() < 0.3 {
+					prio = PriorityInference
+					// Keep pinned demand under capacity so Alloc succeeds.
+					var pinned float64
+					for _, r := range allocs {
+						if r.prio == PriorityInference {
+							pinned += r.size
+						}
+					}
+					if room := capacity - pinned; room > 1 {
+						size = rng.Range(0, room*0.9)
+					} else {
+						continue
+					}
+				}
+				if err := p.Alloc(now, id, prio, size); err != nil {
+					return false
+				}
+				allocs[id] = rec{prio: prio, size: size}
+			case 1: // free
+				for id := range allocs {
+					if err := p.Free(now, id); err != nil {
+						return false
+					}
+					delete(allocs, id)
+					break
+				}
+			case 2: // resize a training allocation
+				for id, r := range allocs {
+					if r.prio != PriorityTraining {
+						continue
+					}
+					size := rng.Range(0, capacity*0.9)
+					if err := p.Resize(now, id, size); err != nil {
+						return false
+					}
+					allocs[id] = rec{prio: r.prio, size: size}
+					break
+				}
+			case 3: // touch
+				for id, r := range allocs {
+					if r.prio != PriorityTraining {
+						continue
+					}
+					if _, err := p.Touch(now, id); err != nil {
+						return false
+					}
+					_ = r
+					break
+				}
+			}
+			if !check() {
+				return false
+			}
+		}
+		// Swap fraction is a valid fraction.
+		frac := p.SwapFraction(now)
+		return frac >= 0 && frac <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwapEventsConsistentProperty checks that every recorded event has
+// positive volume and a transfer time matching the PCIe cost model,
+// and that no single burst exceeds the migration chunk.
+func TestSwapEventsConsistentProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		p := NewPool(rng.Range(500, 3000))
+		now := 0.0
+		for i := 0; i < 20; i++ {
+			now += 1
+			id := fmt.Sprintf("t%d", i)
+			prio := PriorityTraining
+			if i%4 == 0 {
+				prio = PriorityInference
+			}
+			size := rng.Range(0, 1500)
+			if prio == PriorityInference && size > p.CapacityMB()/2 {
+				size = p.CapacityMB() / 4
+			}
+			if err := p.Alloc(now, id, prio, size); err != nil {
+				// Pinned over capacity is a legal rejection; skip.
+				continue
+			}
+		}
+		for _, e := range p.Events() {
+			if e.MB <= 0 || e.MB > MigrationChunkMB+1e-9 {
+				return false
+			}
+			want := TransferTimeMs(e.MB)
+			if diff := e.TransferMs - want; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InferenceService describes one Tab. 1 online service.
+type InferenceService struct {
+	Name    string
+	Domain  string // paper's "Field"
+	Dataset string
+	ParamsM float64 // parameters in millions
+	SLOms   float64 // latency SLO in milliseconds
+	Arch    Arch    // network architecture (for reports; the oracle keys on Name)
+
+	// Memory model: resident MB = WeightMB + ActivationMBPerItem·batch.
+	WeightMB            float64
+	ActivationMBPerItem float64
+
+	// BaseQPS is the nominal request arrival rate (req/s) used by the
+	// trace generators; the paper drives each service with Poisson
+	// arrivals at a 5 ms mean inter-arrival (≈200 req/s).
+	BaseQPS float64
+}
+
+// MemoryMB returns the service's GPU-resident footprint for a batch.
+func (s InferenceService) MemoryMB(batch int) float64 {
+	if batch < 0 {
+		batch = 0
+	}
+	return s.WeightMB + s.ActivationMBPerItem*float64(batch)
+}
+
+// SizeClass buckets training tasks by their solo running time (§7.1).
+type SizeClass int
+
+// Size classes from the paper: Small (<1 GPU-hour), Medium (1–10),
+// Large (10–100), XLarge (>100).
+const (
+	SizeS SizeClass = iota
+	SizeM
+	SizeL
+	SizeXL
+)
+
+// String returns the catalog's letter code for the class.
+func (c SizeClass) String() string {
+	switch c {
+	case SizeS:
+		return "S"
+	case SizeM:
+		return "M"
+	case SizeL:
+		return "L"
+	case SizeXL:
+		return "XL"
+	default:
+		return fmt.Sprintf("SizeClass(%d)", int(c))
+	}
+}
+
+// TrainingTask describes one Tab. 3 training workload.
+type TrainingTask struct {
+	Name      string
+	Domain    string
+	Dataset   string
+	Optimizer string
+	BatchSize int
+	Size      SizeClass
+	Frac      float64 // share in the arrival trace (Tab. 3 "Frac.")
+	Arch      Arch
+
+	// BaseIterMs is the solo mini-batch time at 100% of an A100.
+	BaseIterMs float64
+	// TotalIters is the task length in mini-batches (sets CT together
+	// with the achieved iteration time).
+	TotalIters int
+
+	// Memory model, mirroring the inference one; training additionally
+	// holds optimizer state proportional to the weights.
+	WeightMB            float64
+	OptimizerStateX     float64 // multiplier on WeightMB for grads+moments
+	ActivationMBPerItem float64
+}
+
+// MemoryMB returns the task's full GPU-resident footprint.
+func (t TrainingTask) MemoryMB() float64 {
+	return t.WeightMB*(1+t.OptimizerStateX) + t.ActivationMBPerItem*float64(t.BatchSize)
+}
+
+// SoloGPUHours returns the task's standalone duration in GPU-hours.
+func (t TrainingTask) SoloGPUHours() float64 {
+	return t.BaseIterMs * float64(t.TotalIters) / 1000 / 3600
+}
+
+// Services returns the Tab. 1 inference catalog. The returned slice is
+// fresh on each call; callers may modify it.
+func Services() []InferenceService {
+	return []InferenceService{
+		{
+			Name: "ResNet50", Domain: "Image Classification", Dataset: "ImageNet",
+			ParamsM: 25.6, SLOms: 150, BaseQPS: 200,
+			WeightMB: 102, ActivationMBPerItem: 35,
+			Arch: archOf(map[LayerKind]int{LayerConv: 53, LayerBatchNorm: 53, LayerActivation: 49, LayerPooling: 2, LayerFC: 1, LayerFlatten: 1}),
+		},
+		{
+			Name: "Inception", Domain: "Image Classification", Dataset: "ImageNet",
+			ParamsM: 23.8, SLOms: 120, BaseQPS: 200,
+			WeightMB: 95, ActivationMBPerItem: 32,
+			Arch: archOf(map[LayerKind]int{LayerConv: 94, LayerBatchNorm: 94, LayerActivation: 94, LayerPooling: 14, LayerFC: 1, LayerOther: 11}),
+		},
+		{
+			Name: "GPT2", Domain: "Text Generation", Dataset: "SQuAD",
+			ParamsM: 335, SLOms: 100, BaseQPS: 200,
+			WeightMB: 1340, ActivationMBPerItem: 45,
+			Arch: archOf(map[LayerKind]int{LayerEmbedding: 2, LayerDecoder: 24, LayerLinear: 97, LayerActivation: 24, LayerBatchNorm: 49, LayerFC: 1}),
+		},
+		{
+			Name: "BERT", Domain: "Question Answering", Dataset: "SQuAD",
+			ParamsM: 110, SLOms: 330, BaseQPS: 200,
+			WeightMB: 440, ActivationMBPerItem: 40,
+			Arch: archOf(map[LayerKind]int{LayerEmbedding: 3, LayerEncoder: 12, LayerLinear: 74, LayerActivation: 12, LayerBatchNorm: 25, LayerFC: 1}),
+		},
+		{
+			Name: "RoBERTa", Domain: "Language Modeling", Dataset: "SQuAD",
+			ParamsM: 125, SLOms: 110, BaseQPS: 200,
+			WeightMB: 500, ActivationMBPerItem: 40,
+			Arch: archOf(map[LayerKind]int{LayerEmbedding: 3, LayerEncoder: 12, LayerLinear: 74, LayerActivation: 12, LayerBatchNorm: 25, LayerFC: 1}),
+		},
+		{
+			Name: "YOLOS", Domain: "Object Detection", Dataset: "COCO",
+			ParamsM: 30.7, SLOms: 2200, BaseQPS: 200,
+			WeightMB: 123, ActivationMBPerItem: 50,
+			Arch: archOf(map[LayerKind]int{LayerEmbedding: 1, LayerEncoder: 12, LayerLinear: 74, LayerActivation: 12, LayerBatchNorm: 25, LayerConv: 1, LayerFC: 2}),
+		},
+	}
+}
+
+// Tasks returns the Tab. 3 training catalog. The first five entries are
+// the "observed" tasks used for offline profiling; the last four are
+// the unseen tasks that exercise the Interference Predictor (§7.3).
+func Tasks() []TrainingTask {
+	return []TrainingTask{
+		{
+			Name: "VGG16", Domain: "Image Classification", Dataset: "CIFAR10",
+			Optimizer: "Adam", BatchSize: 512, Size: SizeS, Frac: 0.14,
+			BaseIterMs: 180, TotalIters: 14000,
+			WeightMB: 528, OptimizerStateX: 3, ActivationMBPerItem: 40,
+			Arch: archOf(map[LayerKind]int{LayerConv: 13, LayerFC: 3, LayerPooling: 5, LayerActivation: 15, LayerFlatten: 1}),
+		},
+		{
+			Name: "SqueezeNet", Domain: "Image Classification", Dataset: "CIFAR10",
+			Optimizer: "Adam", BatchSize: 512, Size: SizeS, Frac: 0.14,
+			BaseIterMs: 90, TotalIters: 22000,
+			WeightMB: 5, OptimizerStateX: 3, ActivationMBPerItem: 14,
+			Arch: archOf(map[LayerKind]int{LayerConv: 26, LayerPooling: 3, LayerActivation: 26, LayerOther: 8, LayerFlatten: 1}),
+		},
+		{
+			Name: "ResNet50-train", Domain: "Image Classification", Dataset: "CIFAR100",
+			Optimizer: "Adam", BatchSize: 1024, Size: SizeS, Frac: 0.14,
+			BaseIterMs: 320, TotalIters: 9000,
+			WeightMB: 102, OptimizerStateX: 3, ActivationMBPerItem: 25,
+			Arch: archOf(map[LayerKind]int{LayerConv: 53, LayerBatchNorm: 53, LayerActivation: 49, LayerPooling: 2, LayerFC: 1, LayerFlatten: 1}),
+		},
+		{
+			Name: "NCF", Domain: "Recommendation System", Dataset: "MovieLens",
+			Optimizer: "SGD", BatchSize: 1024, Size: SizeM, Frac: 0.12,
+			BaseIterMs: 60, TotalIters: 180000,
+			WeightMB: 120, OptimizerStateX: 1, ActivationMBPerItem: 2,
+			Arch: archOf(map[LayerKind]int{LayerEmbedding: 4, LayerLinear: 4, LayerActivation: 4, LayerFlatten: 1}),
+		},
+		{
+			Name: "LSTM", Domain: "Language Modeling", Dataset: "Wikitext-2",
+			Optimizer: "Adadelta", BatchSize: 256, Size: SizeM, Frac: 0.12,
+			BaseIterMs: 110, TotalIters: 120000,
+			WeightMB: 85, OptimizerStateX: 2, ActivationMBPerItem: 12,
+			Arch: archOf(map[LayerKind]int{LayerEmbedding: 1, LayerOther: 2, LayerLinear: 1, LayerActivation: 1}),
+		},
+		{
+			Name: "AD-GCL", Domain: "Social Network", Dataset: "Reddit",
+			Optimizer: "Adam", BatchSize: 64, Size: SizeM, Frac: 0.12,
+			BaseIterMs: 140, TotalIters: 110000,
+			WeightMB: 45, OptimizerStateX: 3, ActivationMBPerItem: 40,
+			Arch: archOf(map[LayerKind]int{LayerOther: 5, LayerLinear: 4, LayerActivation: 6, LayerPooling: 1, LayerBatchNorm: 4}),
+		},
+		{
+			Name: "BERT-train", Domain: "Question Answering", Dataset: "SQuAD",
+			Optimizer: "AdamW", BatchSize: 32, Size: SizeL, Frac: 0.12,
+			BaseIterMs: 380, TotalIters: 190000,
+			WeightMB: 440, OptimizerStateX: 3, ActivationMBPerItem: 560,
+			Arch: archOf(map[LayerKind]int{LayerEmbedding: 3, LayerEncoder: 12, LayerLinear: 74, LayerActivation: 12, LayerBatchNorm: 25, LayerFC: 1}),
+		},
+		{
+			Name: "YOLOv5", Domain: "Object Detection", Dataset: "COCO",
+			Optimizer: "SGD", BatchSize: 64, Size: SizeL, Frac: 0.10,
+			BaseIterMs: 350, TotalIters: 300000,
+			WeightMB: 90, OptimizerStateX: 1, ActivationMBPerItem: 400,
+			Arch: archOf(map[LayerKind]int{LayerConv: 60, LayerBatchNorm: 60, LayerActivation: 60, LayerOther: 10, LayerPooling: 1}),
+		},
+		{
+			Name: "ResNet18", Domain: "Image Classification", Dataset: "ImageNet",
+			Optimizer: "SGD", BatchSize: 128, Size: SizeXL, Frac: 0.02,
+			BaseIterMs: 210, TotalIters: 2100000,
+			WeightMB: 45, OptimizerStateX: 1, ActivationMBPerItem: 240,
+			Arch: archOf(map[LayerKind]int{LayerConv: 20, LayerBatchNorm: 20, LayerActivation: 17, LayerPooling: 2, LayerFC: 1, LayerFlatten: 1}),
+		},
+	}
+}
+
+// ObservedTasks returns the first five Tab. 3 entries — the ones the
+// Offline Profiler is allowed to profile (§7.1: "the profiling is
+// constrained to include only the first five types").
+func ObservedTasks() []TrainingTask { return Tasks()[:5] }
+
+// UnseenTasks returns the last four Tab. 3 entries, which arrive online
+// without profiles and exercise the Interference Predictor.
+func UnseenTasks() []TrainingTask { return Tasks()[5:] }
+
+// ServiceByName looks a service up by name.
+func ServiceByName(name string) (InferenceService, bool) {
+	for _, s := range Services() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return InferenceService{}, false
+}
+
+// TaskByName looks a training task up by name.
+func TaskByName(name string) (TrainingTask, bool) {
+	for _, t := range Tasks() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return TrainingTask{}, false
+}
+
+// BatchSizes is the Tuner's batching search space (§4.1.1/§5.2).
+func BatchSizes() []int { return []int{16, 32, 64, 128, 256, 512} }
+
+// GPUGrid is the profiling grid over partition sizes: 10%..90% in 10%
+// steps (§4.1.1).
+func GPUGrid() []float64 {
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+func archOf(counts map[LayerKind]int) Arch {
+	var a Arch
+	// Deterministic iteration for reproducible construction.
+	kinds := make([]int, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	for _, k := range kinds {
+		a[LayerKind(k)] = counts[LayerKind(k)]
+	}
+	return a
+}

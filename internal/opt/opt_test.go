@@ -1,0 +1,209 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mudi/internal/piecewise"
+)
+
+func latencyFn() piecewise.Func {
+	return piecewise.Func{K1: -200, K2: -10, Cutoff: 0.4, L0: 50}
+}
+
+func TestMinPartitionBasic(t *testing.T) {
+	// Budget = SLO·b/W = 150·64/200 = 48 ms. The shallow segment gives
+	// 50 − 10·(Δ−0.4) = 48 → Δ = 0.6.
+	res, err := MinPartition(ScaleRequest{
+		QPS: 200, Batch: 64, SLO: 150, Latency: latencyFn(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("expected feasible")
+	}
+	if math.Abs(res.Budget-48) > 1e-9 {
+		t.Fatalf("budget = %v, want 48", res.Budget)
+	}
+	if math.Abs(res.Delta-0.6) > 1e-6 {
+		t.Fatalf("delta = %v, want 0.6", res.Delta)
+	}
+}
+
+func TestMinPartitionHeadroom(t *testing.T) {
+	res, err := MinPartition(ScaleRequest{
+		QPS: 200, Batch: 64, SLO: 150, Latency: latencyFn(), Headroom: 0.10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Delta-0.66) > 1e-6 {
+		t.Fatalf("delta with headroom = %v, want 0.66", res.Delta)
+	}
+}
+
+func TestMinPartitionInfeasible(t *testing.T) {
+	// Best achievable latency is Eval(1) = 44; demand a budget of 30.
+	res, err := MinPartition(ScaleRequest{
+		QPS: 1000, Batch: 200, SLO: 150, Latency: latencyFn(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatalf("expected infeasible (budget %v)", res.Budget)
+	}
+}
+
+func TestMinPartitionMaxDelta(t *testing.T) {
+	// Feasible at Δ=0.6 but the cap is 0.5 → infeasible.
+	res, err := MinPartition(ScaleRequest{
+		QPS: 200, Batch: 64, SLO: 150, Latency: latencyFn(), MaxDelta: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("expected infeasible under MaxDelta=0.5")
+	}
+}
+
+func TestMinPartitionHeadroomClampsToMax(t *testing.T) {
+	res, err := MinPartition(ScaleRequest{
+		QPS: 200, Batch: 64, SLO: 150, Latency: latencyFn(),
+		MaxDelta: 0.62, Headroom: 0.10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Delta != 0.62 {
+		t.Fatalf("delta = %v feasible=%v, want clamped 0.62", res.Delta, res.Feasible)
+	}
+}
+
+func TestMinPartitionBatchWait(t *testing.T) {
+	// With BatchWait, budget 48 shrinks by fill time 1000·64/200=320 ms
+	// → negative → infeasible.
+	res, err := MinPartition(ScaleRequest{
+		QPS: 200, Batch: 64, SLO: 150, Latency: latencyFn(), BatchWait: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("expected infeasible with batch wait at low QPS")
+	}
+	// With a loose SLO (YOLOS-like 2200 ms) the wait fits the budget:
+	// budget − wait = (b/W)·(SLO − 1000) = 64·1200/1000 = 76.8 ms ≥ 44.
+	res, err = MinPartition(ScaleRequest{
+		QPS: 1000, Batch: 64, SLO: 2200, Latency: latencyFn(), BatchWait: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("expected feasible with batch wait under loose SLO")
+	}
+}
+
+func TestMinPartitionRejectsBadInput(t *testing.T) {
+	bad := []ScaleRequest{
+		{QPS: 0, Batch: 1, SLO: 1, Latency: latencyFn()},
+		{QPS: 1, Batch: 0, SLO: 1, Latency: latencyFn()},
+		{QPS: 1, Batch: 1, SLO: 0, Latency: latencyFn()},
+		{QPS: 1, Batch: 1, SLO: 1, Latency: piecewise.Func{}},
+	}
+	for i, req := range bad {
+		if _, err := MinPartition(req); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMinPartitionSolutionMeetsSLOProperty(t *testing.T) {
+	f := func(qpsR, batchR, sloR uint16) bool {
+		qps := 50 + float64(qpsR%2000)
+		batch := 16 + int(batchR%256)
+		slo := 50 + float64(sloR%500)
+		fn := latencyFn()
+		res, err := MinPartition(ScaleRequest{QPS: qps, Batch: batch, SLO: slo, Latency: fn})
+		if err != nil {
+			return false
+		}
+		if !res.Feasible {
+			// Infeasibility must be genuine: even full GPU misses budget.
+			return fn.Eval(1) > res.Budget
+		}
+		// The chosen Δ must satisfy the constraint.
+		return fn.Eval(res.Delta) <= res.Budget*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplexBasic(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+	lp := LP{
+		C: []float64{3, 5},
+		A: [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B: []float64{4, 12, 18},
+	}
+	x, obj, err := lp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-36) > 1e-6 {
+		t.Fatalf("objective = %v, want 36", obj)
+	}
+	if math.Abs(x[0]-2) > 1e-6 || math.Abs(x[1]-6) > 1e-6 {
+		t.Fatalf("x = %v, want [2 6]", x)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	lp := LP{C: []float64{1}, A: [][]float64{{-1}}, B: []float64{1}}
+	if _, _, err := lp.Solve(); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSimplexRejectsNegativeRHS(t *testing.T) {
+	lp := LP{C: []float64{1}, A: [][]float64{{1}}, B: []float64{-1}}
+	if _, _, err := lp.Solve(); err != ErrInfeasibleLP {
+		t.Fatalf("err = %v, want ErrInfeasibleLP", err)
+	}
+}
+
+func TestSimplexShapeErrors(t *testing.T) {
+	if _, _, err := (LP{}).Solve(); err == nil {
+		t.Fatal("empty LP accepted")
+	}
+	lp := LP{C: []float64{1, 2}, A: [][]float64{{1}}, B: []float64{1}}
+	if _, _, err := lp.Solve(); err == nil {
+		t.Fatal("ragged LP accepted")
+	}
+}
+
+func TestSimplexDegenerateDoesNotCycle(t *testing.T) {
+	// Classic degenerate instance (Beale-like); Bland's rule must
+	// terminate.
+	lp := LP{
+		C: []float64{0.75, -150, 0.02, -6},
+		A: [][]float64{
+			{0.25, -60, -0.04, 9},
+			{0.5, -90, -0.02, 3},
+			{0, 0, 1, 0},
+		},
+		B: []float64{0, 0, 1},
+	}
+	_, obj, err := lp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-0.05) > 1e-6 {
+		t.Fatalf("objective = %v, want 0.05", obj)
+	}
+}

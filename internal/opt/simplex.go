@@ -1,0 +1,116 @@
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LP is a linear program in standard inequality form:
+//
+//	maximize   cᵀx
+//	subject to A·x ≤ b,  x ≥ 0.
+type LP struct {
+	C []float64   // objective coefficients (length n)
+	A [][]float64 // constraint matrix (m rows × n columns)
+	B []float64   // right-hand sides (length m); must be ≥ 0
+}
+
+// ErrUnbounded reports an LP whose objective can grow without limit.
+var ErrUnbounded = errors.New("opt: unbounded linear program")
+
+// ErrInfeasibleLP reports an LP with b entries < 0 (phase-1 is not
+// implemented; the Mudi relaxations only need b ≥ 0).
+var ErrInfeasibleLP = errors.New("opt: negative right-hand side (requires phase-1)")
+
+// Solve runs the dense simplex method (Bland's rule for anti-cycling)
+// and returns the optimal x and objective value.
+func (lp LP) Solve() (x []float64, objective float64, err error) {
+	n := len(lp.C)
+	m := len(lp.B)
+	if n == 0 || m == 0 || len(lp.A) != m {
+		return nil, 0, fmt.Errorf("opt: bad LP shape (n=%d, m=%d, rows=%d)", n, m, len(lp.A))
+	}
+	for i, row := range lp.A {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("opt: LP row %d has %d entries, want %d", i, len(row), n)
+		}
+		if lp.B[i] < 0 {
+			return nil, 0, ErrInfeasibleLP
+		}
+	}
+
+	// Tableau with slack variables: columns [x(n) | s(m) | rhs].
+	width := n + m + 1
+	tab := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, width)
+		copy(tab[i], lp.A[i])
+		tab[i][n+i] = 1
+		tab[i][width-1] = lp.B[i]
+	}
+	// Objective row: minimize −cᵀx.
+	tab[m] = make([]float64, width)
+	for j := 0; j < n; j++ {
+		tab[m][j] = -lp.C[j]
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	const eps = 1e-9
+	for iter := 0; iter < 10000; iter++ {
+		// Entering variable: first negative reduced cost (Bland).
+		pivotCol := -1
+		for j := 0; j < width-1; j++ {
+			if tab[m][j] < -eps {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol < 0 {
+			break // optimal
+		}
+		// Leaving variable: minimum ratio.
+		pivotRow := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][pivotCol] > eps {
+				ratio := tab[i][width-1] / tab[i][pivotCol]
+				if ratio < bestRatio-eps || (math.Abs(ratio-bestRatio) <= eps && (pivotRow < 0 || basis[i] < basis[pivotRow])) {
+					bestRatio, pivotRow = ratio, i
+				}
+			}
+		}
+		if pivotRow < 0 {
+			return nil, 0, ErrUnbounded
+		}
+		// Pivot.
+		pv := tab[pivotRow][pivotCol]
+		for j := 0; j < width; j++ {
+			tab[pivotRow][j] /= pv
+		}
+		for i := 0; i <= m; i++ {
+			if i == pivotRow {
+				continue
+			}
+			f := tab[i][pivotCol]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < width; j++ {
+				tab[i][j] -= f * tab[pivotRow][j]
+			}
+		}
+		basis[pivotRow] = pivotCol
+	}
+
+	x = make([]float64, n)
+	for i, bv := range basis {
+		if bv < n {
+			x[bv] = tab[i][width-1]
+		}
+	}
+	return x, tab[m][width-1], nil
+}

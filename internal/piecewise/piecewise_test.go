@@ -1,0 +1,165 @@
+package piecewise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sample() Func {
+	return Func{K1: -200, K2: -10, Cutoff: 0.4, L0: 50}
+}
+
+func TestEvalSegments(t *testing.T) {
+	f := sample()
+	// At the knee.
+	if got := f.Eval(0.4); got != 50 {
+		t.Fatalf("Eval(knee) = %v, want 50", got)
+	}
+	// Below the knee: steep.
+	if got := f.Eval(0.3); math.Abs(got-70) > 1e-9 {
+		t.Fatalf("Eval(0.3) = %v, want 70", got)
+	}
+	// Above the knee: shallow.
+	if got := f.Eval(0.9); math.Abs(got-45) > 1e-9 {
+		t.Fatalf("Eval(0.9) = %v, want 45", got)
+	}
+}
+
+func TestEvalFloor(t *testing.T) {
+	f := Func{K1: -1000, K2: -1000, Cutoff: 0.5, L0: 1}
+	if got := f.Eval(1.0); got <= 0 {
+		t.Fatalf("Eval should clamp to positive floor, got %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatalf("valid func rejected: %v", err)
+	}
+	bad := []Func{
+		{K1: math.NaN(), K2: 0, Cutoff: 0.5, L0: 1},
+		{K1: 0, K2: 0, Cutoff: 0, L0: 1},
+		{K1: 0, K2: 0, Cutoff: 1.5, L0: 1},
+		{K1: 0, K2: 0, Cutoff: 0.5, L0: 0},
+		{K1: 0, K2: math.Inf(1), Cutoff: 0.5, L0: 1},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Fatalf("case %d: invalid func accepted: %+v", i, f)
+		}
+	}
+}
+
+func TestAvgSlope(t *testing.T) {
+	f := sample()
+	if got := f.AvgSlope(); got != 105 {
+		t.Fatalf("AvgSlope = %v, want 105", got)
+	}
+}
+
+func TestMinDeltaForSteepSegment(t *testing.T) {
+	f := sample()
+	// Budget 70 ms is met exactly at Δ = 0.3 on the steep segment.
+	d, ok := f.MinDeltaFor(70, 1)
+	if !ok {
+		t.Fatal("expected feasible")
+	}
+	if math.Abs(d-0.3) > 1e-6 {
+		t.Fatalf("MinDeltaFor(70) = %v, want 0.3", d)
+	}
+}
+
+func TestMinDeltaForShallowSegment(t *testing.T) {
+	f := sample()
+	// Budget 48 requires the shallow segment: 50 - 10(Δ-0.4) = 48 => Δ=0.6.
+	d, ok := f.MinDeltaFor(48, 1)
+	if !ok {
+		t.Fatal("expected feasible")
+	}
+	if math.Abs(d-0.6) > 1e-6 {
+		t.Fatalf("MinDeltaFor(48) = %v, want 0.6", d)
+	}
+}
+
+func TestMinDeltaInfeasible(t *testing.T) {
+	f := sample()
+	// Best achievable latency is Eval(1) = 44; budget 40 is infeasible.
+	if _, ok := f.MinDeltaFor(40, 1); ok {
+		t.Fatal("expected infeasible")
+	}
+	// maxDelta caps feasibility too.
+	if _, ok := f.MinDeltaFor(48, 0.5); ok {
+		t.Fatal("expected infeasible under maxDelta=0.5")
+	}
+}
+
+func TestMinDeltaGenerousBudget(t *testing.T) {
+	f := sample()
+	d, ok := f.MinDeltaFor(10000, 1)
+	if !ok || d != 0.01 {
+		t.Fatalf("generous budget should yield minimum partition, got %v ok=%v", d, ok)
+	}
+}
+
+func TestMinDeltaZeroMax(t *testing.T) {
+	if _, ok := sample().MinDeltaFor(100, 0); ok {
+		t.Fatal("maxDelta=0 must be infeasible")
+	}
+}
+
+func TestMinDeltaProperty(t *testing.T) {
+	// For any valid decreasing function and feasible budget, the result
+	// meets the budget, and slightly smaller Δ does not (minimality).
+	f := func(k1f, k2f, cutF, l0f, bF uint16) bool {
+		fn := Func{
+			K1:     -1 - float64(k1f%500),
+			K2:     -0.01 - float64(k2f%20),
+			Cutoff: 0.1 + float64(cutF%80)/100,
+			L0:     5 + float64(l0f%200),
+		}
+		budget := fn.Eval(1) + float64(bF%300)
+		d, ok := fn.MinDeltaFor(budget, 1)
+		if !ok {
+			return false
+		}
+		if fn.Eval(d) > budget*(1+1e-6) {
+			return false
+		}
+		if d > 0.011 && fn.Eval(d*0.95) <= budget*(1-1e-6) {
+			// A clearly smaller Δ also satisfies the budget strictly:
+			// result was not minimal. Allow tiny numerical slack.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	f := sample()
+	g := FromParams(f.Params())
+	if f != g {
+		t.Fatalf("round trip changed func: %+v vs %+v", f, g)
+	}
+}
+
+func TestFromParamsSanitizes(t *testing.T) {
+	g := FromParams([4]float64{math.NaN(), math.NaN(), -1, -5})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("sanitized params still invalid: %v", err)
+	}
+	h := FromParams([4]float64{0, 0, 3, 1})
+	if h.Cutoff != 1 {
+		t.Fatalf("cutoff not clamped to 1: %v", h.Cutoff)
+	}
+}
+
+func TestStringIsCompact(t *testing.T) {
+	s := sample().String()
+	if len(s) == 0 || s[0] != 'p' {
+		t.Fatalf("unexpected String: %q", s)
+	}
+}

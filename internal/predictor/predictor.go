@@ -1,0 +1,217 @@
+// Package predictor implements Mudi's Interference Modeler and online
+// Interference Predictor (§4.1.2/§4.2): per inference service, four
+// learners — one per piecewise parameter (k1, k2, Δ0, l0) — map the
+// feature vector X = [layer counts Ψ, batch size] of a (possibly
+// unseen) co-located training task to the predicted latency curve. The
+// model family for each target is chosen by cross-validation, and the
+// learners update incrementally as new co-locations are profiled
+// (Fig. 11/12).
+package predictor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mudi/internal/learn"
+	"mudi/internal/model"
+	"mudi/internal/piecewise"
+	"mudi/internal/profiler"
+)
+
+// targetNames index the four regression targets.
+var targetNames = [4]string{"k1", "k2", "cutoff", "l0"}
+
+// svcPredictor holds one service's four incremental learners.
+type svcPredictor struct {
+	learners [4]*learn.Incremental
+}
+
+// Predictor is the cluster-wide interference predictor.
+type Predictor struct {
+	seed     uint64
+	services map[string]*svcPredictor
+}
+
+// New returns an empty predictor.
+func New(seed uint64) *Predictor {
+	return &Predictor{seed: seed, services: make(map[string]*svcPredictor)}
+}
+
+// ErrUntrained reports prediction before any profile was added.
+var ErrUntrained = errors.New("predictor: no profiles for service")
+
+// features builds X = [Ψ..., log2(batch)] from a co-location
+// architecture and the inference batch size. Batch enters in log scale
+// so the learners see it on the same footing as layer counts.
+func features(arch model.Arch, batch int) []float64 {
+	f := arch.Features()
+	return append(f, math.Log2(float64(batch)))
+}
+
+func (p *Predictor) svc(name string) *svcPredictor {
+	sp, ok := p.services[name]
+	if !ok {
+		sp = &svcPredictor{}
+		for i := range sp.learners {
+			sp.learners[i] = learn.NewIncremental(p.seed + uint64(i)*7919)
+		}
+		p.services[name] = sp
+	}
+	return sp
+}
+
+// Train ingests a batch of offline profiles (typically the full
+// Offline Profiler grid) and fits all learners.
+func (p *Predictor) Train(profiles []profiler.Profile) error {
+	for i := range profiles {
+		if err := p.add(profiles[i], false); err != nil {
+			return err
+		}
+	}
+	// One refit per touched service at the end (cheaper than refitting
+	// on every sample).
+	for name := range p.services {
+		for _, l := range p.services[name].learners {
+			if l.N() > 0 {
+				if err := l.Refit(); err != nil {
+					return fmt.Errorf("predictor: refit %s: %w", name, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Update ingests one new online profile (a newly observed co-location)
+// and refits incrementally — the paper's adaptation path that drives
+// Fig. 12's error-vs-samples curve.
+func (p *Predictor) Update(profile profiler.Profile) error {
+	return p.add(profile, true)
+}
+
+func (p *Predictor) add(profile profiler.Profile, refit bool) error {
+	if profile.Service == "" {
+		return errors.New("predictor: profile without service")
+	}
+	if err := profile.Curve.Validate(); err != nil {
+		return fmt.Errorf("predictor: profile curve: %w", err)
+	}
+	sp := p.svc(profile.Service)
+	arch := profile.ColocArch()
+	x := features(arch, profile.Batch)
+	y := profile.Curve.Params()
+	group := fmt.Sprint(arch)
+	for i, l := range sp.learners {
+		if refit {
+			if _, err := l.AddGrouped(x, y[i], group); err != nil {
+				return err
+			}
+		} else {
+			l.AddNoRefitGrouped(x, y[i], group)
+		}
+	}
+	return nil
+}
+
+// PredictCurve predicts the latency curve of svc at the given batch
+// when co-located with training tasks whose cumulative architecture is
+// arch. The result is sanitized into a valid piecewise function.
+func (p *Predictor) PredictCurve(svc string, batch int, arch model.Arch) (piecewise.Func, error) {
+	sp, ok := p.services[svc]
+	if !ok {
+		return piecewise.Func{}, fmt.Errorf("%w: %s", ErrUntrained, svc)
+	}
+	x := features(arch, batch)
+	var y [4]float64
+	for i, l := range sp.learners {
+		v, ok := l.Predict(x)
+		if !ok {
+			return piecewise.Func{}, fmt.Errorf("%w: %s/%s", ErrUntrained, svc, targetNames[i])
+		}
+		y[i] = v
+	}
+	return piecewise.FromParams(y), nil
+}
+
+// AvgSlope returns the mean of the predicted curve's average slopes
+// over the standard batch sizes — the Device Selector's interference
+// score (§5.2): smaller means both less SLO pressure on svc and less
+// sensitivity to the partition size. Slopes are normalized by the
+// service's *solo* knee latency at each batch so scores are comparable
+// across services with very different latency scales (a raw
+// milliseconds-per-Δ slope would systematically penalize slow-but-
+// loose-SLO services like YOLOS).
+func (p *Predictor) AvgSlope(svc string, arch model.Arch) (float64, error) {
+	var sum float64
+	batches := model.BatchSizes()
+	for _, b := range batches {
+		curve, err := p.PredictCurve(svc, b, arch)
+		if err != nil {
+			return 0, err
+		}
+		solo, err := p.PredictCurve(svc, b, model.Arch{})
+		if err != nil {
+			return 0, err
+		}
+		scale := solo.L0
+		if scale <= 0 {
+			scale = 1
+		}
+		sum += curve.AvgSlope() / scale
+	}
+	return sum / float64(len(batches)), nil
+}
+
+// MaxCutoff returns the largest predicted knee position across batch
+// sizes — the Tuner's initial GPU% when a new co-location starts
+// (§5.3.2: "initializes a GPU% value for i to be the maximum value
+// among all cutoff points under different batching sizes").
+func (p *Predictor) MaxCutoff(svc string, arch model.Arch) (float64, error) {
+	best := 0.0
+	for _, b := range model.BatchSizes() {
+		curve, err := p.PredictCurve(svc, b, arch)
+		if err != nil {
+			return 0, err
+		}
+		if curve.Cutoff > best {
+			best = curve.Cutoff
+		}
+	}
+	return best, nil
+}
+
+// ModelNames reports which model family won selection for each target
+// of a service — the labels atop Fig. 11's bars.
+func (p *Predictor) ModelNames(svc string) ([4]string, error) {
+	sp, ok := p.services[svc]
+	if !ok {
+		return [4]string{}, fmt.Errorf("%w: %s", ErrUntrained, svc)
+	}
+	var out [4]string
+	for i, l := range sp.learners {
+		out[i] = l.ModelName()
+	}
+	return out, nil
+}
+
+// Samples returns the number of profiles ingested for a service.
+func (p *Predictor) Samples(svc string) int {
+	sp, ok := p.services[svc]
+	if !ok {
+		return 0
+	}
+	return sp.learners[0].N()
+}
+
+// Services lists the service names with trained predictors.
+func (p *Predictor) Services() []string {
+	out := make([]string, 0, len(p.services))
+	for name := range p.services {
+		out = append(out, name)
+	}
+	return out
+}
+
+// TargetNames exposes the Y-vector labels in order.
+func TargetNames() [4]string { return targetNames }

@@ -1,0 +1,266 @@
+package predictor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mudi/internal/model"
+	"mudi/internal/perf"
+	"mudi/internal/profiler"
+	"mudi/internal/stats"
+	"mudi/internal/xrand"
+)
+
+// trainPredictor profiles svc against the observed tasks and trains a
+// predictor — the offline pipeline end to end.
+func trainPredictor(t *testing.T, seed uint64, services []string) (*Predictor, *perf.Oracle) {
+	t.Helper()
+	o := perf.NewOracle(seed)
+	prof := profiler.New(o, xrand.New(seed+10))
+	pred := New(seed)
+	for _, svc := range services {
+		profiles, err := prof.ProfileService(svc, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pred.Train(profiles); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pred, o
+}
+
+func TestPredictObservedTask(t *testing.T) {
+	pred, o := trainPredictor(t, 1, []string{"BERT"})
+	task := model.ObservedTasks()[1]
+	curve, err := pred.PredictCurve("BERT", 64, task.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := o.TrainColocCurve("BERT", 64, []model.TrainingTask{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observed tasks were in the training set: knee latency within 20%.
+	if e := stats.MAPE([]float64{curve.L0}, []float64{truth.L0}); e > 0.2 {
+		t.Fatalf("l0 error %v on observed task", e)
+	}
+}
+
+func TestPredictUnseenTasks(t *testing.T) {
+	// Fig. 11's claim: architecture features generalize to the unseen
+	// Tab. 3 tasks with bounded error (paper: all below 0.3, with
+	// cutoff/l0 much better than slopes).
+	pred, o := trainPredictor(t, 2, []string{"GPT2"})
+	var l0Pred, l0True, cutPred, cutTrue []float64
+	for _, task := range model.UnseenTasks() {
+		for _, b := range model.BatchSizes() {
+			curve, err := pred.PredictCurve("GPT2", b, task.Arch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth, err := o.TrainColocCurve("GPT2", b, []model.TrainingTask{task})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l0Pred = append(l0Pred, curve.L0)
+			l0True = append(l0True, truth.L0)
+			cutPred = append(cutPred, curve.Cutoff)
+			cutTrue = append(cutTrue, truth.Cutoff)
+		}
+	}
+	// Paper Fig. 11 averages: k1 0.23, k2 0.16, Δ0 0.05, l0 0.06, all
+	// bars below 0.3; our oracle's l0 varies more with architecture, so
+	// allow modest slack while still requiring generalization.
+	if e := stats.MAPE(l0Pred, l0True); e > 0.35 {
+		t.Fatalf("unseen-task l0 error %v, want <0.35", e)
+	}
+	if e := stats.MAPE(cutPred, cutTrue); e > 0.3 {
+		t.Fatalf("unseen-task cutoff error %v, want <0.3", e)
+	}
+}
+
+func TestPredictionErrorNonzero(t *testing.T) {
+	// The oracle's idiosyncratic component must keep prediction
+	// imperfect — if error is exactly zero the oracle is leaking.
+	pred, o := trainPredictor(t, 3, []string{"ResNet50"})
+	task := model.UnseenTasks()[0]
+	curve, err := pred.PredictCurve("ResNet50", 64, task.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := o.TrainColocCurve("ResNet50", 64, []model.TrainingTask{task})
+	if curve.L0 == truth.L0 {
+		t.Fatal("prediction exactly equals truth: oracle leaked")
+	}
+}
+
+func TestUntrainedErrors(t *testing.T) {
+	pred := New(1)
+	if _, err := pred.PredictCurve("BERT", 64, model.Arch{}); !errors.Is(err, ErrUntrained) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := pred.AvgSlope("BERT", model.Arch{}); err == nil {
+		t.Fatal("untrained AvgSlope accepted")
+	}
+	if _, err := pred.ModelNames("BERT"); err == nil {
+		t.Fatal("untrained ModelNames accepted")
+	}
+	if pred.Samples("BERT") != 0 {
+		t.Fatal("phantom samples")
+	}
+}
+
+func TestTrainRejectsBadProfiles(t *testing.T) {
+	pred := New(1)
+	bad := []profiler.Profile{{Service: ""}}
+	if err := pred.Train(bad); err == nil {
+		t.Fatal("empty service accepted")
+	}
+	bad = []profiler.Profile{{Service: "X"}} // zero curve is invalid
+	if err := pred.Train(bad); err == nil {
+		t.Fatal("invalid curve accepted")
+	}
+}
+
+func TestAvgSlopeRanksInterference(t *testing.T) {
+	// The Device Selector's score must rank a heavy architecture above
+	// a light one (§5.2).
+	pred, _ := trainPredictor(t, 4, []string{"GPT2"})
+	light, _ := model.TaskByName("NCF")
+	heavy, _ := model.TaskByName("ResNet50-train")
+	sLight, err := pred.AvgSlope("GPT2", light.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sHeavy, err := pred.AvgSlope("GPT2", heavy.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sHeavy <= sLight {
+		t.Fatalf("heavy slope %v not above light %v", sHeavy, sLight)
+	}
+}
+
+func TestMaxCutoff(t *testing.T) {
+	pred, _ := trainPredictor(t, 5, []string{"BERT"})
+	task := model.ObservedTasks()[0]
+	cut, err := pred.MaxCutoff("BERT", task.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut <= 0 || cut > 1 {
+		t.Fatalf("max cutoff %v out of range", cut)
+	}
+	// It must be at least the knee at the largest batch.
+	curve, _ := pred.PredictCurve("BERT", 512, task.Arch)
+	if cut < curve.Cutoff-1e-9 {
+		t.Fatalf("max cutoff %v below batch-512 knee %v", cut, curve.Cutoff)
+	}
+}
+
+func TestModelNamesPopulated(t *testing.T) {
+	pred, _ := trainPredictor(t, 6, []string{"RoBERTa"})
+	names, err := pred.ModelNames("RoBERTa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		if n == "" {
+			t.Fatalf("target %s has no model", TargetNames()[i])
+		}
+	}
+}
+
+func TestIncrementalUpdateImproves(t *testing.T) {
+	// Fig. 12: adding online profiles of a new co-location reduces the
+	// E2E prediction error for that co-location.
+	o := perf.NewOracle(7)
+	prof := profiler.New(o, xrand.New(17))
+	pred := New(7)
+	profiles, err := prof.ProfileService("RoBERTa", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pred.Train(profiles); err != nil {
+		t.Fatal(err)
+	}
+	target, _ := model.TaskByName("YOLOv5") // unseen
+	measure := func() float64 {
+		var preds, truths []float64
+		for _, b := range model.BatchSizes() {
+			curve, err := pred.PredictCurve("RoBERTa", b, target.Arch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range []float64{0.2, 0.5, 0.8} {
+				truth, _ := o.TrueLatency("RoBERTa", b, d, []model.TrainingTask{target})
+				preds = append(preds, curve.Eval(d))
+				truths = append(truths, truth)
+			}
+		}
+		return stats.MAPE(preds, truths)
+	}
+	before := measure()
+	// Profile the new co-location online and update.
+	for _, b := range model.BatchSizes() {
+		pr, err := prof.ProfileOne("RoBERTa", b, []model.TrainingTask{target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pred.Update(pr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := measure()
+	if after >= before {
+		t.Fatalf("incremental update did not improve: %v → %v", before, after)
+	}
+	// Fig. 12 reaches <0.16 at 90 accumulated samples; this test adds
+	// only 6 online profiles, so require the looser waypoint.
+	if after > 0.25 {
+		t.Fatalf("post-update error %v, want <0.25", after)
+	}
+}
+
+func TestSamplesAndServices(t *testing.T) {
+	pred, _ := trainPredictor(t, 8, []string{"YOLOS"})
+	if got := pred.Samples("YOLOS"); got != 36 {
+		t.Fatalf("samples %d, want 36 (6 batches × (solo + 5 tasks))", got)
+	}
+	if got := pred.Services(); len(got) != 1 || got[0] != "YOLOS" {
+		t.Fatalf("services %v", got)
+	}
+}
+
+func TestTrainFromPersistedProfiles(t *testing.T) {
+	// The offline profiles round-trip through their JSON persistence
+	// and still train a working predictor.
+	o := perf.NewOracle(12)
+	prof := profiler.New(o, xrand.New(112))
+	profiles, err := prof.ProfileService("GPT2", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := profiler.SaveProfiles(&b, profiles); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := profiler.LoadProfiles(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := New(12)
+	if err := pred.Train(loaded); err != nil {
+		t.Fatal(err)
+	}
+	task, _ := model.TaskByName("YOLOv5")
+	curve, err := pred.PredictCurve("GPT2", 64, task.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := curve.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package profiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mudi/internal/fit"
+	"mudi/internal/model"
+	"mudi/internal/piecewise"
+)
+
+// profileFile is the on-disk schema (versioned for forward evolution).
+type profileFile struct {
+	Version  int             `json:"version"`
+	Profiles []storedProfile `json:"profiles"`
+}
+
+type storedProfile struct {
+	Service string         `json:"service"`
+	Batch   int            `json:"batch"`
+	Coloc   []storedTask   `json:"coloc,omitempty"`
+	Curve   [4]float64     `json:"curve"` // [k1, k2, Δ0, l0]
+	Samples []storedSample `json:"samples,omitempty"`
+}
+
+type storedTask struct {
+	Name string     `json:"name"`
+	Arch model.Arch `json:"arch"`
+}
+
+type storedSample struct {
+	Delta   float64 `json:"delta"`
+	Latency float64 `json:"latency"`
+}
+
+const persistVersion = 1
+
+// SaveProfiles writes profiles as JSON — the paper's offline phase is
+// expensive (6 services × batches × co-locations × GPU% grid on real
+// hardware), so production deployments persist its output.
+func SaveProfiles(w io.Writer, profiles []Profile) error {
+	file := profileFile{Version: persistVersion}
+	for _, p := range profiles {
+		sp := storedProfile{
+			Service: p.Service,
+			Batch:   p.Batch,
+			Curve:   p.Curve.Params(),
+		}
+		for _, task := range p.Coloc {
+			sp.Coloc = append(sp.Coloc, storedTask{Name: task.Name, Arch: task.Arch})
+		}
+		for _, sm := range p.Samples {
+			sp.Samples = append(sp.Samples, storedSample{Delta: sm.Delta, Latency: sm.Latency})
+		}
+		file.Profiles = append(file.Profiles, sp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}
+
+// LoadProfiles reads a profile file. Co-located tasks are resolved
+// against the catalog when the name matches (restoring full task
+// metadata); unknown names keep only the stored architecture — which
+// is all the Interference Modeler needs.
+func LoadProfiles(r io.Reader) ([]Profile, error) {
+	var file profileFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("profiler: decoding profiles: %w", err)
+	}
+	if file.Version != persistVersion {
+		return nil, fmt.Errorf("profiler: unsupported profile version %d (want %d)", file.Version, persistVersion)
+	}
+	var out []Profile
+	for i, sp := range file.Profiles {
+		if sp.Service == "" || sp.Batch <= 0 {
+			return nil, fmt.Errorf("profiler: profile %d missing service or batch", i)
+		}
+		curve := piecewise.FromParams(sp.Curve)
+		if err := curve.Validate(); err != nil {
+			return nil, fmt.Errorf("profiler: profile %d: %w", i, err)
+		}
+		p := Profile{Service: sp.Service, Batch: sp.Batch, Curve: curve}
+		for _, st := range sp.Coloc {
+			if task, ok := model.TaskByName(st.Name); ok {
+				p.Coloc = append(p.Coloc, task)
+			} else {
+				p.Coloc = append(p.Coloc, model.TrainingTask{Name: st.Name, Arch: st.Arch})
+			}
+		}
+		for _, sm := range sp.Samples {
+			p.Samples = append(p.Samples, fit.Sample{Delta: sm.Delta, Latency: sm.Latency})
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+// Package report renders the benchmark harness's tables: fixed-width
+// ASCII for terminals (the rows/series the paper's tables and figures
+// print) and CSV for downstream plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-ordered table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable returns an empty table with the given title and columns.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are stringified with compact formatting.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		row[i] = format(v)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a free-form footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func format(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case bool:
+		return strconv.FormatBool(x)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func formatFloat(x float64) string {
+	ax := x
+	if ax < 0 {
+		ax = -ax
+	}
+	switch {
+	case x == 0:
+		return "0"
+	case ax >= 1000:
+		return strconv.FormatFloat(x, 'f', 0, 64)
+	case ax >= 10:
+		return strconv.FormatFloat(x, 'f', 1, 64)
+	case ax >= 0.01:
+		return strconv.FormatFloat(x, 'f', 3, 64)
+	default:
+		return strconv.FormatFloat(x, 'g', 3, 64)
+	}
+}
+
+// WriteASCII renders the table with padded columns.
+func (t *Table) WriteASCII(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (quotes only when
+// needed).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Pct renders a fraction as a percentage string with one decimal.
+func Pct(frac float64) string {
+	return strconv.FormatFloat(frac*100, 'f', 2, 64) + "%"
+}
+
+// Ratio renders a speedup/slowdown factor like the paper ("2.27x").
+func Ratio(v float64) string {
+	return strconv.FormatFloat(v, 'f', 2, 64) + "x"
+}
+
+// sparkLevels are the eight block glyphs used by Sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a compact unicode bar strip — a terminal
+// stand-in for the paper's time-series plots (Fig. 10/16). Values are
+// scaled to the series' own min..max; a flat series renders mid-level.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(values))
+	span := hi - lo
+	for i, v := range values {
+		idx := len(sparkLevels) / 2
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		out[i] = sparkLevels[idx]
+	}
+	return string(out)
+}

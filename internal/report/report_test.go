@@ -1,0 +1,108 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestASCIIRendering(t *testing.T) {
+	tab := NewTable("Fig. X", "name", "value", "note")
+	tab.AddRow("alpha", 1.2345, "ok")
+	tab.AddRow("beta", 42, true)
+	tab.AddNote("scaled by %d", 80)
+	var b strings.Builder
+	if err := tab.WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== Fig. X ==", "alpha", "1.234", "42", "true", "# scaled by 80"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// Columns aligned: "name" header padded to at least "alpha" width.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "name ") {
+		t.Fatalf("header line %q", lines[1])
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow(`quo"te`, "with,comma")
+	tab.AddRow("plain", 3.5)
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"quo""te","with,comma"`) {
+		t.Fatalf("CSV quoting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "plain,3.500") {
+		t.Fatalf("CSV plain row wrong:\n%s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234.5:  "1234", // round-half-to-even
+		12.34:   "12.3",
+		0.1234:  "0.123",
+		0.00042: "0.00042",
+		-42.6:   "-42.6",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := Pct(0.0123); got != "1.23%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Ratio(2.274); got != "2.27x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := NewTable("", "only")
+	var b strings.Builder
+	if err := tab.WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "==") {
+		t.Fatal("empty title rendered")
+	}
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline %q", got)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	runes := []rune(s)
+	if len(runes) != 8 {
+		t.Fatalf("length %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("extremes wrong: %q", s)
+	}
+	// Monotone input yields non-decreasing glyph levels.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("not monotone: %q", s)
+		}
+	}
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	if flat[0] != flat[1] || flat[1] != flat[2] {
+		t.Fatalf("flat series uneven: %q", string(flat))
+	}
+}

@@ -1,0 +1,257 @@
+// Package sched is the scheduling framework under Mudi's Online
+// Multiplexer, mirroring the paper's Kubernetes integration (§6): a
+// FCFS submission queue with pluggable ordering policies (Mudi
+// "seamlessly integrates with various scheduling policies, such as
+// shortest job first, fair sharing, and priority-based scheduling",
+// §3), and a score-plugin device-selection pipeline in the style of the
+// Kubernetes scheduling framework — the Interference Predictor and
+// Device Selector are implemented as score plugins on top of it.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Job is one queued training task.
+type Job struct {
+	ID             int
+	SubmitTime     float64 // seconds
+	TaskName       string
+	User           string
+	Priority       int     // larger = more urgent (priority policy)
+	EstDurationSec float64 // solo estimate (SJF policy)
+}
+
+// Policy orders the pending queue.
+type Policy interface {
+	Name() string
+	// Pick returns the index into pending of the next job to schedule.
+	// usage maps user → accumulated GPU-seconds (for fair sharing).
+	Pick(pending []*Job, usage map[string]float64) int
+}
+
+// FCFS schedules in submission order — the paper's default (§6).
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Pick implements Policy.
+func (FCFS) Pick(pending []*Job, _ map[string]float64) int {
+	best := 0
+	for i, j := range pending {
+		if j.SubmitTime < pending[best].SubmitTime ||
+			(j.SubmitTime == pending[best].SubmitTime && j.ID < pending[best].ID) {
+			best = i
+		}
+	}
+	return best
+}
+
+// SJF schedules the shortest estimated job first.
+type SJF struct{}
+
+// Name implements Policy.
+func (SJF) Name() string { return "sjf" }
+
+// Pick implements Policy.
+func (SJF) Pick(pending []*Job, _ map[string]float64) int {
+	best := 0
+	for i, j := range pending {
+		b := pending[best]
+		if j.EstDurationSec < b.EstDurationSec ||
+			(j.EstDurationSec == b.EstDurationSec && j.ID < b.ID) {
+			best = i
+		}
+	}
+	return best
+}
+
+// PriorityPolicy schedules the highest priority first, FCFS within a
+// priority level.
+type PriorityPolicy struct{}
+
+// Name implements Policy.
+func (PriorityPolicy) Name() string { return "priority" }
+
+// Pick implements Policy.
+func (PriorityPolicy) Pick(pending []*Job, _ map[string]float64) int {
+	best := 0
+	for i, j := range pending {
+		b := pending[best]
+		if j.Priority > b.Priority ||
+			(j.Priority == b.Priority && (j.SubmitTime < b.SubmitTime ||
+				(j.SubmitTime == b.SubmitTime && j.ID < b.ID))) {
+			best = i
+		}
+	}
+	return best
+}
+
+// FairShare schedules the job whose user has the least accumulated
+// usage (max-min fairness over GPU-seconds).
+type FairShare struct{}
+
+// Name implements Policy.
+func (FairShare) Name() string { return "fair" }
+
+// Pick implements Policy.
+func (FairShare) Pick(pending []*Job, usage map[string]float64) int {
+	best := 0
+	for i, j := range pending {
+		b := pending[best]
+		ju, bu := usage[j.User], usage[b.User]
+		if ju < bu || (ju == bu && (j.SubmitTime < b.SubmitTime ||
+			(j.SubmitTime == b.SubmitTime && j.ID < b.ID))) {
+			best = i
+		}
+	}
+	return best
+}
+
+// PolicyByName resolves a policy from its flag name.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", "fcfs":
+		return FCFS{}, nil
+	case "sjf":
+		return SJF{}, nil
+	case "priority":
+		return PriorityPolicy{}, nil
+	case "fair":
+		return FairShare{}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", name)
+	}
+}
+
+// Queue is the pending-job queue with usage accounting.
+type Queue struct {
+	policy  Policy
+	pending []*Job
+	usage   map[string]float64
+}
+
+// NewQueue returns an empty queue under the given policy (FCFS if nil).
+func NewQueue(policy Policy) *Queue {
+	if policy == nil {
+		policy = FCFS{}
+	}
+	return &Queue{policy: policy, usage: make(map[string]float64)}
+}
+
+// Push enqueues a job.
+func (q *Queue) Push(j *Job) error {
+	if j == nil {
+		return errors.New("sched: nil job")
+	}
+	q.pending = append(q.pending, j)
+	return nil
+}
+
+// Len returns the number of pending jobs.
+func (q *Queue) Len() int { return len(q.pending) }
+
+// Peek returns the job the policy would schedule next without removing
+// it, or nil when empty.
+func (q *Queue) Peek() *Job {
+	if len(q.pending) == 0 {
+		return nil
+	}
+	return q.pending[q.policy.Pick(q.pending, q.usage)]
+}
+
+// Pop removes and returns the next job per policy, or nil when empty.
+func (q *Queue) Pop() *Job {
+	if len(q.pending) == 0 {
+		return nil
+	}
+	i := q.policy.Pick(q.pending, q.usage)
+	j := q.pending[i]
+	q.pending = append(q.pending[:i], q.pending[i+1:]...)
+	return j
+}
+
+// Requeue returns a job to the queue (placement failed; wait for
+// resources).
+func (q *Queue) Requeue(j *Job) { q.pending = append(q.pending, j) }
+
+// RecordUsage accumulates GPU-seconds against a user for fair sharing.
+func (q *Queue) RecordUsage(user string, gpuSeconds float64) {
+	q.usage[user] += gpuSeconds
+}
+
+// Pending returns the queued jobs in submission order (copy).
+func (q *Queue) Pending() []*Job {
+	out := append([]*Job(nil), q.pending...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Score-plugin device selection
+
+// DeviceInfo is the device view offered to score plugins — exported by
+// the GPUShare-Device-Plugin in the paper's implementation.
+type DeviceInfo struct {
+	ID            string
+	FreeShare     float64
+	TrainingCount int
+	ServiceName   string // resident inference service, "" if none
+	ServiceQPS    float64
+	MemoryFreeMB  float64
+	SMUtil        float64
+}
+
+// ScorePlugin scores a device for a job; higher is better. A negative
+// score vetoes the device (filter semantics).
+type ScorePlugin interface {
+	Name() string
+	Score(job *Job, dev DeviceInfo) float64
+}
+
+// Framework runs the plugin pipeline.
+type Framework struct {
+	plugins []ScorePlugin
+}
+
+// NewFramework builds a pipeline over the given plugins.
+func NewFramework(plugins ...ScorePlugin) *Framework {
+	return &Framework{plugins: plugins}
+}
+
+// ErrNoDevice reports that every device was vetoed.
+var ErrNoDevice = errors.New("sched: no eligible device")
+
+// Select returns the device with the highest total score; any plugin
+// returning a negative score vetoes that device. Ties break by device
+// ID for determinism.
+func (f *Framework) Select(job *Job, devices []DeviceInfo) (DeviceInfo, error) {
+	bestIdx := -1
+	bestScore := 0.0
+	for i, dev := range devices {
+		total := 0.0
+		vetoed := false
+		for _, p := range f.plugins {
+			s := p.Score(job, dev)
+			if s < 0 {
+				vetoed = true
+				break
+			}
+			total += s
+		}
+		if vetoed {
+			continue
+		}
+		if bestIdx < 0 || total > bestScore ||
+			(total == bestScore && dev.ID < devices[bestIdx].ID) {
+			bestIdx, bestScore = i, total
+		}
+	}
+	if bestIdx < 0 {
+		return DeviceInfo{}, ErrNoDevice
+	}
+	return devices[bestIdx], nil
+}

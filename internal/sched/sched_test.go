@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"testing"
+)
+
+func jobs() []*Job {
+	return []*Job{
+		{ID: 0, SubmitTime: 10, TaskName: "a", User: "u1", Priority: 1, EstDurationSec: 300},
+		{ID: 1, SubmitTime: 5, TaskName: "b", User: "u2", Priority: 3, EstDurationSec: 100},
+		{ID: 2, SubmitTime: 7, TaskName: "c", User: "u1", Priority: 3, EstDurationSec: 50},
+	}
+}
+
+func TestFCFSOrder(t *testing.T) {
+	q := NewQueue(FCFS{})
+	for _, j := range jobs() {
+		if err := q.Push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int{1, 2, 0}
+	for _, id := range want {
+		if got := q.Pop(); got.ID != id {
+			t.Fatalf("got %d, want %d", got.ID, id)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("empty queue returned a job")
+	}
+}
+
+func TestSJFOrder(t *testing.T) {
+	q := NewQueue(SJF{})
+	for _, j := range jobs() {
+		q.Push(j)
+	}
+	want := []int{2, 1, 0}
+	for _, id := range want {
+		if got := q.Pop(); got.ID != id {
+			t.Fatalf("got %d, want %d", got.ID, id)
+		}
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	q := NewQueue(PriorityPolicy{})
+	for _, j := range jobs() {
+		q.Push(j)
+	}
+	// Priority 3 first (FCFS among them: job 1 submitted at 5), then 2,
+	// then priority 1.
+	want := []int{1, 2, 0}
+	for _, id := range want {
+		if got := q.Pop(); got.ID != id {
+			t.Fatalf("got %d, want %d", got.ID, id)
+		}
+	}
+}
+
+func TestFairShareOrder(t *testing.T) {
+	q := NewQueue(FairShare{})
+	for _, j := range jobs() {
+		q.Push(j)
+	}
+	// u1 already consumed a lot; u2's job goes first despite ties.
+	q.RecordUsage("u1", 5000)
+	if got := q.Pop(); got.User != "u2" {
+		t.Fatalf("fair share picked %s's job", got.User)
+	}
+	// Now u2 catches up.
+	q.RecordUsage("u2", 9000)
+	if got := q.Pop(); got.User != "u1" {
+		t.Fatalf("fair share picked %s's job after usage flip", got.User)
+	}
+}
+
+func TestQueueBasics(t *testing.T) {
+	q := NewQueue(nil) // defaults to FCFS
+	if q.Len() != 0 || q.Peek() != nil {
+		t.Fatal("empty queue state wrong")
+	}
+	if err := q.Push(nil); err == nil {
+		t.Fatal("nil job accepted")
+	}
+	j := &Job{ID: 1, SubmitTime: 1}
+	q.Push(j)
+	if q.Peek() != j || q.Len() != 1 {
+		t.Fatal("peek/len wrong")
+	}
+	got := q.Pop()
+	if got != j || q.Len() != 0 {
+		t.Fatal("pop wrong")
+	}
+	q.Requeue(j)
+	if q.Len() != 1 {
+		t.Fatal("requeue lost the job")
+	}
+}
+
+func TestPendingSnapshot(t *testing.T) {
+	q := NewQueue(FCFS{})
+	for _, j := range jobs() {
+		q.Push(j)
+	}
+	p := q.Pending()
+	if len(p) != 3 || p[0].ID != 0 || p[2].ID != 2 {
+		t.Fatalf("pending %v", p)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"", "fcfs", "sjf", "priority", "fair"} {
+		if _, err := PolicyByName(name); err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+	}
+	if _, err := PolicyByName("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+// scoreByFreeShare prefers emptier devices.
+type scoreByFreeShare struct{}
+
+func (scoreByFreeShare) Name() string                       { return "free" }
+func (scoreByFreeShare) Score(_ *Job, d DeviceInfo) float64 { return d.FreeShare }
+
+// vetoFull vetoes devices with no free share.
+type vetoFull struct{}
+
+func (vetoFull) Name() string { return "veto" }
+func (vetoFull) Score(_ *Job, d DeviceInfo) float64 {
+	if d.FreeShare <= 0 {
+		return -1
+	}
+	return 0
+}
+
+func TestFrameworkSelect(t *testing.T) {
+	f := NewFramework(vetoFull{}, scoreByFreeShare{})
+	devs := []DeviceInfo{
+		{ID: "g0", FreeShare: 0},
+		{ID: "g1", FreeShare: 0.3},
+		{ID: "g2", FreeShare: 0.7},
+	}
+	got, err := f.Select(&Job{}, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "g2" {
+		t.Fatalf("selected %s", got.ID)
+	}
+}
+
+func TestFrameworkVetoAll(t *testing.T) {
+	f := NewFramework(vetoFull{})
+	devs := []DeviceInfo{{ID: "g0", FreeShare: 0}}
+	if _, err := f.Select(&Job{}, devs); err != ErrNoDevice {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameworkTieBreakByID(t *testing.T) {
+	f := NewFramework(scoreByFreeShare{})
+	devs := []DeviceInfo{
+		{ID: "g9", FreeShare: 0.5},
+		{ID: "g1", FreeShare: 0.5},
+	}
+	got, err := f.Select(&Job{}, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "g1" {
+		t.Fatalf("tie broke to %s, want g1", got.ID)
+	}
+}
+
+func TestFrameworkEmptyDevices(t *testing.T) {
+	f := NewFramework()
+	if _, err := f.Select(&Job{}, nil); err != ErrNoDevice {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package serving simulates one inference service instance at request
+// granularity: requests queue, the backend assembles batches up to the
+// configured cap (Clipper-style greedy batching — a batch launches as
+// soon as the device is free), and each request's latency is its wait
+// plus the batch processing time. The P99 latencies and SLO violation
+// rates of the small-scale experiments and the Fig. 16 case study come
+// from this model.
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mudi/internal/stats"
+)
+
+// LatencyFn returns the processing time (ms) of one batch of the given
+// size under the current device configuration — typically a closure
+// over the perf oracle with the service's GPU% and co-location.
+type LatencyFn func(batchSize int) float64
+
+// Config parameterizes a simulation run.
+type Config struct {
+	BatchCap int     // maximum requests per batch (the tuned b_i)
+	SLOms    float64 // per-request latency SLO
+	// MaxQueue bounds the backlog; beyond it requests are rejected
+	// (counted as violations). Zero means unbounded.
+	MaxQueue int
+	// FormBatches switches from greedy batching (serve whatever is
+	// queued as soon as the device frees) to batch forming: wait until
+	// BatchCap requests accumulate or the oldest has waited MaxWaitMs,
+	// whichever comes first — the semantics of a tuned batch size b_i.
+	FormBatches bool
+	MaxWaitMs   float64 // batch-forming timeout; default SLOms/2
+}
+
+// Result summarizes one run.
+type Result struct {
+	Served        int
+	Rejected      int
+	Latencies     []float64 // per served request, ms
+	P99           float64
+	Mean          float64
+	ViolationRate float64 // fraction of all requests (served+rejected) over SLO
+	BusyFraction  float64 // device-busy share of the simulated span
+	Batches       int
+	MeanBatch     float64
+}
+
+// Run simulates serving the given arrival times (seconds, sorted
+// ascending) and returns per-request metrics. The device serves one
+// batch at a time: greedy mode takes min(queued, BatchCap) as soon as
+// the device frees; FormBatches mode waits for the batch to fill or
+// the oldest request to reach MaxWaitMs.
+func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
+	if cfg.BatchCap <= 0 {
+		return Result{}, fmt.Errorf("serving: batch cap %d", cfg.BatchCap)
+	}
+	if lat == nil {
+		return Result{}, errors.New("serving: nil latency function")
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] < arrivals[i-1] {
+			return Result{}, fmt.Errorf("serving: arrivals not sorted at %d", i)
+		}
+	}
+	var res Result
+	if len(arrivals) == 0 {
+		return res, nil
+	}
+	maxWait := cfg.MaxWaitMs
+	if maxWait <= 0 {
+		maxWait = cfg.SLOms / 2
+	}
+
+	freeAt := arrivals[0] // device idle until first arrival
+	var busy float64
+	i := 0
+	n := len(arrivals)
+	queue := make([]float64, 0, cfg.BatchCap)
+
+	for i < n || len(queue) > 0 {
+		// Admit everything that arrived by the time the device is free.
+		for i < n && arrivals[i] <= freeAt {
+			if cfg.MaxQueue > 0 && len(queue) >= cfg.MaxQueue {
+				res.Rejected++
+			} else {
+				queue = append(queue, arrivals[i])
+			}
+			i++
+		}
+		if len(queue) == 0 {
+			// Idle until the next arrival.
+			if i < n {
+				freeAt = arrivals[i]
+				continue
+			}
+			break
+		}
+		if cfg.FormBatches && len(queue) < cfg.BatchCap && maxWait > 0 {
+			// Hold the launch until the batch fills or the oldest
+			// request has waited maxWait.
+			deadline := queue[0] + maxWait/1000
+			for len(queue) < cfg.BatchCap && i < n && arrivals[i] <= deadline {
+				if cfg.MaxQueue > 0 && len(queue) >= cfg.MaxQueue {
+					res.Rejected++
+				} else {
+					queue = append(queue, arrivals[i])
+				}
+				i++
+			}
+			if len(queue) < cfg.BatchCap {
+				// Timed out before filling: launch at the deadline.
+				if deadline > freeAt {
+					freeAt = deadline
+				}
+			} else if last := queue[len(queue)-1]; last > freeAt {
+				// Filled exactly when the last member arrived.
+				freeAt = last
+			}
+		}
+		take := len(queue)
+		if take > cfg.BatchCap {
+			take = cfg.BatchCap
+		}
+		batch := queue[:take]
+		procMs := lat(take)
+		if procMs < 0 {
+			return Result{}, fmt.Errorf("serving: negative latency %v for batch %d", procMs, take)
+		}
+		start := freeAt
+		end := start + procMs/1000
+		for _, at := range batch {
+			res.Latencies = append(res.Latencies, (end-at)*1000)
+		}
+		res.Batches++
+		res.MeanBatch += float64(take)
+		busy += procMs / 1000
+		queue = append(queue[:0], queue[take:]...)
+		freeAt = end
+	}
+
+	res.Served = len(res.Latencies)
+	if res.Batches > 0 {
+		res.MeanBatch /= float64(res.Batches)
+	}
+	res.P99 = stats.P99(res.Latencies)
+	res.Mean = stats.Mean(res.Latencies)
+	if cfg.SLOms > 0 {
+		viol := res.Rejected
+		for _, l := range res.Latencies {
+			if l > cfg.SLOms {
+				viol++
+			}
+		}
+		total := res.Served + res.Rejected
+		if total > 0 {
+			res.ViolationRate = float64(viol) / float64(total)
+		}
+	}
+	span := freeAt - arrivals[0]
+	if span > 0 {
+		res.BusyFraction = busy / span
+	}
+	return res, nil
+}
+
+// WindowViolations splits a run into fixed windows and reports, per
+// window, the P99 latency and SLO violation rate — the time-series view
+// behind Fig. 16. Window boundaries are on arrival times.
+type WindowStat struct {
+	Start         float64
+	P99           float64
+	ViolationRate float64
+	Requests      int
+}
+
+// RunWindows is like Run but additionally buckets served requests into
+// windowSec-wide windows of their arrival time.
+func RunWindows(arrivals []float64, lat LatencyFn, cfg Config, windowSec float64) (Result, []WindowStat, error) {
+	res, err := Run(arrivals, lat, cfg)
+	if err != nil {
+		return res, nil, err
+	}
+	if windowSec <= 0 || len(arrivals) == 0 {
+		return res, nil, nil
+	}
+	// Re-derive arrival→latency pairing: Run appends latencies in
+	// batch-completion order, which preserves arrival order because
+	// batches are formed FIFO.
+	type pair struct{ at, lat float64 }
+	pairs := make([]pair, 0, res.Served)
+	// Served arrivals are the first res.Served admitted ones; with
+	// MaxQueue = 0 that is simply all of them in order.
+	served := make([]float64, 0, res.Served)
+	if res.Rejected == 0 {
+		served = append(served, arrivals...)
+	} else {
+		// With rejections we cannot reconstruct pairing after the fact;
+		// keep only aggregate stats.
+		return res, nil, nil
+	}
+	for i, l := range res.Latencies {
+		pairs = append(pairs, pair{at: served[i], lat: l})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].at < pairs[j].at })
+
+	var out []WindowStat
+	start := pairs[0].at
+	var bucket []float64
+	flush := func(ws float64) {
+		if len(bucket) == 0 {
+			return
+		}
+		viol := 0
+		for _, l := range bucket {
+			if cfg.SLOms > 0 && l > cfg.SLOms {
+				viol++
+			}
+		}
+		out = append(out, WindowStat{
+			Start:         ws,
+			P99:           stats.P99(bucket),
+			ViolationRate: float64(viol) / float64(len(bucket)),
+			Requests:      len(bucket),
+		})
+		bucket = bucket[:0]
+	}
+	winStart := start
+	for _, p := range pairs {
+		for p.at >= winStart+windowSec {
+			flush(winStart)
+			winStart += windowSec
+		}
+		bucket = append(bucket, p.lat)
+	}
+	flush(winStart)
+	return res, out, nil
+}

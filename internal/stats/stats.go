@@ -1,0 +1,406 @@
+// Package stats provides the descriptive statistics used throughout the
+// simulator and the evaluation harness: percentiles, CDFs, online
+// moments, and time-weighted utilization series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using
+// linear interpolation between closest ranks. It returns 0 for an empty
+// slice and does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// P99 is shorthand for Percentile(xs, 99) — the paper's tail-latency
+// metric.
+func P99(xs []float64) float64 { return Percentile(xs, 99) }
+
+// CDF is an empirical cumulative distribution over collected samples.
+type CDF struct {
+	sorted []float64
+	dirty  bool
+	raw    []float64
+}
+
+// NewCDF returns an empty CDF.
+func NewCDF() *CDF { return &CDF{} }
+
+// Add records one sample.
+func (c *CDF) Add(x float64) {
+	c.raw = append(c.raw, x)
+	c.dirty = true
+}
+
+// AddAll records all samples.
+func (c *CDF) AddAll(xs []float64) {
+	c.raw = append(c.raw, xs...)
+	c.dirty = true
+}
+
+// N returns the number of recorded samples.
+func (c *CDF) N() int { return len(c.raw) }
+
+func (c *CDF) ensure() {
+	if c.dirty || c.sorted == nil {
+		c.sorted = make([]float64, len(c.raw))
+		copy(c.sorted, c.raw)
+		sort.Float64s(c.sorted)
+		c.dirty = false
+	}
+}
+
+// At returns P(X <= x): the fraction of samples at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.raw) == 0 {
+		return 0
+	}
+	c.ensure()
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile, q in [0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.raw) == 0 {
+		return 0
+	}
+	c.ensure()
+	return percentileSorted(c.sorted, q*100)
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 { return Mean(c.raw) }
+
+// Online accumulates streaming mean and variance (Welford's algorithm)
+// without retaining the samples. The zero value is ready to use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (o *Online) Add(x float64) {
+	if o.n == 0 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	o.n++
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// N returns the number of observations.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the running population variance.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest observation, or 0 if none.
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation, or 0 if none.
+func (o *Online) Max() float64 { return o.max }
+
+// TimeSeries records (time, value) points and computes time-weighted
+// averages — used for SM/memory utilization curves (Fig. 10). Points
+// must be appended in non-decreasing time order.
+type TimeSeries struct {
+	ts []float64
+	vs []float64
+}
+
+// NewTimeSeries returns an empty series.
+func NewTimeSeries() *TimeSeries { return &TimeSeries{} }
+
+// Add appends a point. It returns an error if t precedes the last point.
+func (s *TimeSeries) Add(t, v float64) error {
+	if n := len(s.ts); n > 0 && t < s.ts[n-1] {
+		return fmt.Errorf("stats: time %v before last point %v", t, s.ts[len(s.ts)-1])
+	}
+	s.ts = append(s.ts, t)
+	s.vs = append(s.vs, v)
+	return nil
+}
+
+// Len returns the number of points.
+func (s *TimeSeries) Len() int { return len(s.ts) }
+
+// Points returns copies of the time and value slices.
+func (s *TimeSeries) Points() (times, values []float64) {
+	times = make([]float64, len(s.ts))
+	values = make([]float64, len(s.vs))
+	copy(times, s.ts)
+	copy(values, s.vs)
+	return times, values
+}
+
+// TimeAverage returns the time-weighted average of the step function
+// defined by the points over [from, to]. Each point's value holds until
+// the next point; the last value extends to `to`. Returns 0 when the
+// series is empty or the interval is degenerate.
+func (s *TimeSeries) TimeAverage(from, to float64) float64 {
+	if len(s.ts) == 0 || to <= from {
+		return 0
+	}
+	var area float64
+	for i := 0; i < len(s.ts); i++ {
+		start := s.ts[i]
+		end := to
+		if i+1 < len(s.ts) {
+			end = s.ts[i+1]
+		}
+		if end <= from || start >= to {
+			continue
+		}
+		if start < from {
+			start = from
+		}
+		if end > to {
+			end = to
+		}
+		area += s.vs[i] * (end - start)
+	}
+	return area / (to - from)
+}
+
+// Downsample returns n evenly spaced (time, value) samples of the step
+// function over [from, to] — convenient for plotting-style output.
+func (s *TimeSeries) Downsample(from, to float64, n int) (times, values []float64) {
+	if n <= 0 || to <= from {
+		return nil, nil
+	}
+	times = make([]float64, n)
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := from + (to-from)*float64(i)/float64(n)
+		times[i] = t
+		values[i] = s.valueAt(t)
+	}
+	return times, values
+}
+
+func (s *TimeSeries) valueAt(t float64) float64 {
+	if len(s.ts) == 0 || t < s.ts[0] {
+		return 0
+	}
+	idx := sort.SearchFloat64s(s.ts, t)
+	if idx == len(s.ts) || s.ts[idx] > t {
+		idx--
+	}
+	return s.vs[idx]
+}
+
+// MAPE returns the mean absolute percentage error |pred-true|/|true|
+// averaged over pairs, skipping entries where the truth is zero. This is
+// the paper's prediction-error metric (Fig. 11/12). It panics if the
+// slices have different lengths.
+func MAPE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("stats: MAPE length mismatch")
+	}
+	var sum float64
+	var n int
+	for i := range pred {
+		if truth[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-truth[i]) / math.Abs(truth[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RMSE returns the root-mean-square error between pred and truth. It
+// panics if the slices have different lengths.
+func RMSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("stats: RMSE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred)))
+}
+
+// Histogram counts samples into fixed-width bins over [Lo, Hi); samples
+// outside the range land in the under/overflow counters. It backs the
+// distribution summaries in the evaluation harness.
+type Histogram struct {
+	Lo, Hi float64
+	bins   []int
+	under  int
+	over   int
+	n      int
+}
+
+// NewHistogram returns a histogram with the given bin count over
+// [lo, hi). It panics if bins <= 0 or hi <= lo — both are programming
+// errors, not data conditions.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: bad histogram [%v,%v)/%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, bins: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.bins)))
+		if idx >= len(h.bins) {
+			idx = len(h.bins) - 1
+		}
+		h.bins[idx]++
+	}
+}
+
+// N returns the number of recorded samples.
+func (h *Histogram) N() int { return h.n }
+
+// Bin returns the count in bin i and the bin's [lo, hi) range.
+func (h *Histogram) Bin(i int) (count int, lo, hi float64) {
+	width := (h.Hi - h.Lo) / float64(len(h.bins))
+	return h.bins[i], h.Lo + float64(i)*width, h.Lo + float64(i+1)*width
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// Outliers returns the underflow and overflow counts.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// Fractions returns each bin's share of all samples (including
+// outliers in the denominator).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.bins))
+	if h.n == 0 {
+		return out
+	}
+	for i, c := range h.bins {
+		out[i] = float64(c) / float64(h.n)
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+// Package trace generates the workload arrival processes of §7.1:
+// fluctuating inference QPS with inflection points (Fig. 1a), Poisson
+// request streams with a 5 ms mean inter-arrival, bursty QPS episodes
+// (Fig. 16), and a Microsoft-Philly-like training-task arrival trace
+// with size classes drawn from Tab. 3's fractions.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mudi/internal/model"
+	"mudi/internal/xrand"
+)
+
+// QPSTrace produces the request arrival rate of one inference service
+// over simulated time.
+type QPSTrace interface {
+	// At returns the arrival rate (req/s) at time t (seconds).
+	At(t float64) float64
+}
+
+// ConstantQPS is a flat-rate trace.
+type ConstantQPS float64
+
+// At implements QPSTrace.
+func (c ConstantQPS) At(float64) float64 { return float64(c) }
+
+// FluctuatingQPS mimics the Alibaba services of Fig. 1a: a mean-
+// reverting random walk with occasional inflection points where the
+// level shifts, and no periodic structure.
+type FluctuatingQPS struct {
+	base     float64
+	rng      *xrand.Rand
+	interval float64 // walk step interval in seconds
+
+	// Lazily extended piecewise-constant level track.
+	times  []float64
+	levels []float64
+}
+
+// NewFluctuatingQPS returns a trace around the given base rate. The
+// walk wanders within roughly ±40% of base and occasionally jumps.
+func NewFluctuatingQPS(base float64, rng *xrand.Rand) *FluctuatingQPS {
+	return &FluctuatingQPS{
+		base:     base,
+		rng:      rng,
+		interval: 10,
+		times:    []float64{0},
+		levels:   []float64{base},
+	}
+}
+
+// At implements QPSTrace. Calls may go backwards in time; the track is
+// deterministic once generated.
+func (f *FluctuatingQPS) At(t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	for f.times[len(f.times)-1] < t {
+		f.extend()
+	}
+	idx := sort.SearchFloat64s(f.times, t)
+	if idx == len(f.times) || f.times[idx] > t {
+		idx--
+	}
+	return f.levels[idx]
+}
+
+func (f *FluctuatingQPS) extend() {
+	last := f.levels[len(f.levels)-1]
+	next := last + f.rng.Normal(0, 0.05*f.base)
+	// Mean reversion.
+	next += 0.1 * (f.base - next)
+	// Occasional inflection: a jump to a new regime (Fig. 1a's
+	// "occasional inflection points").
+	if f.rng.Float64() < 0.02 {
+		next = f.base * f.rng.Range(0.6, 1.4)
+	}
+	next = clamp(next, 0.5*f.base, 1.6*f.base)
+	f.times = append(f.times, f.times[len(f.times)-1]+f.interval)
+	f.levels = append(f.levels, next)
+}
+
+// BurstyQPS overlays burst episodes on an inner trace: between Start
+// and End the rate is multiplied by Factor (the Fig. 16 case study
+// bursts ResNet50 to 3× at t=100 s and recovers at t=200 s).
+type BurstyQPS struct {
+	Inner  QPSTrace
+	Bursts []Burst
+}
+
+// Burst is one multiplicative episode.
+type Burst struct {
+	Start, End float64 // seconds
+	Factor     float64
+}
+
+// At implements QPSTrace.
+func (b BurstyQPS) At(t float64) float64 {
+	v := b.Inner.At(t)
+	for _, burst := range b.Bursts {
+		if t >= burst.Start && t < burst.End {
+			v *= burst.Factor
+		}
+	}
+	return v
+}
+
+// ScaledQPS multiplies an inner trace by a constant — the 2×/3×/4× load
+// sweeps of Fig. 15.
+type ScaledQPS struct {
+	Inner  QPSTrace
+	Factor float64
+}
+
+// At implements QPSTrace.
+func (s ScaledQPS) At(t float64) float64 { return s.Inner.At(t) * s.Factor }
+
+// PoissonArrivals generates request arrival timestamps over [0, dur)
+// for a (possibly time-varying) rate trace, by thinning against the
+// trace's maximum rate over the window.
+func PoissonArrivals(q QPSTrace, dur float64, rng *xrand.Rand) []float64 {
+	if dur <= 0 {
+		return nil
+	}
+	// Find a rate bound by probing the trace.
+	maxRate := 0.0
+	for t := 0.0; t < dur; t += dur / 256 {
+		if r := q.At(t); r > maxRate {
+			maxRate = r
+		}
+	}
+	if maxRate <= 0 {
+		return nil
+	}
+	maxRate *= 1.05
+	var out []float64
+	t := 0.0
+	for {
+		t += rng.Exp(maxRate)
+		if t >= dur {
+			return out
+		}
+		if rng.Float64() <= q.At(t)/maxRate {
+			out = append(out, t)
+		}
+	}
+}
+
+// TaskArrival is one training-task submission.
+type TaskArrival struct {
+	ID      int
+	At      float64 // submission time in seconds
+	Task    model.TrainingTask
+	Iters   int // task length in mini-batches (scaled per run)
+	GPUsReq int // requested GPU count (always 1 in this reproduction)
+}
+
+// PhillyConfig shapes the training arrival trace.
+type PhillyConfig struct {
+	Count      int     // number of tasks to generate
+	MeanGapSec float64 // mean inter-arrival at daytime intensity
+	ScaleIters float64 // multiplier on catalog TotalIters (shrinks experiments)
+	Seed       uint64
+}
+
+// PhillyTrace generates a training-task arrival sequence following the
+// Microsoft Philly trace's character: bursty submissions with a strong
+// diurnal rhythm, task mix drawn from Tab. 3's fractions. The paper
+// replays this trace directly on the physical cluster and scales it by
+// 80× for the 1000-GPU simulation; use MeanGapSec to set intensity.
+func PhillyTrace(cfg PhillyConfig) ([]TaskArrival, error) {
+	if cfg.Count <= 0 {
+		return nil, fmt.Errorf("trace: task count %d", cfg.Count)
+	}
+	if cfg.MeanGapSec <= 0 {
+		cfg.MeanGapSec = 30
+	}
+	if cfg.ScaleIters <= 0 {
+		cfg.ScaleIters = 1
+	}
+	rng := xrand.New(cfg.Seed).ForkString("philly")
+	catalog := model.Tasks()
+	weights := make([]float64, len(catalog))
+	for i, task := range catalog {
+		weights[i] = task.Frac
+	}
+	out := make([]TaskArrival, 0, cfg.Count)
+	t := 0.0
+	const day = 86400.0
+	for i := 0; i < cfg.Count; i++ {
+		// Diurnal intensity: daytime (9h–21h of each simulated day)
+		// submits ~3× more often than night.
+		hour := math.Mod(t, day) / 3600
+		gap := cfg.MeanGapSec
+		if hour < 9 || hour >= 21 {
+			gap *= 3
+		}
+		// Bursts: occasionally a batch of submissions lands together.
+		if rng.Float64() < 0.15 {
+			gap *= 0.1
+		}
+		t += rng.Exp(1 / gap)
+		task := catalog[rng.Choice(weights)]
+		iters := int(float64(task.TotalIters) * cfg.ScaleIters * rng.Range(0.7, 1.3))
+		if iters < 1 {
+			iters = 1
+		}
+		out = append(out, TaskArrival{ID: i, At: t, Task: task, Iters: iters, GPUsReq: 1})
+	}
+	return out, nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,250 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	f1 := parent.Fork(1)
+	f2 := parent.Fork(2)
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forks with different tags produced identical first values")
+	}
+	// Forking must not advance the parent.
+	p1 := New(7)
+	_ = p1.Fork(1)
+	p2 := New(7)
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("Fork advanced parent state")
+	}
+}
+
+func TestForkStringStable(t *testing.T) {
+	a := New(3).ForkString("monitor")
+	b := New(3).ForkString("monitor")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("ForkString not deterministic")
+	}
+	c := New(3).ForkString("tuner")
+	d := New(3).ForkString("monitor")
+	if c.Uint64() == d.Uint64() {
+		t.Fatal("different labels produced identical streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(17)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) covered only %d values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(19)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("normal mean %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Fatalf("normal variance %v, want ~4", variance)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(23)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.LogNormal(0, 0.1)
+	}
+	// Median of LogNormal(0, s) is 1. Count below 1.
+	below := 0
+	for _, v := range vals {
+		if v < 1 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("lognormal median fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(29)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2) // mean 0.5
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("exp mean %v, want ~0.5", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(31)
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("poisson(%v) mean %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	r := New(37)
+	if v := r.Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", v)
+	}
+	if v := r.Poisson(-1); v != 0 {
+		t.Fatalf("Poisson(-1) = %d, want 0", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64) bool {
+		n := int(seed%20) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	r := New(41)
+	counts := [3]int{}
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[r.Choice([]float64{1, 2, 3})]++
+	}
+	for i, want := range []float64{1.0 / 6, 2.0 / 6, 3.0 / 6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("weight %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Choice with zero weights did not panic")
+		}
+	}()
+	New(1).Choice([]float64{0, 0})
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := New(43)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(5, 9)
+		if v < 5 || v >= 9 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(47)
+	s := []int{1, 2, 3, 4, 5}
+	sum := 0
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatalf("shuffle lost elements: %v", s)
+	}
+}

@@ -1,0 +1,404 @@
+// Package mudi is a Go reproduction of "Multiplexing Dynamic Deep
+// Learning Workloads with SLO-awareness in GPU Clusters" (EuroSys '25):
+// an SLO-aware system that spatially multiplexes DL inference services
+// with training tasks on shared GPUs.
+//
+// The package exposes the paper's full pipeline:
+//
+//   - a workload catalog (the paper's Tab. 1 inference services and
+//     Tab. 3 training tasks, with Fig. 7 network-architecture vectors);
+//   - a synthetic GPU testbed (the stand-in for the authors' 12×A100
+//     cluster) producing piecewise-linear latency curves with
+//     architecture-dependent interference;
+//   - the offline profiling → interference-modeling → online-prediction
+//     chain (§4);
+//   - the Mudi policy — slope-based cluster-wide co-location plus
+//     GP-LCB adaptive batching and Eq. 4 resource scaling (§5);
+//   - the baseline systems (GSLICE, gpulets, MuxFlow, Random, Optimal);
+//   - a cluster co-simulator and an evaluation harness regenerating
+//     every table and figure of §7.
+//
+// Quick start:
+//
+//	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 1})
+//	// handle err
+//	res, err := sys.Simulate(mudi.SimOptions{Devices: 12, Tasks: 50})
+//	// handle err
+//	fmt.Println(res.MeanSLOViolation(), res.MeanCT())
+package mudi
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mudi/internal/baselines"
+	"mudi/internal/cluster"
+	"mudi/internal/core"
+	"mudi/internal/exp"
+	"mudi/internal/extract"
+	"mudi/internal/model"
+	"mudi/internal/perf"
+	"mudi/internal/report"
+	"mudi/internal/sched"
+	"mudi/internal/trace"
+	"mudi/internal/xrand"
+)
+
+// Re-exported domain types. The implementation lives under internal/;
+// these aliases are the supported public surface.
+type (
+	// InferenceService describes one latency-critical service (Tab. 1).
+	InferenceService = model.InferenceService
+	// TrainingTask describes one batch training workload (Tab. 3).
+	TrainingTask = model.TrainingTask
+	// Arch is a network-architecture layer-count vector (Fig. 7).
+	Arch = model.Arch
+	// TaskArrival is one training-task submission.
+	TaskArrival = trace.TaskArrival
+	// Result carries one simulation run's metrics.
+	Result = cluster.Result
+	// TracePoint is one control-window snapshot of a traced device.
+	TracePoint = cluster.TracePoint
+	// Policy is a cluster-wide multiplexing policy (Mudi or baseline).
+	Policy = core.Policy
+	// DeviceView is a policy's snapshot of one device.
+	DeviceView = core.DeviceView
+	// Decision is a device configuration choice.
+	Decision = core.Decision
+	// Table is a rendered experiment table (ASCII/CSV).
+	Table = report.Table
+	// Burst is one QPS burst episode.
+	Burst = trace.Burst
+)
+
+// Services returns the Tab. 1 inference catalog.
+func Services() []InferenceService { return model.Services() }
+
+// Tasks returns the Tab. 3 training catalog.
+func Tasks() []TrainingTask { return model.Tasks() }
+
+// BatchSizes returns the Tuner's batching search space.
+func BatchSizes() []int { return model.BatchSizes() }
+
+// SystemConfig parameterizes NewSystem.
+type SystemConfig struct {
+	// Seed drives every random stream (testbed, profiling, traces).
+	Seed uint64
+	// MaxTrainPerGPU caps co-located training tasks per device
+	// (1 = Mudi, up to 3 = Mudi-more). Default 1.
+	MaxTrainPerGPU int
+	// ExtraServices are appended to the catalog and registered with the
+	// testbed (see examples/custommodel).
+	ExtraServices []InferenceService
+}
+
+// System bundles the synthetic testbed with a fully trained Mudi
+// policy: the state left after the paper's offline phase.
+type System struct {
+	cfg    SystemConfig
+	oracle *perf.Oracle
+	policy *core.Mudi
+}
+
+// NewSystem builds the testbed and runs the offline pipeline
+// (profiling every service against the observed training tasks,
+// fitting the piecewise curves, training the interference predictor).
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.MaxTrainPerGPU <= 0 {
+		cfg.MaxTrainPerGPU = 1
+	}
+	oracle := perf.NewOracle(cfg.Seed)
+	for _, svc := range cfg.ExtraServices {
+		oracle.RegisterService(svc)
+	}
+	policy, err := exp.BuildMudi(oracle, cfg.Seed, cfg.MaxTrainPerGPU)
+	if err != nil {
+		return nil, fmt.Errorf("mudi: offline pipeline: %w", err)
+	}
+	return &System{cfg: cfg, oracle: oracle, policy: policy}, nil
+}
+
+// Policy returns the trained Mudi policy.
+func (s *System) Policy() Policy { return s.policy }
+
+// Baseline instantiates one of the paper's comparison systems:
+// "gslice", "gpulets", "muxflow", "random", or "optimal".
+func (s *System) Baseline(name string) (Policy, error) {
+	switch name {
+	case "gslice":
+		return baselines.NewGSLICE(), nil
+	case "gpulets":
+		return baselines.NewGpulets(s.oracle, xrand.New(s.cfg.Seed+7))
+	case "muxflow":
+		return baselines.NewMuxFlow(s.oracle), nil
+	case "random":
+		return baselines.NewRandom(xrand.New(s.cfg.Seed+11), s.cfg.MaxTrainPerGPU), nil
+	case "optimal":
+		return baselines.NewOptimal(s.oracle, s.cfg.MaxTrainPerGPU), nil
+	default:
+		return nil, fmt.Errorf("mudi: unknown baseline %q", name)
+	}
+}
+
+// SimOptions parameterizes one simulation run.
+type SimOptions struct {
+	// Policy to drive; nil selects the system's Mudi policy.
+	Policy Policy
+	// Devices is the GPU count; the service catalog deploys round-robin.
+	Devices int
+	// Tasks is the number of training arrivals to generate (ignored if
+	// Arrivals is set).
+	Tasks int
+	// Arrivals replays an explicit submission trace.
+	Arrivals []TaskArrival
+	// MeanGapSec is the arrival-trace intensity (default 10 s).
+	MeanGapSec float64
+	// IterScale shrinks catalog task lengths (default 0.002 keeps runs
+	// in simulated minutes).
+	IterScale float64
+	// LoadFactor multiplies every service's QPS (Fig. 15 sweeps).
+	LoadFactor float64
+	// Bursts overlays QPS burst episodes (Fig. 16).
+	Bursts []Burst
+	// QueuePolicy selects the scheduling order: "fcfs" (default),
+	// "sjf", "fair", or "priority".
+	QueuePolicy string
+	// TraceDeviceIdx (1-based) records a per-window trace of one device.
+	TraceDeviceIdx int
+	// DisableRetune turns off the Monitor→Tuner loop (ablation).
+	DisableRetune bool
+	// MIGSlices > 1 splits every GPU into that many MIG instances
+	// (1–7), each an independent smaller device (§3).
+	MIGSlices int
+}
+
+// Simulate runs one cluster simulation to completion.
+func (s *System) Simulate(opts SimOptions) (*Result, error) {
+	if opts.Devices <= 0 {
+		opts.Devices = 12
+	}
+	policy := opts.Policy
+	if policy == nil {
+		policy = s.policy
+	}
+	arrivals := opts.Arrivals
+	if arrivals == nil {
+		if opts.Tasks <= 0 {
+			opts.Tasks = 24
+		}
+		if opts.MeanGapSec <= 0 {
+			opts.MeanGapSec = 10
+		}
+		if opts.IterScale <= 0 {
+			opts.IterScale = 0.002
+		}
+		var err error
+		arrivals, err = trace.PhillyTrace(trace.PhillyConfig{
+			Count:      opts.Tasks,
+			MeanGapSec: opts.MeanGapSec,
+			ScaleIters: opts.IterScale,
+			Seed:       s.cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	queue, err := sched.PolicyByName(opts.QueuePolicy)
+	if err != nil {
+		return nil, err
+	}
+	services := append(model.Services(), s.cfg.ExtraServices...)
+	sim, err := cluster.New(cluster.Options{
+		Policy:         policy,
+		Oracle:         s.oracle,
+		Seed:           s.cfg.Seed,
+		Devices:        opts.Devices,
+		Services:       services,
+		Arrivals:       arrivals,
+		LoadFactor:     opts.LoadFactor,
+		Bursts:         opts.Bursts,
+		QueuePolicy:    queue,
+		TraceDeviceIdx: opts.TraceDeviceIdx,
+		DisableRetune:  opts.DisableRetune,
+		MIGSlices:      opts.MIGSlices,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}
+
+// MaxThroughput finds the highest QPS the system's policy can sustain
+// for one service while a training task keeps ≥10% of the GPU (Fig. 14).
+func (s *System) MaxThroughput(service, task string) (float64, error) {
+	return cluster.MaxThroughput(s.policy, s.oracle, service, task, 0.02, s.cfg.Seed)
+}
+
+// PhillyArrivals generates a Microsoft-Philly-like training submission
+// trace from the catalog mix.
+func PhillyArrivals(count int, meanGapSec, iterScale float64, seed uint64) ([]TaskArrival, error) {
+	return trace.PhillyTrace(trace.PhillyConfig{
+		Count: count, MeanGapSec: meanGapSec, ScaleIters: iterScale, Seed: seed,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Experiment harness
+
+// ExperimentScale selects experiment sizes for RunExperiment.
+type ExperimentScale = exp.Scale
+
+// Experiment scales.
+const (
+	ScaleSmall     = exp.ScaleSmall
+	ScalePhysical  = exp.ScalePhysical
+	ScaleSimulated = exp.ScaleSimulated
+)
+
+// ExperimentNames lists the table/figure runners in presentation order.
+func ExperimentNames() []string {
+	names := make([]string, 0, len(experimentOrder))
+	names = append(names, experimentOrder...)
+	return names
+}
+
+var experimentOrder = []string{
+	"background", "tab2", "fig3", "fig4", "fig5", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+	"tab4", "fig17", "fig18", "optimality",
+	"ablation-tuner", "queues", "fidelity",
+}
+
+// RunExperiment regenerates one paper table or figure (see
+// ExperimentNames) and returns it as a renderable table. Experiments
+// sharing end-to-end runs reuse a cached suite when invoked through
+// RunExperiments.
+func RunExperiment(name string, seed uint64, scale ExperimentScale) (*Table, error) {
+	tables, err := RunExperiments([]string{name}, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	return tables[0], nil
+}
+
+// RunExperiments regenerates several experiments, sharing the trained
+// suite across the end-to-end figures. Pass nil to run everything.
+func RunExperiments(names []string, seed uint64, scale ExperimentScale) ([]*Table, error) {
+	var out []*Table
+	err := StreamExperiments(names, seed, scale, func(t *Table) error {
+		out = append(out, t)
+		return nil
+	})
+	return out, err
+}
+
+// StreamExperiments is RunExperiments with a per-table callback, so
+// long sweeps surface results as they complete.
+func StreamExperiments(names []string, seed uint64, scale ExperimentScale, emit func(*Table) error) error {
+	if names == nil {
+		names = ExperimentNames()
+	}
+	cfg := exp.Config{Seed: seed, Scale: scale}
+	var suite *exp.Suite
+	getSuite := func() (*exp.Suite, error) {
+		if suite != nil {
+			return suite, nil
+		}
+		var err error
+		suite, err = exp.NewSuite(cfg)
+		return suite, err
+	}
+	for _, name := range names {
+		var tab *Table
+		var err error
+		switch name {
+		case "tab2":
+			tab, err = exp.Table2(cfg)
+		case "fig3":
+			tab, err = exp.Fig3(cfg)
+		case "fig4":
+			tab, err = exp.Fig4(cfg)
+		case "fig5":
+			tab, err = exp.Fig5(cfg)
+		case "fig8":
+			tab, err = withSuite(getSuite, exp.Fig8)
+		case "fig9":
+			tab, err = withSuite(getSuite, exp.Fig9)
+		case "fig10":
+			tab, err = withSuite(getSuite, exp.Fig10)
+		case "fig11":
+			tab, err = exp.Fig11(cfg)
+		case "fig12":
+			tab, err = exp.Fig12(cfg)
+		case "fig13":
+			tab, err = withSuite(getSuite, exp.Fig13)
+		case "fig14":
+			tab, err = withSuite(getSuite, exp.Fig14)
+		case "fig15":
+			tab, err = withSuite(getSuite, exp.Fig15)
+		case "fig16":
+			tab, err = exp.Fig16(cfg)
+		case "tab4":
+			tab, err = exp.Tab4(cfg)
+		case "fig17":
+			tab, err = exp.Fig17(cfg)
+		case "fig18":
+			tab, err = withSuite(getSuite, exp.Fig18)
+		case "optimality":
+			tab, err = exp.Optimality(cfg)
+		case "ablation-tuner":
+			tab, err = exp.AblationTuner(cfg)
+		case "queues":
+			tab, err = exp.QueuePolicies(cfg)
+		case "fidelity":
+			tab, err = exp.Fidelity(cfg)
+		case "background":
+			tab, err = exp.Background(cfg)
+		default:
+			return fmt.Errorf("mudi: unknown experiment %q (known: %v)", name, ExperimentNames())
+		}
+		if err != nil {
+			return fmt.Errorf("mudi: experiment %s: %w", name, err)
+		}
+		if err := emit(tab); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func withSuite(get func() (*exp.Suite, error), run func(*exp.Suite) (*report.Table, error)) (*Table, error) {
+	s, err := get()
+	if err != nil {
+		return nil, err
+	}
+	return run(s)
+}
+
+// ArchFromGraphFile extracts a network-architecture vector from a
+// static-graph model file (ONNX-style JSON node list) — the §4.2 path
+// for TensorFlow/ONNX models. It returns the vector and the model name
+// recorded in the file.
+func ArchFromGraphFile(r io.Reader) (Arch, string, error) {
+	return extract.FromGraphFile(r)
+}
+
+// ArchTracer records module invocations during one traced mini-batch —
+// the §4.2 path for dynamic-graph (PyTorch-style) models.
+type ArchTracer = extract.Tracer
+
+// NewArchTracer returns an empty tracer; call OnModule for every module
+// invocation of one mini-batch, then Arch for the vector.
+func NewArchTracer() *ArchTracer { return extract.NewTracer() }
+
+// SortedServiceNames returns the catalog service names sorted — a
+// small convenience for stable iteration in user code.
+func SortedServiceNames() []string {
+	var names []string
+	for _, svc := range model.Services() {
+		names = append(names, svc.Name)
+	}
+	sort.Strings(names)
+	return names
+}

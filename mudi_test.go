@@ -1,0 +1,201 @@
+package mudi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCatalogAccessors(t *testing.T) {
+	if len(Services()) != 6 {
+		t.Fatalf("services %d", len(Services()))
+	}
+	if len(Tasks()) != 9 {
+		t.Fatalf("tasks %d", len(Tasks()))
+	}
+	if len(BatchSizes()) != 6 {
+		t.Fatalf("batch sizes %d", len(BatchSizes()))
+	}
+	names := SortedServiceNames()
+	if len(names) != 6 || names[0] != "BERT" {
+		t.Fatalf("sorted names %v", names)
+	}
+}
+
+func TestSystemSimulate(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Simulate(SimOptions{Devices: 6, Tasks: 8, MeanGapSec: 5, IterScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 8 {
+		t.Fatalf("completed %d/8", res.Completed)
+	}
+	if res.MeanSLOViolation() > 0.1 {
+		t.Fatalf("violation %v", res.MeanSLOViolation())
+	}
+}
+
+func TestSystemBaselines(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"gslice", "gpulets", "muxflow", "random", "optimal"} {
+		p, err := sys.Baseline(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("%s has no name", name)
+		}
+	}
+	if _, err := sys.Baseline("bogus"); err == nil {
+		t.Fatal("bogus baseline accepted")
+	}
+}
+
+func TestSimulateWithBaselineAndQueuePolicy(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gslice, err := sys.Baseline("gslice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Simulate(SimOptions{
+		Policy: gslice, Devices: 6, Tasks: 6, MeanGapSec: 5, IterScale: 0.001,
+		QueuePolicy: "sjf",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "gslice" {
+		t.Fatalf("policy %q", res.Policy)
+	}
+	if _, err := sys.Simulate(SimOptions{QueuePolicy: "bogus"}); err == nil {
+		t.Fatal("bogus queue policy accepted")
+	}
+}
+
+func TestExplicitArrivalsAndTrace(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := PhillyArrivals(5, 5, 0.001, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Simulate(SimOptions{
+		Devices: 4, Arrivals: arrivals, TraceDeviceIdx: 1,
+		Bursts: []Burst{{Start: 30, End: 60, Factor: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("device trace empty")
+	}
+}
+
+func TestCustomService(t *testing.T) {
+	custom := InferenceService{
+		Name: "MyNet", Domain: "Custom", Dataset: "private",
+		ParamsM: 10, SLOms: 250, BaseQPS: 150,
+		WeightMB: 80, ActivationMBPerItem: 20,
+	}
+	sys, err := NewSystem(SystemConfig{Seed: 5, ExtraServices: []InferenceService{custom}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Simulate(SimOptions{Devices: 7, Tasks: 7, MeanGapSec: 5, IterScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.SLOViolation["MyNet"]; !ok {
+		t.Fatal("custom service not simulated")
+	}
+}
+
+func TestMaxThroughputFacade(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qps, err := sys.MaxThroughput("BERT", "LSTM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qps <= 0 {
+		t.Fatalf("max throughput %v", qps)
+	}
+}
+
+func TestExperimentDispatch(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) != 21 {
+		t.Fatalf("experiments %d", len(names))
+	}
+	tab, err := RunExperiment("tab2", 1, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tab.WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Table 2") {
+		t.Fatalf("unexpected table output:\n%s", b.String())
+	}
+	if _, err := RunExperiment("bogus", 1, ScaleSmall); err == nil {
+		t.Fatal("bogus experiment accepted")
+	}
+}
+
+func TestSimulateWithMIG(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Simulate(SimOptions{
+		Devices: 3, Tasks: 6, MeanGapSec: 5, IterScale: 0.001, MIGSlices: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 6 {
+		t.Fatalf("completed %d/6 on MIG instances", res.Completed)
+	}
+	if _, err := sys.Simulate(SimOptions{Devices: 2, MIGSlices: 9}); err == nil {
+		t.Fatal("invalid MIG slice count accepted")
+	}
+}
+
+func TestStreamExperimentsCheapSet(t *testing.T) {
+	var titles []string
+	err := StreamExperiments([]string{"fig3", "fig5", "background"}, 1, ScaleSmall, func(tab *Table) error {
+		titles = append(titles, tab.Title)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(titles) != 3 {
+		t.Fatalf("tables %d", len(titles))
+	}
+}
+
+func TestStreamExperimentsCallbackError(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	err := StreamExperiments([]string{"fig3"}, 1, ScaleSmall, func(*Table) error {
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+}
