@@ -1,0 +1,28 @@
+# Developer entry points. `make tier1` is the gate every change must
+# pass; `make race` re-checks the concurrent experiment engine under
+# the race detector (much slower — the exp suite runs everything twice
+# to compare worker counts).
+
+GO ?= go
+
+# Packages exercised concurrently by the parallel experiment engine.
+RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq
+
+.PHONY: tier1 build test race bench-parallel ci
+
+tier1: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 120m $(RACE_PKGS)
+
+# Regenerate the numbers recorded in BENCH_parallel.json.
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkSuite(Sequential|Parallel)$$' -benchtime 3x -short -count=1 .
+
+ci: tier1 race

@@ -374,6 +374,35 @@ func BenchmarkQueuePolicies(b *testing.B) {
 	}
 }
 
+// benchRunAll times the four-policy end-to-end comparison at a given
+// worker count. Suite construction (offline profiling + predictor
+// training) is excluded from the timed region so the numbers isolate
+// the experiment fan-out itself.
+func benchRunAll(b *testing.B, parallel int) {
+	cfg := benchCfg(b)
+	cfg.Parallel = parallel
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := exp.NewSuite(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := s.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSequential is the one-worker baseline for the parallel
+// experiment engine; compare against BenchmarkSuiteParallel.
+func BenchmarkSuiteSequential(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkSuiteParallel runs the same cells across GOMAXPROCS workers.
+// The results are bit-identical to the sequential run (see
+// internal/exp's determinism tests); only the wall clock changes.
+func BenchmarkSuiteParallel(b *testing.B) { benchRunAll(b, 0) }
+
 func BenchmarkFidelity(b *testing.B) {
 	cfg := benchCfg(b)
 	for i := 0; i < b.N; i++ {

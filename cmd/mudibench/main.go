@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"mudi"
@@ -36,8 +37,9 @@ func run(args []string, stdout io.Writer) error {
 		scaleFlag = fs.String("scale", "small", "experiment scale: small, physical, simulated")
 		seedFlag  = fs.Uint64("seed", 1, "random seed for the testbed and traces")
 		csvFlag   = fs.Bool("csv", false, "emit CSV instead of ASCII tables")
-		outFlag   = fs.String("o", "", "also write one CSV file per experiment into this directory")
-		listFlag  = fs.Bool("list", false, "list experiment names and exit")
+		outFlag      = fs.String("o", "", "also write one CSV file per experiment into this directory")
+		listFlag     = fs.Bool("list", false, "list experiment names and exit")
+		parallelFlag = fs.Int("parallel", runtime.NumCPU(), "worker count for independent experiment cells (results identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,7 +78,8 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	idx := 0
-	return mudi.StreamExperiments(names, *seedFlag, scale, func(tab *mudi.Table) error {
+	ecfg := mudi.ExperimentConfig{Seed: *seedFlag, Scale: scale, Parallel: *parallelFlag}
+	return mudi.StreamExperimentsCfg(names, ecfg, func(tab *mudi.Table) error {
 		if *outFlag != "" {
 			name := "all"
 			if idx < len(names) && len(names) > 0 {

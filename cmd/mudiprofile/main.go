@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mudi/internal/model"
@@ -23,16 +24,28 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mudiprofile: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against the given arguments, writing output to
+// stdout; factored out of main for testability.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mudiprofile", flag.ContinueOnError)
 	var (
-		serviceFlag = flag.String("service", "", "profile only this service (default: all)")
-		colocFlag   = flag.String("coloc", "", "profile only this co-located training task (default: solo + observed)")
-		batchFlag   = flag.Int("batch", 0, "profile only this batch size (default: all)")
-		samplesFlag = flag.Bool("samples", false, "also dump the raw latency samples")
-		seedFlag    = flag.Uint64("seed", 1, "testbed seed")
-		saveFlag    = flag.String("save", "", "write the fitted profiles to this JSON file")
-		loadFlag    = flag.String("load", "", "load profiles from this JSON file instead of profiling")
+		serviceFlag = fs.String("service", "", "profile only this service (default: all)")
+		colocFlag   = fs.String("coloc", "", "profile only this co-located training task (default: solo + observed)")
+		batchFlag   = fs.Int("batch", 0, "profile only this batch size (default: all)")
+		samplesFlag = fs.Bool("samples", false, "also dump the raw latency samples")
+		seedFlag    = fs.Uint64("seed", 1, "testbed seed")
+		saveFlag    = fs.String("save", "", "write the fitted profiles to this JSON file")
+		loadFlag    = fs.String("load", "", "load profiles from this JSON file instead of profiling")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	oracle := perf.NewOracle(*seedFlag)
 	prof := profiler.New(oracle, xrand.New(*seedFlag+100))
@@ -41,7 +54,7 @@ func main() {
 	if *serviceFlag != "" {
 		svc, ok := model.ServiceByName(*serviceFlag)
 		if !ok {
-			fail(fmt.Errorf("unknown service %q", *serviceFlag))
+			return fmt.Errorf("unknown service %q", *serviceFlag)
 		}
 		services = []model.InferenceService{svc}
 	}
@@ -53,7 +66,7 @@ func main() {
 	if *colocFlag != "" {
 		task, ok := model.TaskByName(*colocFlag)
 		if !ok {
-			fail(fmt.Errorf("unknown training task %q", *colocFlag))
+			return fmt.Errorf("unknown training task %q", *colocFlag)
 		}
 		colocSets = [][]model.TrainingTask{{task}}
 	}
@@ -63,12 +76,12 @@ func main() {
 	if *loadFlag != "" {
 		f, err := os.Open(*loadFlag)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		all, err := profiler.LoadProfiles(f)
 		f.Close()
 		if err != nil {
-			fail(err)
+			return err
 		}
 		loaded = make(map[string][]profiler.Profile)
 		for _, p := range all {
@@ -87,7 +100,7 @@ func main() {
 		} else {
 			profiles, err = prof.ProfileService(svc.Name, batches, colocSets)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			toSave = append(toSave, profiles...)
 		}
@@ -106,8 +119,8 @@ func main() {
 			}
 			tab.AddRow(p.Batch, coloc, p.Curve.K1, p.Curve.K2, p.Curve.Cutoff, p.Curve.L0)
 		}
-		if err := tab.WriteASCII(os.Stdout); err != nil {
-			fail(err)
+		if err := tab.WriteASCII(stdout); err != nil {
+			return err
 		}
 		if *samplesFlag {
 			st := report.NewTable(svc.Name+" raw samples", "batch", "co-location", "GPU%", "P99 (ms)")
@@ -120,34 +133,30 @@ func main() {
 					st.AddRow(p.Batch, coloc, fmt.Sprintf("%.0f%%", sm.Delta*100), sm.Latency)
 				}
 			}
-			if err := st.WriteASCII(os.Stdout); err != nil {
-				fail(err)
+			if err := st.WriteASCII(stdout); err != nil {
+				return err
 			}
 		}
 		if err := pred.Train(profiles); err != nil {
-			fail(err)
+			return err
 		}
 		names, err := pred.ModelNames(svc.Name)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("# %s interference models: k1=%s k2=%s Δ0=%s l0=%s\n\n",
+		fmt.Fprintf(stdout, "# %s interference models: k1=%s k2=%s Δ0=%s l0=%s\n\n",
 			svc.Name, names[0], names[1], names[2], names[3])
 	}
 	if *saveFlag != "" && len(toSave) > 0 {
 		f, err := os.Create(*saveFlag)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		defer f.Close()
 		if err := profiler.SaveProfiles(f, toSave); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("# saved %d profiles to %s\n", len(toSave), *saveFlag)
+		fmt.Fprintf(stdout, "# saved %d profiles to %s\n", len(toSave), *saveFlag)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "mudiprofile: %v\n", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleService(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-service", "GPT2", "-batch", "16"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "GPT2 fitted curves") || !strings.Contains(out, "interference models") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunSaveAndLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	var b strings.Builder
+	if err := run([]string{"-service", "BERT", "-batch", "16", "-save", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("profiles not saved: %v", err)
+	}
+	b.Reset()
+	if err := run([]string{"-service", "BERT", "-load", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "BERT fitted curves") {
+		t.Fatalf("loaded output:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-service", "bogus"}, &b); err == nil {
+		t.Fatal("bogus service accepted")
+	}
+	if err := run([]string{"-service", "GPT2", "-coloc", "bogus"}, &b); err == nil {
+		t.Fatal("bogus coloc task accepted")
+	}
+}

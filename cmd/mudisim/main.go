@@ -6,13 +6,16 @@
 //	mudisim -policy mudi -devices 12 -tasks 50
 //	mudisim -policy gslice -load 3
 //	mudisim -policy mudi -burst 100:200:3 -trace 1
+//	mudisim -repeats 8 -parallel 4     # 8 seed-derived replicas, 4 workers
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -26,76 +29,101 @@ import (
 	"mudi/internal/predictor"
 	"mudi/internal/profiler"
 	"mudi/internal/report"
+	"mudi/internal/runner"
+	"mudi/internal/stats"
 	"mudi/internal/xrand"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mudisim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against the given arguments, writing output to
+// stdout; factored out of main for testability.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mudisim", flag.ContinueOnError)
 	var (
-		policyFlag  = flag.String("policy", "mudi", "policy: mudi, gslice, gpulets, muxflow, random, optimal")
-		devicesFlag = flag.Int("devices", 12, "number of GPUs")
-		tasksFlag   = flag.Int("tasks", 30, "number of training-task arrivals")
-		gapFlag     = flag.Float64("gap", 8, "mean arrival gap in seconds")
-		loadFlag    = flag.Float64("load", 1, "QPS load multiplier")
-		seedFlag    = flag.Uint64("seed", 1, "random seed")
-		queueFlag   = flag.String("queue", "fcfs", "queue policy: fcfs, sjf, fair, priority")
-		burstFlag   = flag.String("burst", "", "QPS burst as start:end:factor (e.g. 100:200:3)")
-		traceFlag   = flag.Int("trace", 0, "1-based device index to trace per window")
-		moreFlag    = flag.Int("maxtrain", 1, "max training tasks per GPU (3 = Mudi-more)")
-		liveFlag    = flag.Duration("live", 0, "run the live Local Coordinator (goroutines + ETCD-style store) for this wall-clock duration instead of the batch simulation")
-		jsonFlag    = flag.Bool("json", false, "emit the result as JSON instead of tables")
+		policyFlag   = fs.String("policy", "mudi", "policy: mudi, gslice, gpulets, muxflow, random, optimal")
+		devicesFlag  = fs.Int("devices", 12, "number of GPUs")
+		tasksFlag    = fs.Int("tasks", 30, "number of training-task arrivals")
+		gapFlag      = fs.Float64("gap", 8, "mean arrival gap in seconds")
+		loadFlag     = fs.Float64("load", 1, "QPS load multiplier")
+		seedFlag     = fs.Uint64("seed", 1, "random seed")
+		queueFlag    = fs.String("queue", "fcfs", "queue policy: fcfs, sjf, fair, priority")
+		burstFlag    = fs.String("burst", "", "QPS burst as start:end:factor (e.g. 100:200:3)")
+		traceFlag    = fs.Int("trace", 0, "1-based device index to trace per window")
+		moreFlag     = fs.Int("maxtrain", 1, "max training tasks per GPU (3 = Mudi-more)")
+		liveFlag     = fs.Duration("live", 0, "run the live Local Coordinator (goroutines + ETCD-style store) for this wall-clock duration instead of the batch simulation")
+		jsonFlag     = fs.Bool("json", false, "emit the result as JSON instead of tables")
+		repeatsFlag  = fs.Int("repeats", 1, "replica count: run the simulation N times with seeds derived from -seed and report mean/std")
+		parallelFlag = fs.Int("parallel", runtime.NumCPU(), "worker count for replica fan-out (results identical for any value)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *liveFlag > 0 {
-		runLive(*seedFlag, *liveFlag)
-		return
+		return runLive(*seedFlag, *liveFlag, stdout)
 	}
 
-	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: *seedFlag, MaxTrainPerGPU: *moreFlag})
-	if err != nil {
-		fail(err)
-	}
-	opts := mudi.SimOptions{
-		Devices:        *devicesFlag,
-		Tasks:          *tasksFlag,
-		MeanGapSec:     *gapFlag,
-		IterScale:      0.002,
-		LoadFactor:     *loadFlag,
-		QueuePolicy:    *queueFlag,
-		TraceDeviceIdx: *traceFlag,
-	}
-	if *policyFlag != "mudi" {
-		p, err := sys.Baseline(*policyFlag)
-		if err != nil {
-			fail(err)
-		}
-		opts.Policy = p
-	}
+	var bursts []mudi.Burst
 	if *burstFlag != "" {
 		parts := strings.Split(*burstFlag, ":")
 		if len(parts) != 3 {
-			fail(fmt.Errorf("bad -burst %q, want start:end:factor", *burstFlag))
+			return fmt.Errorf("bad -burst %q, want start:end:factor", *burstFlag)
 		}
 		var vals [3]float64
 		for i, p := range parts {
 			v, err := strconv.ParseFloat(p, 64)
 			if err != nil {
-				fail(fmt.Errorf("bad -burst %q: %v", *burstFlag, err))
+				return fmt.Errorf("bad -burst %q: %v", *burstFlag, err)
 			}
 			vals[i] = v
 		}
-		opts.Bursts = []mudi.Burst{{Start: vals[0], End: vals[1], Factor: vals[2]}}
+		bursts = []mudi.Burst{{Start: vals[0], End: vals[1], Factor: vals[2]}}
 	}
 
-	res, err := sys.Simulate(opts)
+	simulate := func(seed uint64) (*mudi.Result, error) {
+		sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: seed, MaxTrainPerGPU: *moreFlag})
+		if err != nil {
+			return nil, err
+		}
+		opts := mudi.SimOptions{
+			Devices:        *devicesFlag,
+			Tasks:          *tasksFlag,
+			MeanGapSec:     *gapFlag,
+			IterScale:      0.002,
+			LoadFactor:     *loadFlag,
+			QueuePolicy:    *queueFlag,
+			TraceDeviceIdx: *traceFlag,
+			Bursts:         bursts,
+		}
+		if *policyFlag != "mudi" {
+			p, err := sys.Baseline(*policyFlag)
+			if err != nil {
+				return nil, err
+			}
+			opts.Policy = p
+		}
+		return sys.Simulate(opts)
+	}
+
+	if *repeatsFlag > 1 {
+		if *jsonFlag {
+			return fmt.Errorf("-json supports a single run; drop it or use -repeats 1")
+		}
+		return runRepeats(*repeatsFlag, *parallelFlag, *seedFlag, *policyFlag, simulate, stdout)
+	}
+
+	res, err := simulate(*seedFlag)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if *jsonFlag {
-		if err := res.WriteJSON(os.Stdout, 64); err != nil {
-			fail(err)
-		}
-		return
+		return res.WriteJSON(stdout, 64)
 	}
 
 	tab := report.NewTable(fmt.Sprintf("mudisim: %s on %d GPUs, %d tasks, load %gx", res.Policy, *devicesFlag, *tasksFlag, *loadFlag),
@@ -116,8 +144,8 @@ func main() {
 	tab.AddRow("swap events", res.SwapEvents)
 	tab.AddRow("reconfigurations", res.Reconfigs)
 	tab.AddRow("paused episodes", res.PausedEpisodes)
-	if err := tab.WriteASCII(os.Stdout); err != nil {
-		fail(err)
+	if err := tab.WriteASCII(stdout); err != nil {
+		return err
 	}
 
 	svcTab := report.NewTable("per-service SLO violation", "service", "violation", "mean P99 (ms)")
@@ -129,8 +157,8 @@ func main() {
 	for _, name := range names {
 		svcTab.AddRow(name, report.Pct(res.SLOViolation[name]), res.MeanP99[name])
 	}
-	if err := svcTab.WriteASCII(os.Stdout); err != nil {
-		fail(err)
+	if err := svcTab.WriteASCII(stdout); err != nil {
+		return err
 	}
 
 	if *traceFlag > 0 && len(res.Trace) > 0 {
@@ -141,27 +169,63 @@ func main() {
 			}
 			tr.AddRow(pt.Time, pt.QPS, pt.Batch, fmt.Sprintf("%.0f%%", pt.Delta*100), pt.LatencyMs, pt.BudgetMs, pt.SwappedMB)
 		}
-		if err := tr.WriteASCII(os.Stdout); err != nil {
-			fail(err)
+		if err := tr.WriteASCII(stdout); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// runRepeats fans n independent replicas across the worker pool. Each
+// replica's seed derives from (seed, replica index), so the set of
+// results is the same regardless of worker count or completion order.
+func runRepeats(n, parallel int, seed uint64, policy string, simulate func(uint64) (*mudi.Result, error), stdout io.Writer) error {
+	pool := runner.New(parallel)
+	cells := make([]runner.Cell[*mudi.Result], n)
+	for i := 0; i < n; i++ {
+		i := i
+		cells[i] = runner.Cell[*mudi.Result]{
+			Key: fmt.Sprintf("replica-%d", i),
+			Run: func() (*mudi.Result, error) { return simulate(xrand.DeriveSeed(seed, uint64(i))) },
+		}
+	}
+	ress, err := runner.Run(pool, cells)
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable(fmt.Sprintf("mudisim: %s, %d replicas (seeds derived from %d), %d workers", policy, n, seed, pool.Workers()),
+		"replica", "SLO violation", "mean CT (s)", "mean wait (s)", "makespan (s)", "completed")
+	var viols, cts, waits, spans []float64
+	for i, res := range ress {
+		viols = append(viols, res.MeanSLOViolation())
+		cts = append(cts, res.MeanCT())
+		waits = append(waits, res.MeanWaiting())
+		spans = append(spans, res.Makespan)
+		tab.AddRow(i, report.Pct(res.MeanSLOViolation()), res.MeanCT(), res.MeanWaiting(), res.Makespan, res.Completed)
+	}
+	tab.AddNote("mean ± std: violation %s ± %s, CT %.1f ± %.1f s, wait %.1f ± %.1f s, makespan %.1f ± %.1f s",
+		report.Pct(stats.Mean(viols)), report.Pct(stats.StdDev(viols)),
+		stats.Mean(cts), stats.StdDev(cts),
+		stats.Mean(waits), stats.StdDev(waits),
+		stats.Mean(spans), stats.StdDev(spans))
+	return tab.WriteASCII(stdout)
 }
 
 // runLive drives the concurrent Local Coordinator (§6): one Monitor,
 // Tuner, and Agent set per device, communicating through the embedded
 // watchable config store.
-func runLive(seed uint64, dur time.Duration) {
+func runLive(seed uint64, dur time.Duration, stdout io.Writer) error {
 	oracle := perf.NewOracle(seed)
 	prof := profiler.New(oracle, xrand.New(seed+100))
 	pred := predictor.New(seed)
 	profiles, err := prof.ProfileAll(nil, nil)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	policy := core.NewMudi(pred, core.MudiConfig{Seed: seed})
 	for _, ps := range profiles {
 		if err := pred.Train(ps); err != nil {
-			fail(err)
+			return err
 		}
 		policy.AddProfiles(ps)
 	}
@@ -175,13 +239,13 @@ func runLive(seed uint64, dur time.Duration) {
 	}
 	coord, err := coordinator.New(coordinator.Config{Seed: seed}, oracle, policy, specs)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), dur)
 	defer cancel()
-	fmt.Printf("running live coordinator on %d devices for %s...\n", len(specs), dur)
+	fmt.Fprintf(stdout, "running live coordinator on %d devices for %s...\n", len(specs), dur)
 	if err := coord.Run(ctx); err != nil {
-		fail(err)
+		return err
 	}
 	tab := report.NewTable("live coordinator stats",
 		"device", "service", "windows", "violations", "retunes", "configs applied", "batch", "GPU%", "iter (ms)")
@@ -189,12 +253,5 @@ func runLive(seed uint64, dur time.Duration) {
 		tab.AddRow(st.DeviceID, specs[i].Service.Name, st.Windows, st.Violations, st.Retunes,
 			st.ConfigsApplied, st.Batch, fmt.Sprintf("%.0f%%", st.Delta*100), st.TrainIterMs)
 	}
-	if err := tab.WriteASCII(os.Stdout); err != nil {
-		fail(err)
-	}
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "mudisim: %v\n", err)
-	os.Exit(1)
+	return tab.WriteASCII(stdout)
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleSimulation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-devices", "4", "-tasks", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"mean SLO violation", "makespan (s)", "per-service SLO violation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-devices", "4", "-tasks", "4", "-json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "\"policy\"") {
+		t.Fatalf("json output:\n%s", b.String())
+	}
+}
+
+// TestRunRepeatsDeterministic drives the replica fan-out twice with
+// different worker counts: the per-replica tables must be identical.
+func TestRunRepeatsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six simulations in -short")
+	}
+	render := func(parallel string) string {
+		var b strings.Builder
+		err := run([]string{"-devices", "4", "-tasks", "4", "-repeats", "3", "-parallel", parallel}, &b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	seq := render("1")
+	par := render("4")
+	// The table header names the worker count; compare everything after it.
+	trim := func(s string) string {
+		if i := strings.Index(s, "\n"); i >= 0 {
+			return s[i:]
+		}
+		return s
+	}
+	if trim(seq) != trim(par) {
+		t.Errorf("replica tables differ across -parallel:\nseq:\n%s\npar:\n%s", seq, par)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-burst", "nope"}, &b); err == nil {
+		t.Fatal("bad burst accepted")
+	}
+	if err := run([]string{"-repeats", "2", "-json"}, &b); err == nil {
+		t.Fatal("-json with -repeats accepted")
+	}
+	if err := run([]string{"-policy", "bogus", "-devices", "2", "-tasks", "2"}, &b); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

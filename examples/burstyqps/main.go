@@ -7,15 +7,25 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mudi"
 )
 
 func main() {
+	if err := run(os.Stdout, 2500); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run replays the burst case study with the given training length;
+// factored out of main so tests can drive a shorter task.
+func run(w io.Writer, iters int) error {
 	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 7})
 	if err != nil {
-		log.Fatalf("offline pipeline: %v", err)
+		return fmt.Errorf("offline pipeline: %w", err)
 	}
 
 	// Hand-craft the arrival: YOLOv5 lands at t=10 s and trains across
@@ -26,7 +36,7 @@ func main() {
 			yolo = t
 		}
 	}
-	arrivals := []mudi.TaskArrival{{ID: 0, At: 10, Task: yolo, Iters: 2500, GPUsReq: 1}}
+	arrivals := []mudi.TaskArrival{{ID: 0, At: 10, Task: yolo, Iters: iters, GPUsReq: 1}}
 
 	res, err := sys.Simulate(mudi.SimOptions{
 		Devices:        1, // a single device: the catalog's first service is ResNet50
@@ -35,10 +45,10 @@ func main() {
 		TraceDeviceIdx: 1,
 	})
 	if err != nil {
-		log.Fatalf("simulate: %v", err)
+		return fmt.Errorf("simulate: %w", err)
 	}
 
-	fmt.Println("t(s)   QPS    batch  GPU%  P99(ms)  budget   swapped(MB)  state")
+	fmt.Fprintln(w, "t(s)   QPS    batch  GPU%  P99(ms)  budget   swapped(MB)  state")
 	for i, pt := range res.Trace {
 		if i%10 != 0 {
 			continue
@@ -51,7 +61,7 @@ func main() {
 		if pt.Violated {
 			flag = "!"
 		}
-		fmt.Printf("%5.0f  %5.0f  %5d  %3.0f%%  %7.1f  %7.1f  %11.0f  %s%s\n",
+		fmt.Fprintf(w, "%5.0f  %5.0f  %5d  %3.0f%%  %7.1f  %7.1f  %11.0f  %s%s\n",
 			pt.Time, pt.QPS, pt.Batch, pt.Delta*100, pt.LatencyMs, pt.BudgetMs, pt.SwappedMB, state, flag)
 	}
 
@@ -61,9 +71,10 @@ func main() {
 			viol++
 		}
 	}
-	fmt.Printf("\ncase-study SLO violation: %.2f%% (paper: 0.71%%)\n",
+	fmt.Fprintf(w, "\ncase-study SLO violation: %.2f%% (paper: 0.71%%)\n",
 		100*float64(viol)/float64(len(res.Trace)))
-	fmt.Printf("memory swap events: %d, mean transfer %.2f ms (paper: 23.31 ms)\n",
+	fmt.Fprintf(w, "memory swap events: %d, mean transfer %.2f ms (paper: 23.31 ms)\n",
 		res.SwapEvents, res.AvgTransferMs)
-	fmt.Printf("training completed: %d/%d\n", res.Completed, res.Admitted)
+	fmt.Fprintf(w, "training completed: %d/%d\n", res.Completed, res.Admitted)
+	return nil
 }

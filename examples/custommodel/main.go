@@ -7,12 +7,22 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mudi"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run registers the custom service and task and simulates them
+// alongside a few catalog tasks; factored out of main for testability.
+func run(w io.Writer) error {
 	// A custom inference service: a mid-size vision transformer with a
 	// 400 ms SLO at 120 req/s.
 	vit := mudi.InferenceService{
@@ -28,7 +38,7 @@ func main() {
 		ExtraServices: []mudi.InferenceService{vit},
 	})
 	if err != nil {
-		log.Fatalf("offline pipeline: %v", err)
+		return fmt.Errorf("offline pipeline: %w", err)
 	}
 
 	// A custom training task described only by its architecture: the
@@ -72,17 +82,18 @@ func main() {
 		Arrivals: arrivals,
 	})
 	if err != nil {
-		log.Fatalf("simulate: %v", err)
+		return fmt.Errorf("simulate: %w", err)
 	}
 
-	fmt.Printf("completed %d/%d tasks, mean SLO violation %.2f%%\n",
+	fmt.Fprintf(w, "completed %d/%d tasks, mean SLO violation %.2f%%\n",
 		res.Completed, res.Admitted, res.MeanSLOViolation()*100)
-	fmt.Printf("ViT-Serve violation: %.2f%% (SLO %.0f ms, mean P99 %.1f ms)\n",
+	fmt.Fprintf(w, "ViT-Serve violation: %.2f%% (SLO %.0f ms, mean P99 %.1f ms)\n",
 		res.SLOViolation["ViT-Serve"]*100, vit.SLOms, res.MeanP99["ViT-Serve"])
-	fmt.Println("\nper-service results:")
+	fmt.Fprintln(w, "\nper-service results:")
 	for _, name := range append(mudi.SortedServiceNames(), "ViT-Serve") {
 		if v, ok := res.SLOViolation[name]; ok {
-			fmt.Printf("  %-10s %.2f%%\n", name, v*100)
+			fmt.Fprintf(w, "  %-10s %.2f%%\n", name, v*100)
 		}
 	}
+	return nil
 }

@@ -7,7 +7,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mudi"
 )
@@ -20,14 +22,21 @@ func main() {
 	if *paper {
 		devices, tasks, gap = 1000, 5000, 0.8
 	}
+	if err := run(os.Stdout, devices, tasks, gap); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run compares Mudi against the baselines on a fleet of the given size;
+// factored out of main so tests can drive a smaller cluster.
+func run(w io.Writer, devices, tasks int, gap float64) error {
 	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 11})
 	if err != nil {
-		log.Fatalf("offline pipeline: %v", err)
+		return fmt.Errorf("offline pipeline: %w", err)
 	}
 	arrivals, err := mudi.PhillyArrivals(tasks, gap, 0.002, 11)
 	if err != nil {
-		log.Fatalf("trace: %v", err)
+		return fmt.Errorf("trace: %w", err)
 	}
 
 	type row struct {
@@ -40,7 +49,7 @@ func main() {
 		if name != "mudi" {
 			policy, err = sys.Baseline(name)
 			if err != nil {
-				log.Fatalf("baseline %s: %v", name, err)
+				return fmt.Errorf("baseline %s: %w", name, err)
 			}
 		}
 		res, err := sys.Simulate(mudi.SimOptions{
@@ -49,21 +58,22 @@ func main() {
 			Arrivals: arrivals,
 		})
 		if err != nil {
-			log.Fatalf("simulate %s: %v", name, err)
+			return fmt.Errorf("simulate %s: %w", name, err)
 		}
 		rows = append(rows, row{name, res})
-		fmt.Printf("finished %-8s  violation %.2f%%  meanCT %.0fs  makespan %.0fs  completed %d/%d\n",
+		fmt.Fprintf(w, "finished %-8s  violation %.2f%%  meanCT %.0fs  makespan %.0fs  completed %d/%d\n",
 			name, res.MeanSLOViolation()*100, res.MeanCT(), res.Makespan, res.Completed, res.Admitted)
 	}
 
 	mudiRes := rows[0].res
-	fmt.Println("\nrelative to Mudi (paper: CT up to 2.27x vs GSLICE, violations up to 6x lower):")
+	fmt.Fprintln(w, "\nrelative to Mudi (paper: CT up to 2.27x vs GSLICE, violations up to 6x lower):")
 	for _, r := range rows[1:] {
 		violRatio := 0.0
 		if mudiRes.MeanSLOViolation() > 0 {
 			violRatio = r.res.MeanSLOViolation() / mudiRes.MeanSLOViolation()
 		}
-		fmt.Printf("  %-8s violations %.2fx, mean CT %.2fx, makespan %.2fx\n",
+		fmt.Fprintf(w, "  %-8s violations %.2fx, mean CT %.2fx, makespan %.2fx\n",
 			r.name, violRatio, r.res.MeanCT()/mudiRes.MeanCT(), r.res.Makespan/mudiRes.Makespan)
 	}
+	return nil
 }

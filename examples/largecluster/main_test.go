@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the four-policy comparison on a small fleet and
+// checks every policy reports a finished line plus the relative table.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four end-to-end simulations in -short")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 8, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"finished mudi", "finished gslice", "finished gpulets", "finished muxflow", "relative to Mudi"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -7,19 +7,29 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mudi"
 )
 
 func main() {
+	if err := run(os.Stdout, 24); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run compares whole-GPU and 2-way-MIG deployments over a trace of the
+// given task count; factored out of main so tests can drive fewer tasks.
+func run(w io.Writer, tasks int) error {
 	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 33})
 	if err != nil {
-		log.Fatalf("offline pipeline: %v", err)
+		return fmt.Errorf("offline pipeline: %w", err)
 	}
-	arrivals, err := mudi.PhillyArrivals(24, 6, 0.001, 33)
+	arrivals, err := mudi.PhillyArrivals(tasks, 6, 0.001, 33)
 	if err != nil {
-		log.Fatalf("trace: %v", err)
+		return fmt.Errorf("trace: %w", err)
 	}
 
 	for _, cfg := range []struct {
@@ -35,11 +45,12 @@ func main() {
 			MIGSlices: cfg.slices,
 		})
 		if err != nil {
-			log.Fatalf("%s: %v", cfg.name, err)
+			return fmt.Errorf("%s: %w", cfg.name, err)
 		}
-		fmt.Printf("%-26s SLO viol %.2f%%  mean CT %.0fs  mean wait %.0fs  swaps %d\n",
+		fmt.Fprintf(w, "%-26s SLO viol %.2f%%  mean CT %.0fs  mean wait %.0fs  swaps %d\n",
 			cfg.name, res.MeanSLOViolation()*100, res.MeanCT(), res.MeanWaiting(), res.SwapEvents)
 	}
-	fmt.Println("\nMIG doubles placement slots (shorter queues) at the cost of")
-	fmt.Println("per-instance memory, which the unified-memory manager absorbs by swapping.")
+	fmt.Fprintln(w, "\nMIG doubles placement slots (shorter queues) at the cost of")
+	fmt.Fprintln(w, "per-instance memory, which the unified-memory manager absorbs by swapping.")
+	return nil
 }

@@ -5,42 +5,53 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mudi"
 )
 
 func main() {
+	if err := run(os.Stdout, 12, 30); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run builds the system and simulates tasks training-task arrivals on
+// devices GPUs; factored out of main so tests can drive a smaller scale.
+func run(w io.Writer, devices, tasks int) error {
 	// NewSystem runs the paper's offline phase: profile every inference
 	// service against the observed training tasks on the synthetic
 	// testbed, fit the piecewise latency curves, and train the
 	// interference predictor.
 	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 42})
 	if err != nil {
-		log.Fatalf("offline pipeline: %v", err)
+		return fmt.Errorf("offline pipeline: %w", err)
 	}
 
-	// Simulate 30 training-task arrivals multiplexed with the six
-	// Tab. 1 inference services on 12 GPUs.
+	// Simulate the training-task arrivals multiplexed with the six
+	// Tab. 1 inference services.
 	res, err := sys.Simulate(mudi.SimOptions{
-		Devices:    12,
-		Tasks:      30,
+		Devices:    devices,
+		Tasks:      tasks,
 		MeanGapSec: 8,
 		IterScale:  0.002,
 	})
 	if err != nil {
-		log.Fatalf("simulate: %v", err)
+		return fmt.Errorf("simulate: %w", err)
 	}
 
-	fmt.Printf("policy            %s\n", res.Policy)
-	fmt.Printf("completed         %d / %d tasks\n", res.Completed, res.Admitted)
-	fmt.Printf("mean SLO viol.    %.2f%%\n", res.MeanSLOViolation()*100)
-	fmt.Printf("mean completion   %.1f s\n", res.MeanCT())
-	fmt.Printf("makespan          %.1f s\n", res.Makespan)
-	fmt.Printf("SM utilization    %.1f%%\n", res.SMUtil.TimeAverage(0, res.Makespan)*100)
-	fmt.Println()
+	fmt.Fprintf(w, "policy            %s\n", res.Policy)
+	fmt.Fprintf(w, "completed         %d / %d tasks\n", res.Completed, res.Admitted)
+	fmt.Fprintf(w, "mean SLO viol.    %.2f%%\n", res.MeanSLOViolation()*100)
+	fmt.Fprintf(w, "mean completion   %.1f s\n", res.MeanCT())
+	fmt.Fprintf(w, "makespan          %.1f s\n", res.Makespan)
+	fmt.Fprintf(w, "SM utilization    %.1f%%\n", res.SMUtil.TimeAverage(0, res.Makespan)*100)
+	fmt.Fprintln(w)
 	for _, name := range mudi.SortedServiceNames() {
-		fmt.Printf("  %-10s violation %.2f%%  mean P99 %.1f ms\n",
+		fmt.Fprintf(w, "  %-10s violation %.2f%%  mean P99 %.1f ms\n",
 			name, res.SLOViolation[name]*100, res.MeanP99[name])
 	}
+	return nil
 }

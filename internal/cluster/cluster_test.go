@@ -158,6 +158,28 @@ func TestDeterminism(t *testing.T) {
 	if a.MeanSLOViolation() != b.MeanSLOViolation() {
 		t.Fatal("violation rates differ between identical runs")
 	}
+	// The canonical summary covers every simulated metric; identical
+	// seeds must yield identical bytes.
+	if a.Summary() != b.Summary() {
+		t.Fatal("canonical summaries differ between identical runs")
+	}
+}
+
+func TestSummaryExcludesWallClock(t *testing.T) {
+	oracle := perf.NewOracle(5)
+	mudi := buildMudi(t, oracle, 5)
+	arrivals := smallArrivals(t, 6, 5)
+	res := runPolicy(t, mudi, oracle, arrivals, 4, 5)
+	before := res.Summary()
+	if before == "" || !strings.Contains(before, "policy=") {
+		t.Fatalf("summary malformed: %q", before)
+	}
+	// PlacementOverheadMs is measured in wall-clock time and varies
+	// from run to run; the summary must not depend on it.
+	res.PlacementOverheadMs = append(res.PlacementOverheadMs, 123456)
+	if res.Summary() != before {
+		t.Fatal("summary changed when wall-clock placement overhead changed")
+	}
 }
 
 func TestOptionsValidation(t *testing.T) {

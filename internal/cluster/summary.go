@@ -3,9 +3,92 @@ package cluster
 import (
 	"encoding/json"
 	"io"
+	"sort"
+	"strconv"
+	"strings"
 
 	"mudi/internal/stats"
 )
+
+// Summary renders the deterministic portion of a Result as a canonical
+// string: every simulated metric, byte-identical for identical
+// simulations. It deliberately excludes PlacementOverheadMs — the one
+// wall-clock (non-simulated) field — and iterates maps in sorted key
+// order, so two runs of the same seed compare equal regardless of
+// worker count, scheduling, or host speed. The determinism regression
+// test diffs these strings across -parallel settings.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	floats := func(name string, vs []float64) {
+		b.WriteString(name)
+		b.WriteByte('=')
+		for i, v := range vs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(f(v))
+		}
+		b.WriteByte('\n')
+	}
+	sortedMap := func(name string, m map[string]float64) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString(name)
+		b.WriteByte('=')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(k)
+			b.WriteByte(':')
+			b.WriteString(f(m[k]))
+		}
+		b.WriteByte('\n')
+	}
+	series := func(name string, s *stats.TimeSeries) {
+		if s == nil {
+			b.WriteString(name + "=\n")
+			return
+		}
+		ts, vs := s.Points()
+		b.WriteString(name)
+		b.WriteByte('=')
+		for i := range ts {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(f(ts[i]))
+			b.WriteByte('@')
+			b.WriteString(f(vs[i]))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("policy=" + r.Policy + "\n")
+	sortedMap("slo_violation", r.SLOViolation)
+	sortedMap("mean_p99_ms", r.MeanP99)
+	floats("cts", r.CTs)
+	floats("waiting", r.WaitingT)
+	b.WriteString("makespan=" + f(r.Makespan) + "\n")
+	b.WriteString("completed=" + strconv.Itoa(r.Completed) + "\n")
+	b.WriteString("admitted=" + strconv.Itoa(r.Admitted) + "\n")
+	series("sm_util", r.SMUtil)
+	series("mem_util", r.MemUtil)
+	b.WriteString("swap_events=" + strconv.Itoa(r.SwapEvents) + "\n")
+	sortedMap("swap_fraction", r.SwapFraction)
+	b.WriteString("avg_transfer_ms=" + f(r.AvgTransferMs) + "\n")
+	b.WriteString("reconfigs=" + strconv.Itoa(r.Reconfigs) + "\n")
+	b.WriteString("paused_episodes=" + strconv.Itoa(r.PausedEpisodes) + "\n")
+	for _, pt := range r.Trace {
+		b.WriteString("trace=" + f(pt.Time) + "," + f(pt.QPS) + "," + strconv.Itoa(pt.Batch) + "," +
+			f(pt.Delta) + "," + f(pt.LatencyMs) + "," + f(pt.BudgetMs) + "," +
+			strconv.FormatBool(pt.Violated) + "," + f(pt.SwappedMB) + "," + strconv.FormatBool(pt.Paused) + "\n")
+	}
+	return b.String()
+}
 
 // resultJSON is the machine-readable projection of a Result: scalars,
 // per-service maps, and the utilization series downsampled to a fixed

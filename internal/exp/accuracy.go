@@ -1,11 +1,14 @@
 package exp
 
 import (
+	"fmt"
+
 	"mudi/internal/model"
 	"mudi/internal/perf"
 	"mudi/internal/predictor"
 	"mudi/internal/profiler"
 	"mudi/internal/report"
+	"mudi/internal/runner"
 	"mudi/internal/stats"
 	"mudi/internal/xrand"
 )
@@ -13,52 +16,87 @@ import (
 // Fig11 reproduces the interference-modeling accuracy: per service, the
 // prediction error of each piecewise parameter on the four unseen
 // training tasks, with the winning model family per target.
+//
+// Profiling fans out one cell per service, each owning a profiler whose
+// measurement-noise stream derives from (Seed+2, service index). The
+// predictor then trains sequentially over the profiles in service
+// order, and evaluation fans out again — prediction is read-only.
 func Fig11(cfg Config) (*report.Table, error) {
 	oracle := perf.NewOracle(cfg.Seed)
-	prof := profiler.New(oracle, xrand.New(cfg.Seed+2))
+	pool := runner.New(cfg.Parallel)
+	services := model.Services()
+	profCells := make([]runner.Cell[[]profiler.Profile], len(services))
+	for i, svc := range services {
+		i, svc := i, svc
+		profCells[i] = runner.Cell[[]profiler.Profile]{Key: svc.Name, Run: func() ([]profiler.Profile, error) {
+			prof := profiler.New(oracle, xrand.New(xrand.DeriveSeed(cfg.Seed+2, uint64(i))))
+			return prof.ProfileService(svc.Name, nil, nil)
+		}}
+	}
+	profilesBySvc, err := runner.Run(pool, profCells)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig11: %w", err)
+	}
 	pred := predictor.New(cfg.Seed)
-	for _, svc := range model.Services() {
-		profiles, err := prof.ProfileService(svc.Name, nil, nil)
-		if err != nil {
-			return nil, err
-		}
+	for _, profiles := range profilesBySvc {
 		if err := pred.Train(profiles); err != nil {
 			return nil, err
 		}
 	}
+
+	type svcErrs struct {
+		errs  [4]float64
+		names [4]string
+	}
+	evalCells := make([]runner.Cell[svcErrs], len(serviceOrder))
+	for i, svcName := range serviceOrder {
+		svcName := svcName
+		evalCells[i] = runner.Cell[svcErrs]{Key: svcName, Run: func() (svcErrs, error) {
+			var out svcErrs
+			var preds, truths [4][]float64
+			for _, task := range model.UnseenTasks() {
+				for _, b := range model.BatchSizes() {
+					curve, err := pred.PredictCurve(svcName, b, task.Arch)
+					if err != nil {
+						return out, err
+					}
+					truth, err := oracle.TrainColocCurve(svcName, b, []model.TrainingTask{task})
+					if err != nil {
+						return out, err
+					}
+					cp, tp := curve.Params(), truth.Params()
+					for i := 0; i < 4; i++ {
+						preds[i] = append(preds[i], cp[i])
+						truths[i] = append(truths[i], tp[i])
+					}
+				}
+			}
+			for i := 0; i < 4; i++ {
+				out.errs[i] = stats.MAPE(preds[i], truths[i])
+			}
+			names, err := pred.ModelNames(svcName)
+			if err != nil {
+				return out, err
+			}
+			out.names = names
+			return out, nil
+		}}
+	}
+	evals, err := runner.Run(pool, evalCells)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig11: %w", err)
+	}
+
 	t := report.NewTable("Fig. 11: interference-model prediction error on unseen tasks",
 		"service", "k1 err", "k2 err", "cutoff err", "l0 err", "models (k1/k2/Δ0/l0)")
 	var avg [4]float64
-	for _, svcName := range serviceOrder {
-		var preds, truths [4][]float64
-		for _, task := range model.UnseenTasks() {
-			for _, b := range model.BatchSizes() {
-				curve, err := pred.PredictCurve(svcName, b, task.Arch)
-				if err != nil {
-					return nil, err
-				}
-				truth, err := oracle.TrainColocCurve(svcName, b, []model.TrainingTask{task})
-				if err != nil {
-					return nil, err
-				}
-				cp, tp := curve.Params(), truth.Params()
-				for i := 0; i < 4; i++ {
-					preds[i] = append(preds[i], cp[i])
-					truths[i] = append(truths[i], tp[i])
-				}
-			}
+	for i, svcName := range serviceOrder {
+		e := evals[i]
+		for j := 0; j < 4; j++ {
+			avg[j] += e.errs[j]
 		}
-		var errs [4]float64
-		for i := 0; i < 4; i++ {
-			errs[i] = stats.MAPE(preds[i], truths[i])
-			avg[i] += errs[i]
-		}
-		names, err := pred.ModelNames(svcName)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(svcName, errs[0], errs[1], errs[2], errs[3],
-			names[0]+"/"+names[1]+"/"+names[2]+"/"+names[3])
+		t.AddRow(svcName, e.errs[0], e.errs[1], e.errs[2], e.errs[3],
+			e.names[0]+"/"+e.names[1]+"/"+e.names[2]+"/"+e.names[3])
 	}
 	n := float64(len(serviceOrder))
 	t.AddNote("averages: k1 %.2f, k2 %.2f, Δ0 %.2f, l0 %.2f (paper: 0.23, 0.16, 0.05, 0.06; all bars < 0.3)",
@@ -68,27 +106,15 @@ func Fig11(cfg Config) (*report.Table, error) {
 
 // Fig12 reproduces the E2E-latency prediction error as online samples
 // accumulate (30 → 90), by incrementally profiling co-locations with
-// the unseen tasks.
+// the unseen tasks. Each service's track (profiler, predictor, online
+// feed) is fully self-contained, so services are cells: one per track,
+// with the measurement-noise stream derived from (Seed+3, track index).
 func Fig12(cfg Config) (*report.Table, error) {
 	oracle := perf.NewOracle(cfg.Seed)
-	prof := profiler.New(oracle, xrand.New(cfg.Seed+3))
 	services := []string{"GPT2", "ResNet50", "BERT"}
 	if cfg.Scale != ScaleSmall {
 		services = serviceOrder
 	}
-
-	t := report.NewTable("Fig. 12: E2E latency prediction error vs accumulated samples",
-		append([]string{"samples"}, services...)...)
-
-	// Per service: train on the offline grid (36 samples), then feed
-	// online profiles of the unseen tasks in batches, evaluating the
-	// error on a held-out unseen task after each block.
-	type track struct {
-		pred   *predictor.Predictor
-		errAt  map[int]float64
-		online []profiler.Profile
-	}
-	tracks := make(map[string]*track)
 	feeds := model.UnseenTasks()
 
 	// The paper's protocol: as new co-locations are sampled online, the
@@ -116,58 +142,74 @@ func Fig12(cfg Config) (*report.Table, error) {
 	}
 
 	checkpoints := []int{36, 48, 60, 72, 90}
-	for _, svc := range services {
-		profiles, err := prof.ProfileService(svc, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		pred := predictor.New(cfg.Seed)
-		if err := pred.Train(profiles); err != nil {
-			return nil, err
-		}
-		tr := &track{pred: pred, errAt: make(map[int]float64)}
-		// Queue of online profiles: unseen feeds × batches, then extra
-		// multi-task sets to reach 90.
-		for _, task := range feeds {
-			for _, b := range model.BatchSizes() {
-				p, err := prof.ProfileOne(svc, b, []model.TrainingTask{task})
-				if err != nil {
-					return nil, err
-				}
-				tr.online = append(tr.online, p)
-			}
-		}
-		// Extra repeated samples of the same co-locations (fresh noise)
-		// to extend the stream to 90.
-		for _, task := range feeds[:2] {
-			for _, b := range model.BatchSizes() {
-				p, err := prof.ProfileOne(svc, b, []model.TrainingTask{task})
-				if err != nil {
-					return nil, err
-				}
-				tr.online = append(tr.online, p)
-			}
-		}
-		fed := 0
-		for _, cp := range checkpoints {
-			for pred.Samples(svc) < cp && fed < len(tr.online) {
-				if err := pred.Update(tr.online[fed]); err != nil {
-					return nil, err
-				}
-				fed++
-			}
-			e, err := evalErr(pred, svc)
+	cells := make([]runner.Cell[map[int]float64], len(services))
+	for i, svc := range services {
+		i, svc := i, svc
+		cells[i] = runner.Cell[map[int]float64]{Key: svc, Run: func() (map[int]float64, error) {
+			prof := profiler.New(oracle, xrand.New(xrand.DeriveSeed(cfg.Seed+3, uint64(i))))
+			// Train on the offline grid (36 samples), then feed online
+			// profiles of the unseen tasks in batches, evaluating the
+			// error after each block.
+			profiles, err := prof.ProfileService(svc, nil, nil)
 			if err != nil {
 				return nil, err
 			}
-			tr.errAt[cp] = e
-		}
-		tracks[svc] = tr
+			pred := predictor.New(cfg.Seed)
+			if err := pred.Train(profiles); err != nil {
+				return nil, err
+			}
+			// Queue of online profiles: unseen feeds × batches, then extra
+			// multi-task sets to reach 90.
+			var online []profiler.Profile
+			for _, task := range feeds {
+				for _, b := range model.BatchSizes() {
+					p, err := prof.ProfileOne(svc, b, []model.TrainingTask{task})
+					if err != nil {
+						return nil, err
+					}
+					online = append(online, p)
+				}
+			}
+			// Extra repeated samples of the same co-locations (fresh noise)
+			// to extend the stream to 90.
+			for _, task := range feeds[:2] {
+				for _, b := range model.BatchSizes() {
+					p, err := prof.ProfileOne(svc, b, []model.TrainingTask{task})
+					if err != nil {
+						return nil, err
+					}
+					online = append(online, p)
+				}
+			}
+			errAt := make(map[int]float64)
+			fed := 0
+			for _, cp := range checkpoints {
+				for pred.Samples(svc) < cp && fed < len(online) {
+					if err := pred.Update(online[fed]); err != nil {
+						return nil, err
+					}
+					fed++
+				}
+				e, err := evalErr(pred, svc)
+				if err != nil {
+					return nil, err
+				}
+				errAt[cp] = e
+			}
+			return errAt, nil
+		}}
 	}
+	tracks, err := runner.Run(runner.New(cfg.Parallel), cells)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig12: %w", err)
+	}
+
+	t := report.NewTable("Fig. 12: E2E latency prediction error vs accumulated samples",
+		append([]string{"samples"}, services...)...)
 	for _, cp := range checkpoints {
 		row := []any{cp}
-		for _, svc := range services {
-			row = append(row, tracks[svc].errAt[cp])
+		for i := range services {
+			row = append(row, tracks[i][cp])
 		}
 		t.AddRow(row...)
 	}

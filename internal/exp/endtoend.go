@@ -8,6 +8,7 @@ import (
 	"mudi/internal/core"
 	"mudi/internal/model"
 	"mudi/internal/report"
+	"mudi/internal/runner"
 	"mudi/internal/stats"
 	"mudi/internal/xrand"
 )
@@ -115,51 +116,47 @@ func Fig10(s *Suite) (*report.Table, error) {
 
 // Fig13 reproduces the two ablations: cluster-level co-location only
 // (Tuner disabled) and device-level control only (random placement).
+// The full run and both ablation cells are independent simulations —
+// each owns its Mudi instance — so they fan across the pool.
 func Fig13(s *Suite) (*report.Table, error) {
-	full, err := s.Run("mudi")
-	if err != nil {
-		return nil, err
-	}
 	devices, _, _, _ := s.Config.sizes()
-
-	// (a) Cluster-only: Mudi's interference-aware placement, but the
-	// predictive Tuner replaced by a plain feedback controller (the
-	// same device-control mechanism the baselines get) — "we disabled
-	// the Tuner service under Mudi".
-	mudiA, err := BuildMudi(s.Oracle, s.Config.Seed, 1)
-	if err != nil {
-		return nil, err
+	ablation := func(build func(*core.Mudi) core.Policy) func() (*cluster.Result, error) {
+		return func() (*cluster.Result, error) {
+			m, err := BuildMudi(s.Oracle, s.Config.Seed, 1)
+			if err != nil {
+				return nil, err
+			}
+			sim, err := cluster.New(cluster.Options{
+				Policy: build(m), Oracle: s.Oracle, Seed: s.Config.Seed,
+				Devices: devices, Arrivals: s.Arrivals,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return sim.Run()
+		}
 	}
-	simA, err := cluster.New(cluster.Options{
-		Policy: &clusterOnlyPolicy{Mudi: mudiA, feedback: baselines.NewGSLICE()},
-		Oracle: s.Oracle, Seed: s.Config.Seed,
-		Devices: devices, Arrivals: s.Arrivals,
-	})
-	if err != nil {
-		return nil, err
+	cells := []runner.Cell[*cluster.Result]{
+		// The full run goes through the suite cache so Fig. 8–10 and
+		// Fig. 18 reuse it (and its BO iteration counts).
+		{Key: "full", Run: func() (*cluster.Result, error) { return s.Run("mudi") }},
+		// (a) Cluster-only: Mudi's interference-aware placement, but the
+		// predictive Tuner replaced by a plain feedback controller (the
+		// same device-control mechanism the baselines get) — "we disabled
+		// the Tuner service under Mudi".
+		{Key: "cluster-only", Run: ablation(func(m *core.Mudi) core.Policy {
+			return &clusterOnlyPolicy{Mudi: m, feedback: baselines.NewGSLICE()}
+		})},
+		// (b) Device-only: random placement + Mudi's device control.
+		{Key: "device-only", Run: ablation(func(m *core.Mudi) core.Policy {
+			return &deviceOnlyPolicy{Mudi: m, rng: xrand.New(s.Config.Seed + 31)}
+		})},
 	}
-	resA, err := simA.Run()
+	ress, err := runner.Run(s.pool, cells)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: fig13: %w", err)
 	}
-
-	// (b) Device-only: random placement + Mudi's device control.
-	mudiB, err := BuildMudi(s.Oracle, s.Config.Seed, 1)
-	if err != nil {
-		return nil, err
-	}
-	simB, err := cluster.New(cluster.Options{
-		Policy: &deviceOnlyPolicy{Mudi: mudiB, rng: xrand.New(s.Config.Seed + 31)},
-		Oracle: s.Oracle, Seed: s.Config.Seed,
-		Devices: devices, Arrivals: s.Arrivals,
-	})
-	if err != nil {
-		return nil, err
-	}
-	resB, err := simB.Run()
-	if err != nil {
-		return nil, err
-	}
+	full, resA, resB := ress[0], ress[1], ress[2]
 
 	t := report.NewTable("Fig. 13: ablations (normalized to full Mudi)",
 		"variant", "SLO violation", "mean CT", "makespan", "CT vs mudi")
@@ -213,45 +210,51 @@ func (p *deviceOnlyPolicy) SelectDevice(task model.TrainingTask, views []core.De
 }
 
 // Fig15 reproduces the load-sensitivity sweep: violation and CT at
-// 1×, 2×, 3×, 4× inference load for every system.
+// 1×, 2×, 3×, 4× inference load for every system. Every (system, load)
+// pair is one cell with its own freshly-built policy — no cross-cell
+// online learning, no shared mutable state — so the whole sweep fans
+// across the pool and merges in (system, load) order.
 func Fig15(s *Suite) (*report.Table, error) {
 	devices, _, _, _ := s.Config.sizes()
 	loads := []float64{1, 2, 3, 4}
 	if s.Config.Scale == ScaleSmall {
 		loads = []float64{1, 2, 3}
 	}
-	pols, err := s.Policies()
+	names := []string{"mudi", "gslice", "gpulets", "muxflow"}
+	var cells []runner.Cell[*cluster.Result]
+	for _, name := range names {
+		for _, load := range loads {
+			name, load := name, load
+			cells = append(cells, runner.Cell[*cluster.Result]{
+				Key: fmt.Sprintf("%s@%gx", name, load),
+				Run: func() (*cluster.Result, error) {
+					policy, err := s.freshPolicy(name)
+					if err != nil {
+						return nil, err
+					}
+					sim, err := cluster.New(cluster.Options{
+						Policy: policy, Oracle: s.Oracle, Seed: s.Config.Seed,
+						Devices: devices, Arrivals: s.Arrivals, LoadFactor: load,
+					})
+					if err != nil {
+						return nil, err
+					}
+					return sim.Run()
+				},
+			})
+		}
+	}
+	ress, err := runner.Run(s.pool, cells)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: fig15: %w", err)
 	}
 	t := report.NewTable("Fig. 15: sensitivity to inference load",
 		"system", "load", "SLO violation", "mean CT (s)", "paused episodes")
-	for _, name := range policyOrder {
-		policy, ok := pols[name]
-		if !ok {
-			continue
-		}
+	i := 0
+	for _, name := range names {
 		for _, load := range loads {
-			// A fresh Mudi per cell avoids cross-cell online learning.
-			p := policy
-			if name == "mudi" {
-				m, err := BuildMudi(s.Oracle, s.Config.Seed, 1)
-				if err != nil {
-					return nil, err
-				}
-				p = m
-			}
-			sim, err := cluster.New(cluster.Options{
-				Policy: p, Oracle: s.Oracle, Seed: s.Config.Seed,
-				Devices: devices, Arrivals: s.Arrivals, LoadFactor: load,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run()
-			if err != nil {
-				return nil, fmt.Errorf("exp: fig15 %s @%gx: %w", name, load, err)
-			}
+			res := ress[i]
+			i++
 			t.AddRow(name, fmt.Sprintf("%gx", load), report.Pct(res.MeanSLOViolation()), res.MeanCT(), res.PausedEpisodes)
 		}
 	}

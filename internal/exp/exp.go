@@ -9,6 +9,7 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"mudi/internal/baselines"
 	"mudi/internal/cluster"
@@ -18,6 +19,7 @@ import (
 	"mudi/internal/predictor"
 	"mudi/internal/profiler"
 	"mudi/internal/report"
+	"mudi/internal/runner"
 	"mudi/internal/sched"
 	"mudi/internal/trace"
 	"mudi/internal/tuner"
@@ -40,6 +42,12 @@ const (
 type Config struct {
 	Seed  uint64
 	Scale Scale
+	// Parallel bounds how many experiment cells (independent
+	// simulations) run concurrently; 0 selects GOMAXPROCS. Results are
+	// identical for every value — each cell owns its policy instance
+	// and draws from an RNG stream derived from (Seed, cell index), and
+	// results merge in cell-key order, never completion order.
+	Parallel int
 }
 
 // sizes returns (devices, tasks, meanGapSec, iterScale) per scale.
@@ -60,12 +68,21 @@ func (c Config) sizes() (int, int, float64, float64) {
 
 // Suite caches the shared state (oracle, trained Mudi, arrival trace,
 // per-policy end-to-end results) that several figures derive from.
+//
+// The Oracle and Arrivals are read-only after construction and safe to
+// share across concurrent cells. Mudi is mutable (it accumulates
+// observed co-locations and BO iteration counts) and is only ever used
+// by one cell at a time — figures that sweep configurations build a
+// fresh instance per cell instead.
 type Suite struct {
 	Config   Config
 	Oracle   *perf.Oracle
 	Mudi     *core.Mudi
 	Arrivals []trace.TaskArrival
 
+	pool *runner.Pool
+
+	mu      sync.Mutex // guards results
 	results map[string]*cluster.Result
 }
 
@@ -91,9 +108,14 @@ func NewSuite(cfg Config) (*Suite, error) {
 		Oracle:   oracle,
 		Mudi:     mudi,
 		Arrivals: arrivals,
+		pool:     runner.New(cfg.Parallel),
 		results:  make(map[string]*cluster.Result),
 	}, nil
 }
+
+// Pool returns the suite's worker pool; figures submit their cells
+// through it so one -parallel setting governs the whole harness.
+func (s *Suite) Pool() *runner.Pool { return s.pool }
 
 // BuildMudi runs the full offline pipeline (profiling → interference
 // modeling → curve cache) and returns a ready Mudi policy. maxTrain >
@@ -147,28 +169,44 @@ func (s *Suite) Policies() (map[string]core.Policy, error) {
 // policyOrder is the stable presentation order of the systems.
 var policyOrder = []string{"mudi", "gslice", "gpulets", "muxflow", "optimal"}
 
-// Run executes (and caches) the end-to-end simulation for one policy.
-func (s *Suite) Run(name string) (*cluster.Result, error) {
-	if res, ok := s.results[name]; ok {
-		return res, nil
-	}
-	var policy core.Policy
+// freshPolicy builds a new, independently-owned policy instance. Every
+// experiment cell that runs concurrently gets its own instance so that
+// mutable policy state (Mudi's observed co-locations and BO counters,
+// Gpulets' solo curves) is never shared across workers. Construction is
+// a pure function of (oracle, seed), so fresh instances are identical
+// no matter when or on which worker they are built.
+func (s *Suite) freshPolicy(name string) (core.Policy, error) {
 	switch name {
 	case "mudi":
-		policy = s.Mudi
+		return BuildMudi(s.Oracle, s.Config.Seed, 1)
+	case "gslice":
+		return baselines.NewGSLICE(), nil
+	case "gpulets":
+		return baselines.NewGpulets(s.Oracle, xrand.New(s.Config.Seed+7))
+	case "muxflow":
+		return baselines.NewMuxFlow(s.Oracle), nil
 	case "optimal":
-		policy = baselines.NewOptimal(s.Oracle, 1)
-	default:
-		pols, err := s.Policies()
-		if err != nil {
-			return nil, err
-		}
-		p, ok := pols[name]
-		if !ok {
-			return nil, fmt.Errorf("exp: unknown policy %q", name)
-		}
-		policy = p
+		return baselines.NewOptimal(s.Oracle, 1), nil
 	}
+	return nil, fmt.Errorf("exp: unknown policy %q", name)
+}
+
+// policyFor resolves the policy used for the cached end-to-end run of
+// name. The "mudi" run uses the suite's shared trained instance — its
+// accumulated state (BO iteration counts) feeds Fig. 18 — while the
+// baselines are constructed fresh, as before.
+func (s *Suite) policyFor(name string) (core.Policy, error) {
+	if name == "mudi" {
+		return s.Mudi, nil
+	}
+	return s.freshPolicy(name)
+}
+
+// runPolicy executes one end-to-end simulation against the shared
+// trace. It touches no suite state besides the read-only Oracle,
+// Config, and Arrivals, so independent cells may call it concurrently
+// as long as each passes its own policy instance.
+func (s *Suite) runPolicy(policy core.Policy) (*cluster.Result, error) {
 	devices, _, _, _ := s.Config.sizes()
 	sim, err := cluster.New(cluster.Options{
 		Policy:   policy,
@@ -180,24 +218,69 @@ func (s *Suite) Run(name string) (*cluster.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run()
+	return sim.Run()
+}
+
+// Run executes (and caches) the end-to-end simulation for one policy.
+func (s *Suite) Run(name string) (*cluster.Result, error) {
+	s.mu.Lock()
+	res, ok := s.results[name]
+	s.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	policy, err := s.policyFor(name)
 	if err != nil {
 		return nil, err
 	}
+	res, err = s.runPolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
 	s.results[name] = res
+	s.mu.Unlock()
 	return res, nil
 }
 
-// RunAll executes the standard comparison set.
+// RunAll executes the standard comparison set, fanning the four
+// policy simulations across the suite's worker pool. Uncached policies
+// become one cell each; results merge into the cache keyed by policy
+// name, so the map is identical to four sequential Run calls.
 func (s *Suite) RunAll() (map[string]*cluster.Result, error) {
-	out := make(map[string]*cluster.Result)
-	for _, name := range []string{"mudi", "gslice", "gpulets", "muxflow"} {
-		res, err := s.Run(name)
-		if err != nil {
-			return nil, fmt.Errorf("exp: running %s: %w", name, err)
+	names := []string{"mudi", "gslice", "gpulets", "muxflow"}
+	var todo []string
+	s.mu.Lock()
+	for _, name := range names {
+		if _, ok := s.results[name]; !ok {
+			todo = append(todo, name)
 		}
-		out[name] = res
 	}
+	s.mu.Unlock()
+	cells := make([]runner.Cell[*cluster.Result], len(todo))
+	for i, name := range todo {
+		name := name
+		cells[i] = runner.Cell[*cluster.Result]{Key: name, Run: func() (*cluster.Result, error) {
+			policy, err := s.policyFor(name)
+			if err != nil {
+				return nil, err
+			}
+			return s.runPolicy(policy)
+		}}
+	}
+	ress, err := runner.Run(s.pool, cells)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
+	}
+	out := make(map[string]*cluster.Result)
+	s.mu.Lock()
+	for i, name := range todo {
+		s.results[name] = ress[i]
+	}
+	for _, name := range names {
+		out[name] = s.results[name]
+	}
+	s.mu.Unlock()
 	return out, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"mudi/internal/cluster"
 	"mudi/internal/model"
 	"mudi/internal/report"
+	"mudi/internal/runner"
 	"mudi/internal/serving"
 	"mudi/internal/stats"
 	"mudi/internal/trace"
@@ -26,41 +27,60 @@ func AblationTuner(cfg Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := report.NewTable("Ablation: adaptive-batching strategy (§5.3.1)",
-		"strategy", "SLO violation", "mean CT (s)", "makespan (s)", "mean evals/episode")
-	for _, arm := range []struct {
+	arms := []struct {
 		name     string
 		strategy tuner.BatchStrategy
 	}{
 		{"GP-LCB (Mudi)", tuner.BatchBO},
 		{"fixed batch 64", tuner.BatchFixed},
 		{"exhaustive search", tuner.BatchExhaustive},
-	} {
-		mudi, err := BuildMudiWithTuner(oracle, cfg.Seed, 1, tuner.Config{Strategy: arm.strategy})
-		if err != nil {
-			return nil, err
-		}
-		sim, err := cluster.New(cluster.Options{
-			Policy: mudi, Oracle: oracle, Seed: cfg.Seed,
-			Devices: devices, Arrivals: arrivals,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run()
-		if err != nil {
-			return nil, err
-		}
-		iters := mudi.BOIterations()
-		var evalSum float64
-		for _, v := range iters {
-			evalSum += float64(v)
-		}
-		meanEvals := 0.0
-		if len(iters) > 0 {
-			meanEvals = evalSum / float64(len(iters))
-		}
-		t.AddRow(arm.name, report.Pct(res.MeanSLOViolation()), res.MeanCT(), res.Makespan, meanEvals)
+	}
+	// Each strategy arm owns its Mudi (whose BO iteration counters the
+	// row reads back), so the three arms fan across the pool.
+	type armResult struct {
+		res       *cluster.Result
+		meanEvals float64
+	}
+	cells := make([]runner.Cell[armResult], len(arms))
+	for i, arm := range arms {
+		arm := arm
+		cells[i] = runner.Cell[armResult]{Key: arm.name, Run: func() (armResult, error) {
+			mudi, err := BuildMudiWithTuner(oracle, cfg.Seed, 1, tuner.Config{Strategy: arm.strategy})
+			if err != nil {
+				return armResult{}, err
+			}
+			sim, err := cluster.New(cluster.Options{
+				Policy: mudi, Oracle: oracle, Seed: cfg.Seed,
+				Devices: devices, Arrivals: arrivals,
+			})
+			if err != nil {
+				return armResult{}, err
+			}
+			res, err := sim.Run()
+			if err != nil {
+				return armResult{}, err
+			}
+			iters := mudi.BOIterations()
+			var evalSum float64
+			for _, v := range iters {
+				evalSum += float64(v)
+			}
+			meanEvals := 0.0
+			if len(iters) > 0 {
+				meanEvals = evalSum / float64(len(iters))
+			}
+			return armResult{res: res, meanEvals: meanEvals}, nil
+		}}
+	}
+	ress, err := runner.Run(runner.New(cfg.Parallel), cells)
+	if err != nil {
+		return nil, fmt.Errorf("exp: ablation-tuner: %w", err)
+	}
+	t := report.NewTable("Ablation: adaptive-batching strategy (§5.3.1)",
+		"strategy", "SLO violation", "mean CT (s)", "makespan (s)", "mean evals/episode")
+	for i, arm := range arms {
+		r := ress[i]
+		t.AddRow(arm.name, report.Pct(r.res.MeanSLOViolation()), r.res.MeanCT(), r.res.Makespan, r.meanEvals)
 	}
 	t.AddNote("expected shape: GP-LCB matches exhaustive-search quality and beats a fixed batch; with only 6 candidates the evaluation-count advantage the paper cites for 1000-sized spaces does not apply")
 	return t, nil
@@ -78,28 +98,38 @@ func QueuePolicies(cfg Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One cell per queue policy, each with its own Mudi.
+	names := []string{"fcfs", "sjf", "fair", "priority"}
+	cells := make([]runner.Cell[*cluster.Result], len(names))
+	for i, name := range names {
+		name := name
+		cells[i] = runner.Cell[*cluster.Result]{Key: name, Run: func() (*cluster.Result, error) {
+			queue, err := schedPolicy(name)
+			if err != nil {
+				return nil, err
+			}
+			mudi, err := BuildMudi(oracle, cfg.Seed, 1)
+			if err != nil {
+				return nil, err
+			}
+			sim, err := cluster.New(cluster.Options{
+				Policy: mudi, Oracle: oracle, Seed: cfg.Seed,
+				Devices: devices, Arrivals: arrivals, QueuePolicy: queue,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return sim.Run()
+		}}
+	}
+	ress, err := runner.Run(runner.New(cfg.Parallel), cells)
+	if err != nil {
+		return nil, fmt.Errorf("exp: queue-policies: %w", err)
+	}
 	t := report.NewTable("Scheduling policies under Mudi (§3)",
 		"queue policy", "mean wait (s)", "P90 wait (s)", "mean CT (s)", "makespan (s)", "SLO violation")
-	for _, name := range []string{"fcfs", "sjf", "fair", "priority"} {
-		queue, err := schedPolicy(name)
-		if err != nil {
-			return nil, err
-		}
-		mudi, err := BuildMudi(oracle, cfg.Seed, 1)
-		if err != nil {
-			return nil, err
-		}
-		sim, err := cluster.New(cluster.Options{
-			Policy: mudi, Oracle: oracle, Seed: cfg.Seed,
-			Devices: devices, Arrivals: arrivals, QueuePolicy: queue,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run()
-		if err != nil {
-			return nil, err
-		}
+	for i, name := range names {
+		res := ress[i]
 		t.AddRow(name, res.MeanWaiting(), stats.Percentile(res.WaitingT, 90),
 			res.MeanCT(), res.Makespan, report.Pct(res.MeanSLOViolation()))
 	}
@@ -121,37 +151,58 @@ func Fidelity(cfg Config) (*report.Table, error) {
 	const delta = 0.6
 	rng := xrand.New(cfg.Seed + 41)
 
-	t := report.NewTable("Simulator fidelity: window model vs request-level serving (BERT, Δ=60%)",
-		"batch cap", "window P99 (ms)", "request-level P99 (ms)", "busy", "mean batch", "viol (req-level)")
 	dur := 30.0
 	if cfg.Scale != ScaleSmall {
 		dur = 120
 	}
+	// The arrivals stream is shared read-only across the batch-cap
+	// cells; each cell draws its measurement noise from its own stream
+	// derived from (Seed+41, batch index).
 	arrivalsStream := trace.PoissonArrivals(trace.ConstantQPS(svc.BaseQPS), dur, rng.ForkString("arrivals"))
-	for _, b := range model.BatchSizes() {
-		analytic, err := oracle.TrueLatency(svcName, b, delta, coloc)
-		if err != nil {
-			return nil, err
-		}
-		latFn := func(n int) float64 {
-			// The device executes whatever batch actually formed (≤ cap).
-			l, err := oracle.MeasureLatency(svcName, maxInt(n, 1), delta, coloc, rng)
+	type fidelityRow struct {
+		analytic float64
+		res      serving.Result
+	}
+	batches := model.BatchSizes()
+	cells := make([]runner.Cell[fidelityRow], len(batches))
+	for i, b := range batches {
+		i, b := i, b
+		cells[i] = runner.Cell[fidelityRow]{Key: fmt.Sprintf("batch=%d", b), Run: func() (fidelityRow, error) {
+			analytic, err := oracle.TrueLatency(svcName, b, delta, coloc)
 			if err != nil {
-				return analytic
+				return fidelityRow{}, err
 			}
-			return l
-		}
-		res, err := serving.Run(arrivalsStream, latFn, serving.Config{
-			BatchCap:    b,
-			SLOms:       svc.SLOms,
-			FormBatches: true,
-			MaxWaitMs:   svc.SLOms * float64(b) / svc.BaseQPS, // the window model's budget
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(b, analytic, res.P99, fmt.Sprintf("%.0f%%", res.BusyFraction*100),
-			res.MeanBatch, report.Pct(res.ViolationRate))
+			cellRng := xrand.New(xrand.DeriveSeed(cfg.Seed+41, uint64(i)))
+			latFn := func(n int) float64 {
+				// The device executes whatever batch actually formed (≤ cap).
+				l, err := oracle.MeasureLatency(svcName, maxInt(n, 1), delta, coloc, cellRng)
+				if err != nil {
+					return analytic
+				}
+				return l
+			}
+			res, err := serving.Run(arrivalsStream, latFn, serving.Config{
+				BatchCap:    b,
+				SLOms:       svc.SLOms,
+				FormBatches: true,
+				MaxWaitMs:   svc.SLOms * float64(b) / svc.BaseQPS, // the window model's budget
+			})
+			if err != nil {
+				return fidelityRow{}, err
+			}
+			return fidelityRow{analytic: analytic, res: res}, nil
+		}}
+	}
+	rows, err := runner.Run(runner.New(cfg.Parallel), cells)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fidelity: %w", err)
+	}
+	t := report.NewTable("Simulator fidelity: window model vs request-level serving (BERT, Δ=60%)",
+		"batch cap", "window P99 (ms)", "request-level P99 (ms)", "busy", "mean batch", "viol (req-level)")
+	for i, b := range batches {
+		r := rows[i]
+		t.AddRow(b, r.analytic, r.res.P99, fmt.Sprintf("%.0f%%", r.res.BusyFraction*100),
+			r.res.MeanBatch, report.Pct(r.res.ViolationRate))
 	}
 	t.AddNote("request-level P99 adds queueing/batch-assembly wait on top of the processing latency the window model uses")
 	return t, nil

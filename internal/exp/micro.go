@@ -7,26 +7,45 @@ import (
 	"mudi/internal/perf"
 	"mudi/internal/profiler"
 	"mudi/internal/report"
+	"mudi/internal/runner"
 	"mudi/internal/xrand"
 )
 
 // Table2 reproduces the fitting-error comparison (Tab. 2): piecewise vs
-// polynomial vs MLP at 5–9 training samples.
+// polynomial vs MLP at 5–9 training samples. Each sample count is one
+// cell owning a profiler whose measurement-noise stream is derived from
+// (Seed+1, sample count), so the rows are independent of both each
+// other and cell scheduling.
 func Table2(cfg Config) (*report.Table, error) {
 	oracle := perf.NewOracle(cfg.Seed)
-	prof := profiler.New(oracle, xrand.New(cfg.Seed+1))
 	task, _ := model.TaskByName("VGG16")
 	trials := 4
 	if cfg.Scale != ScaleSmall {
 		trials = 10
 	}
-	rows, err := prof.CompareFitting(
-		[]string{"GPT2", "ResNet50", "BERT"}, 128,
-		[]model.TrainingTask{task},
-		[]int{5, 6, 7, 8, 9}, trials,
-	)
+	sampleCounts := []int{5, 6, 7, 8, 9}
+	cells := make([]runner.Cell[profiler.FitComparison], len(sampleCounts))
+	for i, n := range sampleCounts {
+		n := n
+		cells[i] = runner.Cell[profiler.FitComparison]{
+			Key: fmt.Sprintf("samples=%d", n),
+			Run: func() (profiler.FitComparison, error) {
+				prof := profiler.New(oracle, xrand.New(xrand.DeriveSeed(cfg.Seed+1, uint64(n))))
+				rows, err := prof.CompareFitting(
+					[]string{"GPT2", "ResNet50", "BERT"}, 128,
+					[]model.TrainingTask{task},
+					[]int{n}, trials,
+				)
+				if err != nil {
+					return profiler.FitComparison{}, err
+				}
+				return rows[0], nil
+			},
+		}
+	}
+	rows, err := runner.Run(runner.New(cfg.Parallel), cells)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: table2: %w", err)
 	}
 	t := report.NewTable("Table 2: fitting error (% MAPE) vs training samples",
 		"samples", "polynomial", "MLP", "piecewise")
@@ -37,83 +56,127 @@ func Table2(cfg Config) (*report.Table, error) {
 	return t, nil
 }
 
+// victimBreakdown is one Fig. 3/4 cell's output: the per-co-location
+// rows plus the victim's summary note, merged into the table in victim
+// order after the cells complete.
+type victimBreakdown struct {
+	rows [][]any
+	note string
+}
+
 // Fig3 reproduces the inference-with-inference interference breakdown:
 // mean E2E factor per co-located service and the per-phase factors for
-// GPT2 and ResNet50.
+// GPT2 and ResNet50. The two victims are independent cells — the oracle
+// True*/factor calls are noiseless and read-only.
 func Fig3(cfg Config) (*report.Table, error) {
 	oracle := perf.NewOracle(cfg.Seed)
+	victims := []string{"GPT2", "ResNet50"}
+	cells := make([]runner.Cell[victimBreakdown], len(victims))
+	for i, victim := range victims {
+		victim := victim
+		cells[i] = runner.Cell[victimBreakdown]{Key: victim, Run: func() (victimBreakdown, error) {
+			var out victimBreakdown
+			var sum float64
+			var n int
+			for _, other := range model.Services() {
+				if other.Name == victim {
+					continue
+				}
+				var mean float64
+				var cnt int
+				for _, b := range []int{16, 32, 64, 128, 256} {
+					f, err := oracle.InfColocFactor(victim, other.Name, b)
+					if err != nil {
+						return out, err
+					}
+					mean += f
+					cnt++
+				}
+				mean /= float64(cnt)
+				_, phases, err := oracle.PhaseBreakdown(victim, perf.ColocInference, mean)
+				if err != nil {
+					return out, err
+				}
+				out.rows = append(out.rows, []any{victim, other.Name, report.Ratio(mean), report.Ratio(phases[0]), report.Ratio(phases[1]), report.Ratio(phases[2])})
+				sum += mean
+				n++
+			}
+			cpu, mem, sm, err := oracle.ResourceUtil(victim, perf.ColocInference)
+			if err != nil {
+				return out, err
+			}
+			out.note = fmt.Sprintf("%s mean E2E %s (paper: GPT2 3.19x, ResNet50 2.40x); host CPU %.1f%%, host mem %.1f%%, SM %.1f%%",
+				victim, report.Ratio(sum/float64(n)), cpu, mem, sm)
+			return out, nil
+		}}
+	}
+	breakdowns, err := runner.Run(runner.New(cfg.Parallel), cells)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig3: %w", err)
+	}
 	t := report.NewTable("Fig. 3: interference of GPT2/ResNet50 co-located with other inference services",
 		"victim", "coloc", "E2E", "preproc", "transfer", "compute")
-	for _, victim := range []string{"GPT2", "ResNet50"} {
-		var sum float64
-		var n int
-		for _, other := range model.Services() {
-			if other.Name == victim {
-				continue
-			}
-			var mean float64
-			var cnt int
-			for _, b := range []int{16, 32, 64, 128, 256} {
-				f, err := oracle.InfColocFactor(victim, other.Name, b)
-				if err != nil {
-					return nil, err
-				}
-				mean += f
-				cnt++
-			}
-			mean /= float64(cnt)
-			_, phases, err := oracle.PhaseBreakdown(victim, perf.ColocInference, mean)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(victim, other.Name, report.Ratio(mean), report.Ratio(phases[0]), report.Ratio(phases[1]), report.Ratio(phases[2]))
-			sum += mean
-			n++
+	for _, b := range breakdowns {
+		for _, row := range b.rows {
+			t.AddRow(row...)
 		}
-		cpu, mem, sm, err := oracle.ResourceUtil(victim, perf.ColocInference)
-		if err != nil {
-			return nil, err
-		}
-		t.AddNote("%s mean E2E %s (paper: GPT2 3.19x, ResNet50 2.40x); host CPU %.1f%%, host mem %.1f%%, SM %.1f%%",
-			victim, report.Ratio(sum/float64(n)), cpu, mem, sm)
+		t.AddNote("%s", b.note)
 	}
 	return t, nil
 }
 
-// Fig4 reproduces the inference-with-training interference breakdown.
+// Fig4 reproduces the inference-with-training interference breakdown,
+// with the same per-victim cell structure as Fig3.
 func Fig4(cfg Config) (*report.Table, error) {
 	oracle := perf.NewOracle(cfg.Seed)
+	victims := []string{"GPT2", "ResNet50"}
+	cells := make([]runner.Cell[victimBreakdown], len(victims))
+	for i, victim := range victims {
+		victim := victim
+		cells[i] = runner.Cell[victimBreakdown]{Key: victim, Run: func() (victimBreakdown, error) {
+			var out victimBreakdown
+			var sum float64
+			var n int
+			for _, task := range model.Tasks() {
+				var mean float64
+				var cnt int
+				for _, b := range model.BatchSizes() {
+					f, err := oracle.TrainColocFactor(victim, b, []model.TrainingTask{task})
+					if err != nil {
+						return out, err
+					}
+					mean += f
+					cnt++
+				}
+				mean /= float64(cnt)
+				_, phases, err := oracle.PhaseBreakdown(victim, perf.ColocTraining, mean)
+				if err != nil {
+					return out, err
+				}
+				out.rows = append(out.rows, []any{victim, task.Name, report.Ratio(mean), report.Ratio(phases[0]), report.Ratio(phases[1]), report.Ratio(phases[2])})
+				sum += mean
+				n++
+			}
+			cpu, mem, sm, err := oracle.ResourceUtil(victim, perf.ColocTraining)
+			if err != nil {
+				return out, err
+			}
+			out.note = fmt.Sprintf("%s mean E2E %s (paper: GPT2 1.67x, ResNet50 1.21x); host CPU %.1f%%, host mem %.1f%%, SM %.1f%%",
+				victim, report.Ratio(sum/float64(n)), cpu, mem, sm)
+			return out, nil
+		}}
+	}
+	breakdowns, err := runner.Run(runner.New(cfg.Parallel), cells)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig4: %w", err)
+	}
 	t := report.NewTable("Fig. 4: interference of GPT2/ResNet50 co-located with training tasks",
 		"victim", "coloc", "E2E", "preproc", "transfer", "compute")
-	for _, victim := range []string{"GPT2", "ResNet50"} {
-		var sum float64
-		var n int
-		for _, task := range model.Tasks() {
-			var mean float64
-			var cnt int
-			for _, b := range model.BatchSizes() {
-				f, err := oracle.TrainColocFactor(victim, b, []model.TrainingTask{task})
-				if err != nil {
-					return nil, err
-				}
-				mean += f
-				cnt++
-			}
-			mean /= float64(cnt)
-			_, phases, err := oracle.PhaseBreakdown(victim, perf.ColocTraining, mean)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(victim, task.Name, report.Ratio(mean), report.Ratio(phases[0]), report.Ratio(phases[1]), report.Ratio(phases[2]))
-			sum += mean
-			n++
+	for _, b := range breakdowns {
+		for _, row := range b.rows {
+			t.AddRow(row...)
 		}
-		cpu, mem, sm, err := oracle.ResourceUtil(victim, perf.ColocTraining)
-		if err != nil {
-			return nil, err
-		}
-		t.AddNote("%s mean E2E %s (paper: GPT2 1.67x, ResNet50 1.21x); host CPU %.1f%%, host mem %.1f%%, SM %.1f%%",
-			victim, report.Ratio(sum/float64(n)), cpu, mem, sm)
+		t.AddNote("%s", b.note)
 	}
 	return t, nil
 }

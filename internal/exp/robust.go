@@ -11,6 +11,7 @@ import (
 	"mudi/internal/core"
 	"mudi/internal/model"
 	"mudi/internal/report"
+	"mudi/internal/runner"
 	"mudi/internal/stats"
 	"mudi/internal/trace"
 	"mudi/internal/xrand"
@@ -18,31 +19,46 @@ import (
 
 // Fig14 reproduces the maximum sustainable throughput per service per
 // system while a training task stays multiplexed with ≥10% of the GPU.
+// Every (system, service) pair is one cell; each builds its own policy
+// instance because the bisection drives policy.Configure, which
+// accumulates tuning state on Mudi.
 func Fig14(s *Suite) (*report.Table, error) {
-	pols, err := s.Policies()
-	if err != nil {
-		return nil, err
-	}
 	services := serviceOrder
 	taskFor := map[string]string{ // a representative training neighbour per service
 		"ResNet50": "LSTM", "Inception": "NCF", "GPT2": "SqueezeNet",
 		"BERT": "LSTM", "RoBERTa": "NCF", "YOLOS": "VGG16",
 	}
+	names := []string{"mudi", "gslice", "gpulets", "muxflow"}
+	var cells []runner.Cell[float64]
+	for _, name := range names {
+		for _, svc := range services {
+			name, svc := name, svc
+			cells = append(cells, runner.Cell[float64]{
+				Key: name + "/" + svc,
+				Run: func() (float64, error) {
+					policy, err := s.freshPolicy(name)
+					if err != nil {
+						return 0, err
+					}
+					return cluster.MaxThroughput(policy, s.Oracle, svc, taskFor[svc], 0.02, s.Config.Seed)
+				},
+			})
+		}
+	}
+	qpss, err := runner.Run(s.pool, cells)
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig14: %w", err)
+	}
 	t := report.NewTable("Fig. 14: max sustainable QPS with training multiplexed (≥10% GPU)",
 		append([]string{"system"}, services...)...)
 	mudiQPS := make(map[string]float64)
 	bestBase := make(map[string]float64)
-	for _, name := range policyOrder {
-		policy, ok := pols[name]
-		if !ok {
-			continue
-		}
+	i := 0
+	for _, name := range names {
 		row := []any{name}
 		for _, svc := range services {
-			qps, err := cluster.MaxThroughput(policy, s.Oracle, svc, taskFor[svc], 0.02, s.Config.Seed)
-			if err != nil {
-				return nil, err
-			}
+			qps := qpss[i]
+			i++
 			row = append(row, qps)
 			if name == "mudi" {
 				mudiQPS[svc] = qps
@@ -205,26 +221,27 @@ func Fig17(cfg Config) (*report.Table, error) {
 		}
 		return sim.Run()
 	}
-	mudi1, err := BuildMudi(oracle, cfg.Seed, 1)
-	if err != nil {
-		return nil, err
+	// Three independent arms, each owning its policy instance.
+	mudiArm := func(maxTrain int) func() (*cluster.Result, error) {
+		return func() (*cluster.Result, error) {
+			m, err := BuildMudi(oracle, cfg.Seed, maxTrain)
+			if err != nil {
+				return nil, err
+			}
+			return run(m)
+		}
 	}
-	res1, err := run(mudi1)
+	ress, err := runner.Run(runner.New(cfg.Parallel), []runner.Cell[*cluster.Result]{
+		{Key: "mudi-1", Run: mudiArm(1)},
+		{Key: "mudi-3", Run: mudiArm(3)},
+		{Key: "random-3", Run: func() (*cluster.Result, error) {
+			return run(baselines.NewRandom(xrand.New(cfg.Seed+11), 3))
+		}},
+	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: fig17: %w", err)
 	}
-	mudi3, err := BuildMudi(oracle, cfg.Seed, 3)
-	if err != nil {
-		return nil, err
-	}
-	res3, err := run(mudi3)
-	if err != nil {
-		return nil, err
-	}
-	resR, err := run(baselines.NewRandom(xrand.New(cfg.Seed+11), 3))
-	if err != nil {
-		return nil, err
-	}
+	res1, res3, resR := ress[0], ress[1], ress[2]
 	t := report.NewTable("Fig. 17: multiplexing more training tasks per GPU",
 		"system", "SLO violation", "mean CT (s)", "mean wait (s)", "makespan (s)", "swaps")
 	for _, r := range []struct {

@@ -33,6 +33,20 @@ func (r *Rand) Fork(tag uint64) *Rand {
 	return &Rand{state: z ^ (z >> 31)}
 }
 
+// DeriveSeed maps a (base seed, cell index) pair to the seed of an
+// independent substream. It is the seed-level counterpart of Fork: the
+// parallel experiment engine assigns each cell DeriveSeed(seed, i) so
+// that cells draw from uncorrelated streams no matter which worker, or
+// in which order, executes them. XORing the golden-ratio-scaled index
+// into the seed and then applying the splitmix64 finalizer keeps
+// adjacent cell indices far apart in state space.
+func DeriveSeed(seed, cell uint64) uint64 {
+	z := seed ^ (0x9e3779b97f4a7c15 * (cell + 1))
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // ForkString derives a substream from a string label.
 func (r *Rand) ForkString(label string) *Rand {
 	var h uint64 = 14695981039346656037 // FNV-1a offset basis

@@ -270,6 +270,19 @@ var experimentOrder = []string{
 	"ablation-tuner", "queues", "fidelity",
 }
 
+// ExperimentConfig parameterizes the experiment harness.
+type ExperimentConfig struct {
+	// Seed drives every random stream.
+	Seed uint64
+	// Scale selects experiment sizes (ScaleSmall/Physical/Simulated).
+	Scale ExperimentScale
+	// Parallel bounds how many independent experiment cells run
+	// concurrently; 0 selects GOMAXPROCS. Results are bit-identical for
+	// every value — cells own their policy instances and RNG streams,
+	// and merge in cell-key order.
+	Parallel int
+}
+
 // RunExperiment regenerates one paper table or figure (see
 // ExperimentNames) and returns it as a renderable table. Experiments
 // sharing end-to-end runs reuse a cached suite when invoked through
@@ -296,10 +309,16 @@ func RunExperiments(names []string, seed uint64, scale ExperimentScale) ([]*Tabl
 // StreamExperiments is RunExperiments with a per-table callback, so
 // long sweeps surface results as they complete.
 func StreamExperiments(names []string, seed uint64, scale ExperimentScale, emit func(*Table) error) error {
+	return StreamExperimentsCfg(names, ExperimentConfig{Seed: seed, Scale: scale}, emit)
+}
+
+// StreamExperimentsCfg is StreamExperiments with the full experiment
+// configuration, including the cell-parallelism bound.
+func StreamExperimentsCfg(names []string, ecfg ExperimentConfig, emit func(*Table) error) error {
 	if names == nil {
 		names = ExperimentNames()
 	}
-	cfg := exp.Config{Seed: seed, Scale: scale}
+	cfg := exp.Config{Seed: ecfg.Seed, Scale: ecfg.Scale, Parallel: ecfg.Parallel}
 	var suite *exp.Suite
 	getSuite := func() (*exp.Suite, error) {
 		if suite != nil {
