@@ -5,10 +5,11 @@
 
 GO ?= go
 
-# Packages exercised concurrently by the parallel experiment engine.
-RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq
+# Packages exercised concurrently by the parallel experiment engine
+# and the observability fan-in.
+RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/obs
 
-.PHONY: tier1 build test race bench-parallel ci
+.PHONY: tier1 build test vet race bench-parallel bench-obs ci
 
 tier1: build test
 
@@ -18,6 +19,9 @@ build:
 test:
 	$(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
 race:
 	$(GO) test -race -timeout 120m $(RACE_PKGS)
 
@@ -25,4 +29,9 @@ race:
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkSuite(Sequential|Parallel)$$' -benchtime 3x -short -count=1 .
 
-ci: tier1 race
+# Regenerate the numbers recorded in BENCH_obs.json: the disabled-path
+# run must stay within noise of the pre-observability baseline.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimObs(Off|On)$$' -benchtime 3x -short -benchmem -count=1 .
+
+ci: tier1 vet race

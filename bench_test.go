@@ -13,9 +13,11 @@ package mudi
 import (
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"mudi/internal/exp"
+	"mudi/internal/obs"
 )
 
 func benchCfg(b *testing.B) exp.Config {
@@ -26,22 +28,32 @@ func benchCfg(b *testing.B) exp.Config {
 	return cfg
 }
 
+// benchSuiteKey is the comparable identity of a suite configuration
+// (exp.Config itself is not a valid map key — it carries an Observer
+// func field).
+type benchSuiteKey struct {
+	seed     uint64
+	scale    exp.Scale
+	parallel int
+}
+
 // benchSuites caches the shared end-to-end suite per config so the
 // seven suite-based benchmarks do not each retrain and rerun the
 // comparison set.
-var benchSuites = map[exp.Config]*exp.Suite{}
+var benchSuites = map[benchSuiteKey]*exp.Suite{}
 
 // benchSuite returns the (cached) shared end-to-end suite.
 func benchSuite(b *testing.B, cfg exp.Config) *exp.Suite {
 	b.Helper()
-	if s, ok := benchSuites[cfg]; ok {
+	key := benchSuiteKey{seed: cfg.Seed, scale: cfg.Scale, parallel: cfg.Parallel}
+	if s, ok := benchSuites[key]; ok {
 		return s
 	}
 	s, err := exp.NewSuite(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	benchSuites[cfg] = s
+	benchSuites[key] = s
 	return s
 }
 
@@ -379,8 +391,15 @@ func BenchmarkQueuePolicies(b *testing.B) {
 // training) is excluded from the timed region so the numbers isolate
 // the experiment fan-out itself.
 func benchRunAll(b *testing.B, parallel int) {
+	benchRunAllObs(b, parallel, nil)
+}
+
+// benchRunAllObs is benchRunAll with an optional Observer wired into
+// every cell — the harness behind BenchmarkSimObsOn/Off.
+func benchRunAllObs(b *testing.B, parallel int, observer obs.Observer) {
 	cfg := benchCfg(b)
 	cfg.Parallel = parallel
+	cfg.Observer = observer
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		s, err := exp.NewSuite(cfg)
@@ -402,6 +421,23 @@ func BenchmarkSuiteSequential(b *testing.B) { benchRunAll(b, 1) }
 // The results are bit-identical to the sequential run (see
 // internal/exp's determinism tests); only the wall clock changes.
 func BenchmarkSuiteParallel(b *testing.B) { benchRunAll(b, 0) }
+
+// BenchmarkSimObsOff pins the zero-overhead-when-disabled contract: it
+// is the exact BenchmarkSuiteSequential workload with no Observer, so
+// every obs call site costs one nil check. Compare against the
+// pre-observability BenchmarkSuiteSequential number (BENCH_obs.json).
+func BenchmarkSimObsOff(b *testing.B) { benchRunAllObs(b, 1, nil) }
+
+// BenchmarkSimObsOn runs the same workload with a live Observer on
+// every cell, measuring the full cost of event fan-out plus metric
+// instruments on the simulation hot path.
+func BenchmarkSimObsOn(b *testing.B) {
+	var events atomic.Int64
+	benchRunAllObs(b, 1, func(obs.Event) { events.Add(1) })
+	if events.Load() == 0 {
+		b.Fatal("observer saw no events")
+	}
+}
 
 func BenchmarkFidelity(b *testing.B) {
 	cfg := benchCfg(b)

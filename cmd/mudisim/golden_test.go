@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update rewrites the golden files instead of comparing against them:
+//
+//	go test ./cmd/mudisim -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// eventLines extracts the NDJSON event stream from mixed tool output
+// (events precede the tables; every event line starts with {"t":).
+func eventLines(out string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `{"t":`) {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TestEventsGolden pins the exact NDJSON event stream of a seeded
+// 2-device run. The stream is a deterministic function of the seed —
+// events are stamped with simulation time and emitted in simulation
+// order — so any diff here means either an intentional taxonomy change
+// (regenerate with -update) or a determinism regression.
+func TestEventsGolden(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-devices", "2", "-tasks", "3", "-seed", "7", "-events"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	got := eventLines(b.String())
+	if got == "" {
+		t.Fatal("no event lines in output")
+	}
+	// Every line must be a well-formed event object with the required
+	// fields before we compare bytes.
+	for i, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		var ev struct {
+			T    *float64 `json:"t"`
+			Type string   `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i+1, err, line)
+		}
+		if ev.T == nil || ev.Type == "" {
+			t.Fatalf("line %d missing t/type: %s", i+1, line)
+		}
+	}
+
+	golden := filepath.Join("testdata", "events_2dev.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("event stream differs from %s (got %d bytes, want %d); regenerate with -update if the taxonomy changed",
+			golden, len(got), len(want))
+	}
+}
+
+// TestMetricsNDJSON checks the -metrics stream: well-formed JSON per
+// line, sorted deterministically, including the cluster roll-ups.
+func TestMetricsNDJSON(t *testing.T) {
+	render := func() string {
+		var b strings.Builder
+		if err := run([]string{"-devices", "2", "-tasks", "3", "-seed", "7", "-metrics"}, &b); err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		for _, line := range strings.Split(b.String(), "\n") {
+			if strings.HasPrefix(line, `{"kind":`) {
+				lines = append(lines, line)
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("no metric lines in output")
+	}
+	if !strings.Contains(first, "cluster_windows_total") {
+		t.Errorf("metrics stream missing cluster_windows_total:\n%s", first)
+	}
+	for i, line := range strings.Split(first, "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("metric line %d not JSON: %v\n%s", i+1, err, line)
+		}
+	}
+	if second := render(); second != first {
+		t.Error("metrics stream not deterministic across identical runs")
+	}
+}

@@ -60,6 +60,8 @@ func run(args []string, stdout io.Writer) error {
 		jsonFlag     = fs.Bool("json", false, "emit the result as JSON instead of tables")
 		repeatsFlag  = fs.Int("repeats", 1, "replica count: run the simulation N times with seeds derived from -seed and report mean/std")
 		parallelFlag = fs.Int("parallel", runtime.NumCPU(), "worker count for replica fan-out (results identical for any value)")
+		eventsFlag   = fs.Bool("events", false, "stream the run's structured event log as NDJSON (one JSON object per line) before the tables")
+		metricsFlag  = fs.Bool("metrics", false, "stream the run's metrics snapshot as NDJSON before the tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,12 +99,13 @@ func run(args []string, stdout io.Writer) error {
 			MeanGapSec:     *gapFlag,
 			IterScale:      0.002,
 			LoadFactor:     *loadFlag,
-			QueuePolicy:    *queueFlag,
+			Queue:          mudi.QueuePolicyID(*queueFlag),
 			TraceDeviceIdx: *traceFlag,
 			Bursts:         bursts,
+			Observe:        *eventsFlag || *metricsFlag,
 		}
 		if *policyFlag != "mudi" {
-			p, err := sys.Baseline(*policyFlag)
+			p, err := sys.BaselinePolicy(mudi.BaselineID(*policyFlag))
 			if err != nil {
 				return nil, err
 			}
@@ -112,8 +115,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *repeatsFlag > 1 {
-		if *jsonFlag {
-			return fmt.Errorf("-json supports a single run; drop it or use -repeats 1")
+		if *jsonFlag || *eventsFlag || *metricsFlag {
+			return fmt.Errorf("-json/-events/-metrics support a single run; drop them or use -repeats 1")
 		}
 		return runRepeats(*repeatsFlag, *parallelFlag, *seedFlag, *policyFlag, simulate, stdout)
 	}
@@ -121,6 +124,16 @@ func run(args []string, stdout io.Writer) error {
 	res, err := simulate(*seedFlag)
 	if err != nil {
 		return err
+	}
+	if *eventsFlag {
+		if err := mudi.WriteEventsNDJSON(stdout, res.Events); err != nil {
+			return err
+		}
+	}
+	if *metricsFlag {
+		if err := mudi.WriteMetricsNDJSON(stdout, res.Metrics); err != nil {
+			return err
+		}
 	}
 	if *jsonFlag {
 		return res.WriteJSON(stdout, 64)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"mudi/internal/gpu"
 	"mudi/internal/memmgr"
 	"mudi/internal/model"
+	"mudi/internal/obs"
 	"mudi/internal/perf"
 	"mudi/internal/sched"
 	"mudi/internal/stats"
@@ -52,6 +54,17 @@ type Options struct {
 	// memory (§3: "Mudi is fully compatible with MIG, treating each
 	// MIG instance as a distinct, smaller GPU"). Valid values 1–7.
 	MIGSlices int
+	// Obs, when non-nil, receives metrics and structured events from
+	// every control-loop decision; the simulation-end roll-up lands in
+	// Result.Events/Result.Metrics. Observation is passive — it never
+	// perturbs the simulated metrics (Result.Summary() is identical
+	// with and without a sink) — and a nil sink costs one branch per
+	// call site.
+	Obs *obs.Sink
+	// Ctx, when non-nil, cancels the simulation between control
+	// windows; Run then returns ctx.Err(). Nil means run to
+	// completion.
+	Ctx context.Context
 }
 
 func (o Options) defaults() (Options, error) {
@@ -131,6 +144,14 @@ type Result struct {
 
 	// Trace is the per-window record of the traced device (Fig. 16).
 	Trace []TracePoint
+
+	// Observability roll-up, populated only when Options.Obs is set:
+	// the structured event stream in emission order and the final
+	// metrics snapshot. Both are derived views and deliberately
+	// excluded from Summary() — enabling observation must not perturb
+	// the determinism contract.
+	Events  []obs.Event
+	Metrics *obs.Metrics
 }
 
 // TracePoint is one control-window snapshot of the traced device.
@@ -182,7 +203,44 @@ type Sim struct {
 	jobs    map[int]*queueJob
 	tasks   []*taskState
 
+	// obsv caches the cluster-level instruments (nil when observation
+	// is disabled); per-device instruments live on deviceState.
+	obsv *simObs
+
 	res *Result
+}
+
+// simObs is the cluster-level instrument cache.
+type simObs struct {
+	sink       *obs.Sink
+	smUtil     *obs.Gauge
+	memUtil    *obs.Gauge
+	queueDepth *obs.Gauge
+	windows    *obs.Counter
+	placements *obs.Counter
+	migrations *obs.Counter
+	retunes    *obs.Counter
+	violations *obs.Counter
+	batchChg   *obs.Counter
+	rescales   *obs.Counter
+	shadow     *obs.Counter
+}
+
+func newSimObs(sink *obs.Sink) *simObs {
+	return &simObs{
+		sink:       sink,
+		smUtil:     sink.Gauge("cluster_sm_util"),
+		memUtil:    sink.Gauge("cluster_mem_util"),
+		queueDepth: sink.Gauge("cluster_queue_depth"),
+		windows:    sink.Counter("cluster_windows_total"),
+		placements: sink.Counter("cluster_placements_total"),
+		migrations: sink.Counter("cluster_migrations_total"),
+		retunes:    sink.Counter("cluster_retunes_total"),
+		violations: sink.Counter("cluster_slo_violations_total"),
+		batchChg:   sink.Counter("cluster_batch_changes_total"),
+		rescales:   sink.Counter("cluster_gpu_rescales_total"),
+		shadow:     sink.Counter("cluster_shadow_swaps_total"),
+	}
 }
 
 // New builds a simulation.
@@ -206,6 +264,10 @@ func New(opts Options) (*Sim, error) {
 			SMUtil:       stats.NewTimeSeries(),
 			MemUtil:      stats.NewTimeSeries(),
 		},
+	}
+	if opts.Obs != nil {
+		s.obsv = newSimObs(opts.Obs)
+		s.queue.SetObs(opts.Obs)
 	}
 	// Deploy: one inference service per schedulable device (a whole GPU
 	// or a MIG instance), round-robin over the catalog (the paper's
@@ -240,6 +302,10 @@ func New(opts Options) (*Sim, error) {
 				delta:    0.5,
 			},
 		}
+		if opts.Obs != nil {
+			ds.obsv = newDevObs(opts.Obs, devID, info.Name)
+			ds.pool.SetObs(opts.Obs, devID, info.Name)
+		}
 		s.devices = append(s.devices, ds)
 		s.meas[devID] = &deviceMeasurer{oracle: opts.Oracle, dev: ds, rng: s.rng.ForkString("meas:" + devID)}
 	}
@@ -252,7 +318,7 @@ func (s *Sim) Run() (*Result, error) {
 	// Initial per-device configuration and memory placement.
 	for _, d := range s.devices {
 		d.svc.curQPS = d.svc.qpsTrace.At(0)
-		if err := s.configure(0, d, true); err != nil {
+		if err := s.configure(0, d, true, "initial"); err != nil {
 			return nil, err
 		}
 		if err := d.pool.Alloc(0, "svc", memmgr.PriorityInference, d.svc.info.MemoryMB(d.svc.batch)); err != nil {
@@ -271,6 +337,10 @@ func (s *Sim) Run() (*Result, error) {
 	}
 	// Control windows.
 	stop, err := s.engine.EveryUntil(s.opts.WindowSec, func(now float64) {
+		if s.opts.Ctx != nil && s.opts.Ctx.Err() != nil {
+			s.engine.Stop()
+			return
+		}
 		s.window(now)
 		if s.allDone() && s.queue.Len() == 0 {
 			s.engine.Stop()
@@ -281,6 +351,11 @@ func (s *Sim) Run() (*Result, error) {
 	}
 	defer stop()
 	s.engine.Run(s.opts.MaxHorizonSec)
+	if s.opts.Ctx != nil {
+		if err := s.opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	s.finalize(s.engine.Now())
 	return s.res, nil
 }
@@ -380,6 +455,13 @@ func (s *Sim) place(now float64, d *deviceState, qj *queueJob) {
 	d.training = append(d.training, t)
 	s.tasks = append(s.tasks, t)
 	s.res.Admitted++
+	if s.obsv != nil {
+		s.obsv.placements.Inc()
+		s.obsv.sink.Emit(obs.Event{
+			Time: now, Type: obs.EventTaskPlaced, Device: d.dev.ID,
+			Service: d.svc.info.Name, Task: t.task.Name, Value: float64(t.id),
+		})
+	}
 	// Memory: training allocations are swappable.
 	if err := d.pool.Alloc(now, t.allocID, memmgr.PriorityTraining, t.task.MemoryMB()); err != nil {
 		// Should not happen (training can be partially resident).
@@ -398,17 +480,25 @@ func (s *Sim) place(now float64, d *deviceState, qj *queueJob) {
 	if learner, ok := s.opts.Policy.(core.OnlineLearner); ok {
 		learner.ObserveColocation(d.view(), s.meas[d.dev.ID])
 	}
-	if err := s.configure(now, d, true); err != nil {
+	if err := s.configure(now, d, true, "placement"); err != nil {
 		t.paused = true
 	}
 }
 
 // configure runs the policy's device-level tuning and applies the
 // decision. initial marks placement-time calls (always allowed even
-// with DisableRetune).
-func (s *Sim) configure(now float64, d *deviceState, initial bool) error {
+// with DisableRetune); cause labels the retune event for the
+// observability stream.
+func (s *Sim) configure(now float64, d *deviceState, initial bool, cause string) error {
 	if s.opts.DisableRetune && !initial {
 		return nil
+	}
+	if s.obsv != nil {
+		s.obsv.retunes.Inc()
+		s.obsv.sink.Emit(obs.Event{
+			Time: now, Type: obs.EventRetune, Device: d.dev.ID,
+			Service: d.svc.info.Name, Cause: cause,
+		})
 	}
 	dec, err := s.opts.Policy.Configure(d.view(), s.meas[d.dev.ID])
 	if err != nil {
@@ -416,6 +506,41 @@ func (s *Sim) configure(now float64, d *deviceState, initial bool) error {
 	}
 	s.apply(now, d, dec)
 	return nil
+}
+
+// obsBatchChanged records a batch-size change on the event stream and
+// the device gauges. No-op when observation is disabled.
+func (s *Sim) obsBatchChanged(now float64, d *deviceState, batch int) {
+	if s.obsv == nil {
+		return
+	}
+	s.obsv.batchChg.Inc()
+	d.obsv.batch.Set(float64(batch))
+	s.obsv.sink.Emit(obs.Event{
+		Time: now, Type: obs.EventBatchChanged, Device: d.dev.ID,
+		Service: d.svc.info.Name, Value: float64(batch),
+	})
+}
+
+// obsRescaled records a GPU% change; shadow marks a change that paid
+// the shadow-instance reconfiguration protocol (§5.4).
+func (s *Sim) obsRescaled(now float64, d *deviceState, delta float64, shadow bool) {
+	if s.obsv == nil {
+		return
+	}
+	s.obsv.rescales.Inc()
+	d.obsv.delta.Set(delta)
+	s.obsv.sink.Emit(obs.Event{
+		Time: now, Type: obs.EventGPURescaled, Device: d.dev.ID,
+		Service: d.svc.info.Name, Value: delta,
+	})
+	if shadow {
+		s.obsv.shadow.Inc()
+		s.obsv.sink.Emit(obs.Event{
+			Time: now, Type: obs.EventShadowSwap, Device: d.dev.ID,
+			Service: d.svc.info.Name, Value: delta,
+		})
+	}
 }
 
 // apply installs a decision on the device.
@@ -431,6 +556,7 @@ func (s *Sim) apply(now float64, d *deviceState, dec core.Decision) {
 			svc.batch = dec.Batch
 			_ = d.pool.Resize(now, "svc", svc.info.MemoryMB(svc.batch))
 			_ = d.dev.SetMemory("svc", svc.info.MemoryMB(svc.batch))
+			s.obsBatchChanged(now, d, svc.batch)
 		}
 		for _, t := range d.training {
 			if !t.done && !t.paused {
@@ -441,6 +567,7 @@ func (s *Sim) apply(now float64, d *deviceState, dec core.Decision) {
 		if svc.delta != 1 {
 			svc.reconfigs++
 			s.res.Reconfigs++
+			s.obsRescaled(now, d, 1, true)
 		}
 		svc.delta = 1
 		s.res.PausedEpisodes++
@@ -458,6 +585,7 @@ func (s *Sim) apply(now float64, d *deviceState, dec core.Decision) {
 		// Batch updates are on-the-fly; only memory demand changes.
 		_ = d.pool.Resize(now, "svc", svc.info.MemoryMB(svc.batch))
 		_ = d.dev.SetMemory("svc", svc.info.MemoryMB(svc.batch))
+		s.obsBatchChanged(now, d, svc.batch)
 	}
 	// Cluster invariant (§7.4): while training is multiplexed, the
 	// inference service leaves it at least 10% of the device; a policy
@@ -469,6 +597,7 @@ func (s *Sim) apply(now float64, d *deviceState, dec core.Decision) {
 		svc.delta = dec.Delta
 		svc.reconfigs++
 		s.res.Reconfigs++
+		s.obsRescaled(now, d, svc.delta, true)
 	}
 	for _, t := range d.training {
 		if !t.done {
@@ -523,13 +652,13 @@ func (s *Sim) window(now float64) {
 		// Monitor: retune on a large QPS change (§5.3.2 case 2).
 		if !s.opts.DisableRetune && relChange(svc.curQPS, qps) >= s.opts.QPSChangeThreshold {
 			svc.curQPS = qps
-			_ = s.configure(now, d, false)
+			_ = s.configure(now, d, false, "qps-change")
 		} else if d.hasPaused() && now-d.lastResumeTry >= resumeRetrySec {
 			// Paused training: periodically probe whether the load has
 			// subsided enough to resume multiplexing.
 			d.lastResumeTry = now
 			svc.curQPS = qps
-			_ = s.configure(now, d, false)
+			_ = s.configure(now, d, false, "resume-probe")
 		}
 		// A task paused too long is evicted back to the queue so the
 		// scheduler can find it a compatible device (checkpointed).
@@ -558,14 +687,25 @@ func (s *Sim) window(now float64) {
 					SwappedMB: swapped, Paused: d.hasPaused(),
 				})
 			}
+			if s.obsv != nil {
+				d.obsv.latency.Observe(lat)
+			}
 			if lat > budget {
 				svc.violWin++
+				if s.obsv != nil {
+					s.obsv.violations.Inc()
+					d.obsv.violations.Inc()
+					s.obsv.sink.Emit(obs.Event{
+						Time: now, Type: obs.EventSLOViolation, Device: d.dev.ID,
+						Service: svc.info.Name, Value: lat, Cause: "window-budget",
+					})
+				}
 				// Monitor: "In cases where the Monitor detects that the
 				// SLO is at risk of being violated, it triggers adaptive
 				// batching or resource scaling accordingly" (§6).
 				if !s.opts.DisableRetune {
 					svc.curQPS = qps
-					_ = s.configure(now, d, false)
+					_ = s.configure(now, d, false, "slo-risk")
 				}
 			}
 			s.res.MeanP99[svc.info.Name] += lat
@@ -632,6 +772,14 @@ func (s *Sim) window(now float64) {
 	}
 	_ = s.res.SMUtil.Add(now, smSum/float64(len(s.devices)))
 	_ = s.res.MemUtil.Add(now, memSum/float64(len(s.devices)))
+	if s.obsv != nil {
+		// Per-window cluster snapshot (the obs analogue of Fig. 10's
+		// utilization series plus the scheduler backlog).
+		s.obsv.windows.Inc()
+		s.obsv.smUtil.Set(smSum / float64(len(s.devices)))
+		s.obsv.memUtil.Set(memSum / float64(len(s.devices)))
+		s.obsv.queueDepth.Set(float64(s.queue.Len()))
+	}
 }
 
 func latOrZero(o *perf.Oracle, svc *serviceState, coloc []model.TrainingTask) float64 {
@@ -664,7 +812,7 @@ func (s *Sim) complete(now float64, d *deviceState, t *taskState) {
 	// Retune for the remaining residents and pull the next queued task
 	// ("a new co-location decision is made for pending training tasks
 	// only after an existing training task has been completed", §5.2).
-	_ = s.configure(now, d, true)
+	_ = s.configure(now, d, true, "completion")
 	s.trySchedule(now)
 }
 
@@ -717,8 +865,16 @@ func (s *Sim) requeue(now float64, d *deviceState, t *taskState) {
 	}
 	s.tasks = tasks
 	s.res.Admitted--
+	if s.obsv != nil {
+		s.obsv.migrations.Inc()
+		s.obsv.sink.Emit(obs.Event{
+			Time: now, Type: obs.EventTaskMigrated, Device: d.dev.ID,
+			Service: d.svc.info.Name, Task: t.task.Name, Value: float64(t.id),
+			Cause: "pause-evict",
+		})
+	}
 	_ = s.queue.Push(qj.job)
-	_ = s.configure(now, d, true)
+	_ = s.configure(now, d, true, "migration")
 	s.trySchedule(now)
 }
 
@@ -747,6 +903,15 @@ func (s *Sim) finalize(now float64) {
 	}
 	if s.res.SwapEvents > 0 {
 		s.res.AvgTransferMs /= float64(s.res.SwapEvents)
+	}
+	// Simulation-end observability roll-up: the event stream and the
+	// final metrics snapshot ride on the Result (Summary() excludes
+	// both by design).
+	if s.opts.Obs != nil {
+		if s.opts.Obs.Log != nil {
+			s.res.Events = s.opts.Obs.Log.Events()
+		}
+		s.res.Metrics = s.opts.Obs.Snapshot()
 	}
 	// MeanP99 accumulated sums; divide by window counters.
 	for _, svcInfo := range s.opts.Services {

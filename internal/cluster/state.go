@@ -17,6 +17,7 @@ import (
 	"mudi/internal/gpu"
 	"mudi/internal/memmgr"
 	"mudi/internal/model"
+	"mudi/internal/obs"
 	"mudi/internal/perf"
 	"mudi/internal/sched"
 	"mudi/internal/trace"
@@ -60,6 +61,28 @@ type deviceState struct {
 	training      []*taskState
 	smUtil        float64 // last window's SM utilization
 	lastResumeTry float64
+	// obsv caches this device's observability instruments (nil when
+	// observation is disabled) so the hot path never takes the
+	// registry lock.
+	obsv *devObs
+}
+
+// devObs is the per-device instrument cache, resolved once at
+// simulation construction.
+type devObs struct {
+	latency    *obs.Histogram // measured window latency (ms)
+	violations *obs.Counter
+	batch      *obs.Gauge
+	delta      *obs.Gauge
+}
+
+func newDevObs(sink *obs.Sink, device, service string) *devObs {
+	return &devObs{
+		latency:    sink.Histogram(obs.Labeled("inf_latency_ms", device, service), nil),
+		violations: sink.Counter(obs.Labeled("slo_violated_windows_total", device, service)),
+		batch:      sink.Gauge(obs.Labeled("inf_batch", device, service)),
+		delta:      sink.Gauge(obs.Labeled("inf_gpu_share", device, service)),
+	}
 }
 
 // trainShare is the per-task share under the current inference delta.

@@ -26,6 +26,7 @@ import (
 	"mudi/internal/core"
 	"mudi/internal/kvstore"
 	"mudi/internal/model"
+	"mudi/internal/obs"
 	"mudi/internal/perf"
 	"mudi/internal/trace"
 	"mudi/internal/xrand"
@@ -39,6 +40,11 @@ type Config struct {
 	// QPSChangeThreshold mirrors the paper's 50% trigger.
 	QPSChangeThreshold float64
 	Seed               uint64
+	// Obs, when non-nil, receives per-device latency histograms, retune
+	// events (with their trigger cause), BO iteration counts, and the
+	// final GP-LCB acquisition value of each episode. The coordinator's
+	// goroutines share the sink; its instruments are concurrency-safe.
+	Obs *obs.Sink
 }
 
 func (c Config) defaults() Config {
@@ -59,6 +65,14 @@ type DeviceSpec struct {
 	Training *model.TrainingTask
 }
 
+// tuneReq is one Monitor→Tuner trigger: the QPS to retune for plus the
+// cause ("initial", "qps-change", or "slo-risk") that fired it — the
+// cause travels with the request so the retune event can report it.
+type tuneReq struct {
+	qps   float64
+	cause string
+}
+
 // deviceRuntime is the live per-device state.
 type deviceRuntime struct {
 	spec  DeviceSpec
@@ -67,13 +81,37 @@ type deviceRuntime struct {
 	batch atomic.Int64
 	delta atomic.Uint64 // delta ×1e6
 
-	tuneReqs chan float64 // QPS values needing a retune
+	tuneReqs chan tuneReq // triggers needing a retune
 
 	violations atomic.Int64
 	windows    atomic.Int64
 	retunes    atomic.Int64
 	applied    atomic.Int64 // config updates perceived by the Agents
 	iterMs     atomic.Uint64
+
+	// obsv caches this device's instruments (nil when disabled).
+	obsv *coordObs
+}
+
+// coordObs is the per-device instrument cache for the live coordinator.
+type coordObs struct {
+	sink       *obs.Sink
+	latency    *obs.Histogram
+	violations *obs.Counter
+	retunes    *obs.Counter
+	boIters    *obs.Counter
+	acq        *obs.Gauge
+}
+
+func newCoordObs(sink *obs.Sink, device, service string) *coordObs {
+	return &coordObs{
+		sink:       sink,
+		latency:    sink.Histogram(obs.Labeled("coord_latency_ms", device, service), nil),
+		violations: sink.Counter(obs.Labeled("coord_slo_violations_total", device, service)),
+		retunes:    sink.Counter(obs.Labeled("coord_retunes_total", device, service)),
+		boIters:    sink.Counter(obs.Labeled("coord_bo_iterations_total", device, service)),
+		acq:        sink.Gauge(obs.Labeled("coord_bo_acquisition", device, service)),
+	}
 }
 
 func (d *deviceRuntime) loadDelta() float64 { return float64(d.delta.Load()) / 1e6 }
@@ -115,7 +153,10 @@ func New(cfg Config, oracle *perf.Oracle, policy core.Policy, specs []DeviceSpec
 		d := &deviceRuntime{
 			spec:     spec,
 			qps:      trace.NewFluctuatingQPS(spec.Service.BaseQPS, c.rng.ForkString("qps:"+spec.ID)),
-			tuneReqs: make(chan float64, 8),
+			tuneReqs: make(chan tuneReq, 8),
+		}
+		if cfg.Obs != nil {
+			d.obsv = newCoordObs(cfg.Obs, spec.ID, spec.Service.Name)
 		}
 		d.batch.Store(64)
 		d.storeDelta(0.5)
@@ -187,7 +228,7 @@ func (c *Coordinator) monitor(ctx context.Context, d *deviceRuntime) {
 	lastTunedQPS := d.qps.At(0)
 	// Initial tune.
 	select {
-	case d.tuneReqs <- lastTunedQPS:
+	case d.tuneReqs <- tuneReq{qps: lastTunedQPS, cause: "initial"}:
 	default:
 	}
 	for {
@@ -210,17 +251,32 @@ func (c *Coordinator) monitor(ctx context.Context, d *deviceRuntime) {
 		_, _ = c.store.Put("stats/"+d.spec.ID+"/qps", strconv.FormatFloat(qps, 'f', 2, 64))
 		_, _ = c.store.Put("stats/"+d.spec.ID+"/p99", strconv.FormatFloat(lat, 'f', 2, 64))
 		violated := lat > budget
+		if d.obsv != nil {
+			d.obsv.latency.Observe(lat)
+		}
 		if violated {
 			d.violations.Add(1)
+			if d.obsv != nil {
+				d.obsv.violations.Inc()
+				d.obsv.sink.Emit(obs.Event{
+					Time: simNow, Type: obs.EventSLOViolation,
+					Device: d.spec.ID, Service: d.spec.Service.Name,
+					Value: lat, Cause: "window-budget",
+				})
+			}
 		}
 		change := 0.0
 		if lastTunedQPS > 0 {
 			change = abs(qps-lastTunedQPS) / lastTunedQPS
 		}
 		if violated || change >= c.cfg.QPSChangeThreshold {
+			cause := "qps-change"
+			if violated {
+				cause = "slo-risk"
+			}
 			lastTunedQPS = qps
 			select {
-			case d.tuneReqs <- qps:
+			case d.tuneReqs <- tuneReq{qps: qps, cause: cause}:
 			default: // a tune is already pending
 			}
 		}
@@ -232,17 +288,17 @@ func (c *Coordinator) monitor(ctx context.Context, d *deviceRuntime) {
 func (c *Coordinator) tuner(ctx context.Context, d *deviceRuntime) {
 	meas := &liveMeasurer{c: c, d: d, rng: c.rng.ForkString("meas:" + d.spec.ID)}
 	for {
-		var qps float64
+		var req tuneReq
 		select {
 		case <-ctx.Done():
 			return
-		case qps = <-d.tuneReqs:
+		case req = <-d.tuneReqs:
 		}
 		view := core.DeviceView{
 			ID:            d.spec.ID,
 			ServiceName:   d.spec.Service.Name,
 			SLOms:         d.spec.Service.SLOms,
-			QPS:           qps,
+			QPS:           req.qps,
 			Batch:         int(d.batch.Load()),
 			Delta:         d.loadDelta(),
 			ResidentTasks: d.colocSlice(),
@@ -255,6 +311,18 @@ func (c *Coordinator) tuner(ctx context.Context, d *deviceRuntime) {
 			continue
 		}
 		d.retunes.Add(1)
+		if d.obsv != nil {
+			d.obsv.retunes.Inc()
+			if dec.BOIterations > 0 {
+				d.obsv.boIters.Add(float64(dec.BOIterations))
+			}
+			d.obsv.acq.Set(dec.AcqValue)
+			d.obsv.sink.Emit(obs.Event{
+				Time: float64(d.simT.Load()), Type: obs.EventRetune,
+				Device: d.spec.ID, Service: d.spec.Service.Name,
+				Value: float64(dec.Batch), Cause: req.cause,
+			})
+		}
 		_, _ = c.store.Put(configKey(d.spec.ID, "batch"), strconv.Itoa(dec.Batch))
 		_, _ = c.store.Put(configKey(d.spec.ID, "gpu"), strconv.FormatFloat(dec.Delta, 'f', 6, 64))
 	}

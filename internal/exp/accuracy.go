@@ -33,7 +33,7 @@ func Fig11(cfg Config) (*report.Table, error) {
 			return prof.ProfileService(svc.Name, nil, nil)
 		}}
 	}
-	profilesBySvc, err := runner.Run(pool, profCells)
+	profilesBySvc, err := runCells(cfg, pool, profCells)
 	if err != nil {
 		return nil, fmt.Errorf("exp: fig11: %w", err)
 	}
@@ -82,7 +82,7 @@ func Fig11(cfg Config) (*report.Table, error) {
 			return out, nil
 		}}
 	}
-	evals, err := runner.Run(pool, evalCells)
+	evals, err := runCells(cfg, pool, evalCells)
 	if err != nil {
 		return nil, fmt.Errorf("exp: fig11: %w", err)
 	}
@@ -199,7 +199,7 @@ func Fig12(cfg Config) (*report.Table, error) {
 			return errAt, nil
 		}}
 	}
-	tracks, err := runner.Run(runner.New(cfg.Parallel), cells)
+	tracks, err := runCells(cfg, runner.New(cfg.Parallel), cells)
 	if err != nil {
 		return nil, fmt.Errorf("exp: fig12: %w", err)
 	}

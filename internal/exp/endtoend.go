@@ -152,7 +152,7 @@ func Fig13(s *Suite) (*report.Table, error) {
 			return &deviceOnlyPolicy{Mudi: m, rng: xrand.New(s.Config.Seed + 31)}
 		})},
 	}
-	ress, err := runner.Run(s.pool, cells)
+	ress, err := runCells(s.Config, s.pool, cells)
 	if err != nil {
 		return nil, fmt.Errorf("exp: fig13: %w", err)
 	}
@@ -244,7 +244,7 @@ func Fig15(s *Suite) (*report.Table, error) {
 			})
 		}
 	}
-	ress, err := runner.Run(s.pool, cells)
+	ress, err := runCells(s.Config, s.pool, cells)
 	if err != nil {
 		return nil, fmt.Errorf("exp: fig15: %w", err)
 	}

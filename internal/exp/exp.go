@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -15,6 +16,7 @@ import (
 	"mudi/internal/cluster"
 	"mudi/internal/core"
 	"mudi/internal/model"
+	"mudi/internal/obs"
 	"mudi/internal/perf"
 	"mudi/internal/predictor"
 	"mudi/internal/profiler"
@@ -48,6 +50,39 @@ type Config struct {
 	// and draws from an RNG stream derived from (Seed, cell index), and
 	// results merge in cell-key order, never completion order.
 	Parallel int
+	// Ctx, when non-nil, cancels in-flight harness runs: no new cells
+	// start after it is done and the run returns Ctx.Err().
+	Ctx context.Context
+	// Observer, when non-nil, receives every simulation event from every
+	// cell. Each cell owns a private Sink (registry + log), so only this
+	// function is shared across workers — it must be safe for concurrent
+	// calls when Parallel != 1. Observation never changes results.
+	Observer obs.Observer
+}
+
+// ctx returns the run context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// sink builds a fresh per-cell sink when observation is enabled, nil
+// otherwise (the zero-overhead path).
+func (c Config) sink() *obs.Sink {
+	if c.Observer == nil {
+		return nil
+	}
+	s := obs.NewSink()
+	s.Observer = c.Observer
+	return s
+}
+
+// runCells is the harness's runner entry point: every fan-out goes
+// through here so Config.Ctx governs the whole harness.
+func runCells[T any](cfg Config, p *runner.Pool, cells []runner.Cell[T]) ([]T, error) {
+	return runner.RunCtx(cfg.ctx(), p, cells)
 }
 
 // sizes returns (devices, tasks, meanGapSec, iterScale) per scale.
@@ -214,6 +249,8 @@ func (s *Suite) runPolicy(policy core.Policy) (*cluster.Result, error) {
 		Seed:     s.Config.Seed,
 		Devices:  devices,
 		Arrivals: s.Arrivals,
+		Obs:      s.Config.sink(),
+		Ctx:      s.Config.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -268,7 +305,7 @@ func (s *Suite) RunAll() (map[string]*cluster.Result, error) {
 			return s.runPolicy(policy)
 		}}
 	}
-	ress, err := runner.Run(s.pool, cells)
+	ress, err := runCells(s.Config, s.pool, cells)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %w", err)
 	}

@@ -72,7 +72,7 @@ func AblationTuner(cfg Config) (*report.Table, error) {
 			return armResult{res: res, meanEvals: meanEvals}, nil
 		}}
 	}
-	ress, err := runner.Run(runner.New(cfg.Parallel), cells)
+	ress, err := runCells(cfg, runner.New(cfg.Parallel), cells)
 	if err != nil {
 		return nil, fmt.Errorf("exp: ablation-tuner: %w", err)
 	}
@@ -122,7 +122,7 @@ func QueuePolicies(cfg Config) (*report.Table, error) {
 			return sim.Run()
 		}}
 	}
-	ress, err := runner.Run(runner.New(cfg.Parallel), cells)
+	ress, err := runCells(cfg, runner.New(cfg.Parallel), cells)
 	if err != nil {
 		return nil, fmt.Errorf("exp: queue-policies: %w", err)
 	}
@@ -193,7 +193,7 @@ func Fidelity(cfg Config) (*report.Table, error) {
 			return fidelityRow{analytic: analytic, res: res}, nil
 		}}
 	}
-	rows, err := runner.Run(runner.New(cfg.Parallel), cells)
+	rows, err := runCells(cfg, runner.New(cfg.Parallel), cells)
 	if err != nil {
 		return nil, fmt.Errorf("exp: fidelity: %w", err)
 	}

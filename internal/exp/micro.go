@@ -43,7 +43,7 @@ func Table2(cfg Config) (*report.Table, error) {
 			},
 		}
 	}
-	rows, err := runner.Run(runner.New(cfg.Parallel), cells)
+	rows, err := runCells(cfg, runner.New(cfg.Parallel), cells)
 	if err != nil {
 		return nil, fmt.Errorf("exp: table2: %w", err)
 	}
@@ -110,7 +110,7 @@ func Fig3(cfg Config) (*report.Table, error) {
 			return out, nil
 		}}
 	}
-	breakdowns, err := runner.Run(runner.New(cfg.Parallel), cells)
+	breakdowns, err := runCells(cfg, runner.New(cfg.Parallel), cells)
 	if err != nil {
 		return nil, fmt.Errorf("exp: fig3: %w", err)
 	}
@@ -166,7 +166,7 @@ func Fig4(cfg Config) (*report.Table, error) {
 			return out, nil
 		}}
 	}
-	breakdowns, err := runner.Run(runner.New(cfg.Parallel), cells)
+	breakdowns, err := runCells(cfg, runner.New(cfg.Parallel), cells)
 	if err != nil {
 		return nil, fmt.Errorf("exp: fig4: %w", err)
 	}

@@ -45,7 +45,7 @@ func Fig14(s *Suite) (*report.Table, error) {
 			})
 		}
 	}
-	qpss, err := runner.Run(s.pool, cells)
+	qpss, err := runCells(s.Config, s.pool, cells)
 	if err != nil {
 		return nil, fmt.Errorf("exp: fig14: %w", err)
 	}
@@ -231,7 +231,7 @@ func Fig17(cfg Config) (*report.Table, error) {
 			return run(m)
 		}
 	}
-	ress, err := runner.Run(runner.New(cfg.Parallel), []runner.Cell[*cluster.Result]{
+	ress, err := runCells(cfg, runner.New(cfg.Parallel), []runner.Cell[*cluster.Result]{
 		{Key: "mudi-1", Run: mudiArm(1)},
 		{Key: "mudi-3", Run: mudiArm(3)},
 		{Key: "random-3", Run: func() (*cluster.Result, error) {

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"mudi/internal/gpu"
+	"mudi/internal/obs"
 )
 
 // Priority orders evictions: inference allocations are pinned on the
@@ -63,6 +64,32 @@ type Pool struct {
 	swappingNow   bool
 	swapBusy      float64 // accumulated seconds in a swapped state
 	openedAt      float64
+
+	// Observability (nil when disabled): the sink plus instruments
+	// cached at SetObs time so the swap path never hits the registry.
+	sink       *obs.Sink
+	obsDevice  string
+	obsOutMB   *obs.Counter
+	obsInMB    *obs.Counter
+	obsXferMs  *obs.Histogram
+	obsSwapped *obs.Gauge
+}
+
+// SetObs enables observability for this pool: each migration burst
+// emits a mem_swap_in/out event labeled with the device (and owning
+// service), feeds the swap-byte counters, and records the PCIe
+// transfer time in a latency histogram — the §5.6 memory swapper's
+// telemetry (swap bytes + latency).
+func (p *Pool) SetObs(sink *obs.Sink, device, service string) {
+	if sink == nil {
+		return
+	}
+	p.sink = sink
+	p.obsDevice = device
+	p.obsOutMB = sink.Counter(obs.Labeled("mem_swap_out_mb_total", device, service))
+	p.obsInMB = sink.Counter(obs.Labeled("mem_swap_in_mb_total", device, service))
+	p.obsXferMs = sink.Histogram("mem_swap_transfer_ms", nil)
+	p.obsSwapped = sink.Gauge(obs.Labeled("mem_swapped_out_mb", device, service))
 }
 
 // Common pool errors.
@@ -267,16 +294,34 @@ func (p *Pool) recordBursts(now float64, alloc string, mb float64, toHost bool) 
 		if chunk > MigrationChunkMB {
 			chunk = MigrationChunkMB
 		}
+		xfer := transferTimeMs(chunk)
 		p.events = append(p.events, SwapEvent{
-			Time: now, Alloc: alloc, MB: chunk, ToHost: toHost, TransferMs: transferTimeMs(chunk),
+			Time: now, Alloc: alloc, MB: chunk, ToHost: toHost, TransferMs: xfer,
 		})
+		if p.sink != nil {
+			typ := obs.EventMemSwapIn
+			if toHost {
+				typ = obs.EventMemSwapOut
+				p.obsOutMB.Add(chunk)
+			} else {
+				p.obsInMB.Add(chunk)
+			}
+			p.obsXferMs.Observe(xfer)
+			p.sink.Emit(obs.Event{
+				Time: now, Type: typ, Device: p.obsDevice, Task: alloc, Value: chunk,
+			})
+		}
 		mb -= chunk
 	}
 }
 
 // updateSwapClock maintains the swapped-state stopwatch for Tab. 4.
 func (p *Pool) updateSwapClock(now float64) {
-	swapped := p.HostUsedMB() > 1e-9
+	hostMB := p.HostUsedMB()
+	if p.obsSwapped != nil {
+		p.obsSwapped.Set(hostMB)
+	}
+	swapped := hostMB > 1e-9
 	if swapped && !p.swappingNow {
 		p.swappingNow = true
 		p.swappingSince = now

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventType enumerates the structured event taxonomy — one entry per
+// control-loop decision class the system can take.
+type EventType uint8
+
+// The event taxonomy. See DESIGN.md §7 for when each fires.
+const (
+	// EventTaskPlaced: a training task was admitted onto a device.
+	EventTaskPlaced EventType = iota
+	// EventTaskMigrated: a paused task was checkpointed off a device
+	// and requeued for placement elsewhere.
+	EventTaskMigrated
+	// EventRetune: the Monitor triggered a device retune (Cause says
+	// why: "qps-change", "slo-risk", "resume-probe", "placement",
+	// "completion").
+	EventRetune
+	// EventBatchChanged: adaptive batching picked a new batch size
+	// (Value = new batch).
+	EventBatchChanged
+	// EventGPURescaled: Eq. 4 resource scaling changed the inference
+	// GPU% (Value = new delta in [0,1]).
+	EventGPURescaled
+	// EventShadowSwap: a GPU% change paid the shadow-instance
+	// reconfiguration protocol (§5.4).
+	EventShadowSwap
+	// EventMemSwapOut: training memory migrated device → host
+	// (Value = MB moved in this burst).
+	EventMemSwapOut
+	// EventMemSwapIn: training memory migrated host → device
+	// (Value = MB moved in this burst).
+	EventMemSwapIn
+	// EventSLOViolation: a control window's measured latency exceeded
+	// the budget (Value = latency ms).
+	EventSLOViolation
+
+	numEventTypes // keep last
+)
+
+var eventTypeNames = [numEventTypes]string{
+	EventTaskPlaced:   "task_placed",
+	EventTaskMigrated: "task_migrated",
+	EventRetune:       "retune",
+	EventBatchChanged: "batch_changed",
+	EventGPURescaled:  "gpu_rescaled",
+	EventShadowSwap:   "shadow_swap",
+	EventMemSwapOut:   "mem_swap_out",
+	EventMemSwapIn:    "mem_swap_in",
+	EventSLOViolation: "slo_violation",
+}
+
+// String returns the wire name of the event type.
+func (t EventType) String() string {
+	if t < numEventTypes {
+		return eventTypeNames[t]
+	}
+	return fmt.Sprintf("event(%d)", uint8(t))
+}
+
+// MarshalJSON encodes the type as its wire name.
+func (t EventType) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON decodes a wire name back into the type.
+func (t *EventType) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, name := range eventTypeNames {
+		if name == s {
+			*t = EventType(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event type %q", s)
+}
+
+// Event is one structured control-loop event. Time is simulation time
+// (seconds) — never wall clock — so event streams are deterministic
+// for a fixed seed.
+type Event struct {
+	Time    float64   `json:"t"`
+	Type    EventType `json:"type"`
+	Device  string    `json:"device,omitempty"`
+	Service string    `json:"service,omitempty"`
+	Task    string    `json:"task,omitempty"`
+	Value   float64   `json:"value,omitempty"`
+	Cause   string    `json:"cause,omitempty"`
+}
+
+// DefEventCap bounds the default event log; a 300-task physical-scale
+// run emits a few thousand events, so the default keeps full runs
+// intact while capping pathological ones.
+const DefEventCap = 1 << 16
+
+// EventLog is a bounded, concurrency-safe append log of Events. When
+// the capacity is reached, further events are counted as dropped
+// rather than silently lost.
+type EventLog struct {
+	mu      sync.Mutex
+	cap     int
+	events  []Event
+	dropped uint64
+}
+
+// NewEventLog returns a log bounded at capacity (DefEventCap if ≤ 0).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefEventCap
+	}
+	return &EventLog{cap: capacity}
+}
+
+// Append records one event (or counts it as dropped at capacity).
+func (l *EventLog) Append(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if len(l.events) >= l.cap {
+		l.dropped++
+	} else {
+		l.events = append(l.events, e)
+	}
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the logged events in append order.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Len returns the number of logged events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Dropped returns how many events were discarded at capacity.
+func (l *EventLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Observer receives each event synchronously as it is emitted. An
+// Observer shared across concurrently running simulations (e.g. one
+// hooked into several -parallel experiment cells) must be safe for
+// concurrent calls.
+type Observer func(Event)
+
+// Sink bundles the metrics registry, the event log, and an optional
+// streaming Observer. A nil *Sink disables observation: every method
+// is nil-receiver-safe, and hot paths additionally guard emissions
+// with a single `if sink != nil` branch so the disabled path costs no
+// argument construction either.
+type Sink struct {
+	Reg      *Registry
+	Log      *EventLog
+	Observer Observer
+}
+
+// NewSink returns a sink with a fresh registry and a default-capacity
+// event log.
+func NewSink() *Sink {
+	return &Sink{Reg: NewRegistry(), Log: NewEventLog(0)}
+}
+
+// Emit appends the event to the log (if any) and forwards it to the
+// Observer (if any).
+func (s *Sink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	if s.Log != nil {
+		s.Log.Append(e)
+	}
+	if s.Observer != nil {
+		s.Observer(e)
+	}
+}
+
+// Enabled reports whether the sink is non-nil (a readability helper
+// for call sites that prefer a named check over `!= nil`).
+func (s *Sink) Enabled() bool { return s != nil }
+
+// Counter resolves a registry counter; nil-safe.
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Reg.Counter(name)
+}
+
+// Gauge resolves a registry gauge; nil-safe.
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.Reg.Gauge(name)
+}
+
+// Histogram resolves a registry histogram; nil-safe.
+func (s *Sink) Histogram(name string, bounds []float64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.Reg.Histogram(name, bounds)
+}
+
+// Snapshot snapshots the registry; nil-safe (returns nil).
+func (s *Sink) Snapshot() *Metrics {
+	if s == nil {
+		return nil
+	}
+	return s.Reg.Snapshot()
+}
+
+// WriteEventsNDJSON streams events as newline-delimited JSON in append
+// order.
+func WriteEventsNDJSON(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapCtxPreCancelled: a done context stops the run before any cell
+// starts, on both the inline and the worker path.
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		_, err := MapCtx(ctx, New(workers), 8, func(i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d cells ran after cancellation", workers, ran.Load())
+		}
+	}
+}
+
+// TestMapCtxMidRunCancel: cancelling during the run stops feeding new
+// cells; in-flight cells complete and the run reports ctx.Err().
+func TestMapCtxMidRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := MapCtx(ctx, New(2), 64, func(i int) (int, error) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 64 {
+		t.Errorf("all %d cells ran despite cancellation", n)
+	}
+}
+
+// TestMapCtxNilContext: nil falls back to Background and completes.
+func TestMapCtxNilContext(t *testing.T) {
+	out, err := MapCtx[int](nil, New(2), 4, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestRunCtxCancellationBeatsCellErrors: a cancelled run reports
+// ctx.Err() even when cells also failed — aborted results are
+// incomplete, not wrong.
+func TestRunCtxCancellationBeatsCellErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cells := make([]Cell[int], 16)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{Key: "c", Run: func() (int, error) {
+			if i == 0 {
+				cancel()
+				return 0, errors.New("boom")
+			}
+			return i, nil
+		}}
+	}
+	_, err := RunCtx(ctx, New(1), cells)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -20,6 +20,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -47,6 +48,19 @@ func (p *Pool) Workers() int { return p.workers }
 // order. out[i] is always cell i's result; the error, if any, is the
 // lowest-indexed failing cell's, wrapped with its index.
 func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), p, n, fn)
+}
+
+// MapCtx is Map with cancellation: ctx is checked before each cell
+// starts, and once it is done no further cells begin (in-flight cells
+// run to completion — cells are not individually interruptible). A
+// cancelled run returns ctx.Err(); cancellation takes precedence over
+// cell errors, because an aborted run's cell results are incomplete by
+// construction, not wrong.
+func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]T, n)
 	errs := make([]error, n)
 	run := func(i int) { out[i], errs[i] = fn(i) }
@@ -54,6 +68,9 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 		// Inline sequential path: identical call order to a plain loop,
 		// no goroutines — this *is* the sequential engine.
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			run(i)
 		}
 	} else {
@@ -72,11 +89,19 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 				}
 			}()
 		}
+	feed:
 		for i := 0; i < n; i++ {
-			idx <- i
+			select {
+			case <-ctx.Done():
+				break feed
+			case idx <- i:
+			}
 		}
 		close(idx)
 		wg.Wait()
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 	}
 	for i, err := range errs {
 		if err != nil {
@@ -98,7 +123,13 @@ type Cell[T any] struct {
 // caller constructs the cell slice in key order). On failure the error
 // names the lowest-indexed failing cell's key.
 func Run[T any](p *Pool, cells []Cell[T]) ([]T, error) {
-	out, err := Map(p, len(cells), func(i int) (T, error) {
+	return RunCtx(context.Background(), p, cells)
+}
+
+// RunCtx is Run with cancellation, with MapCtx's semantics: no new
+// cells start after ctx is done and the run reports ctx.Err().
+func RunCtx[T any](ctx context.Context, p *Pool, cells []Cell[T]) ([]T, error) {
+	out, err := MapCtx(ctx, p, len(cells), func(i int) (T, error) {
 		v, err := cells[i].Run()
 		if err != nil {
 			return v, fmt.Errorf("cell %q: %w", cells[i].Key, err)

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"mudi/internal/obs"
 )
 
 // Job is one queued training task.
@@ -132,6 +134,11 @@ type Queue struct {
 	policy  Policy
 	pending []*Job
 	usage   map[string]float64
+
+	// Observability instruments (nil when disabled), cached at SetObs.
+	depth  *obs.Gauge
+	pushed *obs.Counter
+	popped *obs.Counter
 }
 
 // NewQueue returns an empty queue under the given policy (FCFS if nil).
@@ -142,12 +149,27 @@ func NewQueue(policy Policy) *Queue {
 	return &Queue{policy: policy, usage: make(map[string]float64)}
 }
 
+// SetObs enables queue telemetry on the sink: a backlog-depth gauge
+// plus push/pop counters, all prefixed sched_.
+func (q *Queue) SetObs(sink *obs.Sink) {
+	if sink == nil {
+		return
+	}
+	q.depth = sink.Gauge("sched_queue_depth")
+	q.pushed = sink.Counter("sched_jobs_pushed_total")
+	q.popped = sink.Counter("sched_jobs_popped_total")
+}
+
 // Push enqueues a job.
 func (q *Queue) Push(j *Job) error {
 	if j == nil {
 		return errors.New("sched: nil job")
 	}
 	q.pending = append(q.pending, j)
+	if q.depth != nil {
+		q.pushed.Inc()
+		q.depth.Set(float64(len(q.pending)))
+	}
 	return nil
 }
 
@@ -171,12 +193,21 @@ func (q *Queue) Pop() *Job {
 	i := q.policy.Pick(q.pending, q.usage)
 	j := q.pending[i]
 	q.pending = append(q.pending[:i], q.pending[i+1:]...)
+	if q.depth != nil {
+		q.popped.Inc()
+		q.depth.Set(float64(len(q.pending)))
+	}
 	return j
 }
 
 // Requeue returns a job to the queue (placement failed; wait for
 // resources).
-func (q *Queue) Requeue(j *Job) { q.pending = append(q.pending, j) }
+func (q *Queue) Requeue(j *Job) {
+	q.pending = append(q.pending, j)
+	if q.depth != nil {
+		q.depth.Set(float64(len(q.pending)))
+	}
+}
 
 // RecordUsage accumulates GPU-seconds against a user for fair sharing.
 func (q *Queue) RecordUsage(user string, gpuSeconds float64) {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mudi/internal/obs"
 	"mudi/internal/stats"
 )
 
@@ -33,6 +34,10 @@ type Config struct {
 	// whichever comes first — the semantics of a tuned batch size b_i.
 	FormBatches bool
 	MaxWaitMs   float64 // batch-forming timeout; default SLOms/2
+	// Obs, when non-nil, receives a per-request latency histogram
+	// (serving_latency_ms), served/rejected counters, and a batch-size
+	// histogram. Passive: it never changes Result.
+	Obs *obs.Sink
 }
 
 // Result summarizes one run.
@@ -144,6 +149,15 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 	res.Served = len(res.Latencies)
 	if res.Batches > 0 {
 		res.MeanBatch /= float64(res.Batches)
+	}
+	if cfg.Obs != nil {
+		latHist := cfg.Obs.Histogram("serving_latency_ms", nil)
+		for _, l := range res.Latencies {
+			latHist.Observe(l)
+		}
+		cfg.Obs.Counter("serving_served_total").Add(float64(res.Served))
+		cfg.Obs.Counter("serving_rejected_total").Add(float64(res.Rejected))
+		cfg.Obs.Counter("serving_batches_total").Add(float64(res.Batches))
 	}
 	res.P99 = stats.P99(res.Latencies)
 	res.Mean = stats.Mean(res.Latencies)

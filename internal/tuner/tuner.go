@@ -103,6 +103,10 @@ type Decision struct {
 	Feasible     bool    // false → pause training and give inference the device (§5.3.2)
 	BOIterations int     // Fig. 18a's metric
 	TrainIterMs  float64 // predicted/observed training iteration at the decision
+	// AcqValue is the GP-LCB acquisition value at the optimizer's final
+	// pick (0 for the non-BO strategies) — exported to the observability
+	// layer as the bo_acquisition gauge.
+	AcqValue float64
 }
 
 // Tuner is stateless between calls except for configuration; the
@@ -248,7 +252,7 @@ func (t *Tuner) Tune(req Request) (Decision, error) {
 		// batching still serves the inference side: report the batch
 		// with the best latency-to-budget ratio at the full device so
 		// the service degrades as little as possible.
-		return Decision{Feasible: false, Batch: t.bestServingBatch(req), BOIterations: res.Iterations}, nil
+		return Decision{Feasible: false, Batch: t.bestServingBatch(req), BOIterations: res.Iterations, AcqValue: res.FinalAcq}, nil
 	}
 	batch := byLog[res.Best]
 
@@ -256,7 +260,7 @@ func (t *Tuner) Tune(req Request) (Decision, error) {
 	// chosen batch, plus headroom (Eq. 4).
 	finalDelta, ok := t.feasibleDelta(req, batch, maxDelta)
 	if !ok {
-		return Decision{Feasible: false, BOIterations: res.Iterations}, nil
+		return Decision{Feasible: false, BOIterations: res.Iterations, AcqValue: res.FinalAcq}, nil
 	}
 	return Decision{
 		Batch:        batch,
@@ -264,6 +268,7 @@ func (t *Tuner) Tune(req Request) (Decision, error) {
 		Feasible:     true,
 		BOIterations: res.Iterations,
 		TrainIterMs:  res.BestValue,
+		AcqValue:     res.FinalAcq,
 	}, nil
 }
 

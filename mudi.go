@@ -28,6 +28,7 @@
 package mudi
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -38,6 +39,7 @@ import (
 	"mudi/internal/exp"
 	"mudi/internal/extract"
 	"mudi/internal/model"
+	"mudi/internal/obs"
 	"mudi/internal/perf"
 	"mudi/internal/report"
 	"mudi/internal/sched"
@@ -122,23 +124,31 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 // Policy returns the trained Mudi policy.
 func (s *System) Policy() Policy { return s.policy }
 
-// Baseline instantiates one of the paper's comparison systems:
-// "gslice", "gpulets", "muxflow", "random", or "optimal".
-func (s *System) Baseline(name string) (Policy, error) {
-	switch name {
-	case "gslice":
+// BaselinePolicy instantiates one of the paper's comparison systems by
+// its typed ID (BaselineGSLICE, BaselineGpulets, BaselineMuxFlow,
+// BaselineRandom, or BaselineOptimal).
+func (s *System) BaselinePolicy(id BaselineID) (Policy, error) {
+	switch id {
+	case BaselineGSLICE:
 		return baselines.NewGSLICE(), nil
-	case "gpulets":
+	case BaselineGpulets:
 		return baselines.NewGpulets(s.oracle, xrand.New(s.cfg.Seed+7))
-	case "muxflow":
+	case BaselineMuxFlow:
 		return baselines.NewMuxFlow(s.oracle), nil
-	case "random":
+	case BaselineRandom:
 		return baselines.NewRandom(xrand.New(s.cfg.Seed+11), s.cfg.MaxTrainPerGPU), nil
-	case "optimal":
+	case BaselineOptimal:
 		return baselines.NewOptimal(s.oracle, s.cfg.MaxTrainPerGPU), nil
 	default:
-		return nil, fmt.Errorf("mudi: unknown baseline %q", name)
+		return nil, fmt.Errorf("mudi: unknown baseline %q (known: %v)", id, Baselines())
 	}
+}
+
+// Baseline instantiates a comparison system from its string name.
+//
+// Deprecated: use BaselinePolicy with a typed BaselineID.
+func (s *System) Baseline(name string) (Policy, error) {
+	return s.BaselinePolicy(BaselineID(name))
 }
 
 // SimOptions parameterizes one simulation run.
@@ -161,8 +171,13 @@ type SimOptions struct {
 	LoadFactor float64
 	// Bursts overlays QPS burst episodes (Fig. 16).
 	Bursts []Burst
-	// QueuePolicy selects the scheduling order: "fcfs" (default),
-	// "sjf", "fair", or "priority".
+	// Queue selects the scheduling order of the training queue;
+	// zero value selects QueueFCFS.
+	Queue QueuePolicyID
+	// QueuePolicy is the stringly-typed queue selector.
+	//
+	// Deprecated: use the typed Queue field. Setting both to different
+	// policies is an *OptionError.
 	QueuePolicy string
 	// TraceDeviceIdx (1-based) records a per-window trace of one device.
 	TraceDeviceIdx int
@@ -171,10 +186,43 @@ type SimOptions struct {
 	// MIGSlices > 1 splits every GPU into that many MIG instances
 	// (1–7), each an independent smaller device (§3).
 	MIGSlices int
+	// Observer, when non-nil, receives every simulation event as it is
+	// emitted (see the Event taxonomy in observe.go). Observation is
+	// passive: the observed run's Result.Summary() is identical to an
+	// unobserved run's.
+	Observer Observer
+	// Observe, when true, collects the event log and metrics snapshot
+	// into Result.Events / Result.Metrics even without an Observer.
+	// Setting Observer implies Observe.
+	Observe bool
 }
 
-// Simulate runs one cluster simulation to completion.
+// sink builds the run's observation sink, or nil when observation is
+// off — the nil sink is the zero-overhead path (one branch per
+// would-be observation site).
+func (o SimOptions) sink() *obs.Sink {
+	if !o.Observe && o.Observer == nil {
+		return nil
+	}
+	s := obs.NewSink()
+	s.Observer = o.Observer
+	return s
+}
+
+// Simulate runs one cluster simulation to completion. It is
+// SimulateContext with a background context.
 func (s *System) Simulate(opts SimOptions) (*Result, error) {
+	return s.SimulateContext(context.Background(), opts)
+}
+
+// SimulateContext runs one cluster simulation under ctx: the run stops
+// at the next control window once ctx is done and returns ctx.Err().
+// Options are validated first; configuration errors unwrap to
+// *OptionError.
+func (s *System) SimulateContext(ctx context.Context, opts SimOptions) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.Devices <= 0 {
 		opts.Devices = 12
 	}
@@ -204,7 +252,11 @@ func (s *System) Simulate(opts SimOptions) (*Result, error) {
 			return nil, err
 		}
 	}
-	queue, err := sched.PolicyByName(opts.QueuePolicy)
+	qid, oe := opts.queueID()
+	if oe != nil {
+		return nil, oe
+	}
+	queue, err := sched.PolicyByName(string(qid))
 	if err != nil {
 		return nil, err
 	}
@@ -222,6 +274,8 @@ func (s *System) Simulate(opts SimOptions) (*Result, error) {
 		TraceDeviceIdx: opts.TraceDeviceIdx,
 		DisableRetune:  opts.DisableRetune,
 		MIGSlices:      opts.MIGSlices,
+		Obs:            opts.sink(),
+		Ctx:            ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -281,6 +335,14 @@ type ExperimentConfig struct {
 	// every value — cells own their policy instances and RNG streams,
 	// and merge in cell-key order.
 	Parallel int
+	// Ctx, when non-nil, cancels in-flight experiment runs: no new
+	// cells start after it is done and the run reports Ctx.Err().
+	Ctx context.Context
+	// Observer, when non-nil, receives every simulation event from
+	// every experiment cell. Each cell observes through its own private
+	// sink; only this function is shared, so it must be safe for
+	// concurrent calls when Parallel != 1.
+	Observer Observer
 }
 
 // RunExperiment regenerates one paper table or figure (see
@@ -318,7 +380,13 @@ func StreamExperimentsCfg(names []string, ecfg ExperimentConfig, emit func(*Tabl
 	if names == nil {
 		names = ExperimentNames()
 	}
-	cfg := exp.Config{Seed: ecfg.Seed, Scale: ecfg.Scale, Parallel: ecfg.Parallel}
+	cfg := exp.Config{
+		Seed:     ecfg.Seed,
+		Scale:    ecfg.Scale,
+		Parallel: ecfg.Parallel,
+		Ctx:      ecfg.Ctx,
+		Observer: ecfg.Observer,
+	}
 	var suite *exp.Suite
 	getSuite := func() (*exp.Suite, error) {
 		if suite != nil {

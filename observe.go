@@ -1,0 +1,72 @@
+package mudi
+
+import (
+	"io"
+
+	"mudi/internal/obs"
+)
+
+// Observability surface. A simulation run observed through
+// SimOptions.Observer / SimOptions.Observe produces a typed event
+// stream and a metrics snapshot without perturbing its Result: events
+// are stamped with simulation time only, and Result.Summary() excludes
+// the observability fields, so an observed run and an unobserved run of
+// the same options are bit-identical where it counts.
+type (
+	// Event is one structured simulation event (task placed, retune,
+	// batch change, GPU% rescale, shadow swap, memory swap, SLO
+	// violation window). Time is simulation seconds.
+	Event = obs.Event
+	// EventType discriminates Event records.
+	EventType = obs.EventType
+	// Metrics is a point-in-time snapshot of every counter, gauge, and
+	// latency histogram a run recorded.
+	Metrics = obs.Metrics
+	// HistogramStats summarizes one latency histogram (count, sum,
+	// min/max/mean, P50/P95/P99).
+	HistogramStats = obs.HistogramStats
+	// Observer receives every event as it is emitted. When experiment
+	// cells run in parallel, the same function is invoked from multiple
+	// goroutines and must be concurrency-safe.
+	Observer = obs.Observer
+)
+
+// The event taxonomy. Wire names (Event.Type marshals to these) are the
+// snake_case forms: "task_placed", "task_migrated", "retune",
+// "batch_changed", "gpu_rescaled", "shadow_swap", "mem_swap_out",
+// "mem_swap_in", "slo_violation".
+const (
+	// EventTaskPlaced: a training task was admitted onto a device.
+	EventTaskPlaced = obs.EventTaskPlaced
+	// EventTaskMigrated: a task was paused/evicted and requeued.
+	EventTaskMigrated = obs.EventTaskMigrated
+	// EventRetune: the Monitor→Tuner loop ran; Cause says why.
+	EventRetune = obs.EventRetune
+	// EventBatchChanged: adaptive batching picked a new batch size.
+	EventBatchChanged = obs.EventBatchChanged
+	// EventGPURescaled: dynamic resource scaling moved the GPU%.
+	EventGPURescaled = obs.EventGPURescaled
+	// EventShadowSwap: a GPU% change paid the shadow-instance restart.
+	EventShadowSwap = obs.EventShadowSwap
+	// EventMemSwapOut: training memory migrated device→host (§5.6).
+	EventMemSwapOut = obs.EventMemSwapOut
+	// EventMemSwapIn: swapped memory migrated back host→device.
+	EventMemSwapIn = obs.EventMemSwapIn
+	// EventSLOViolation: a control window closed over its SLO budget.
+	EventSLOViolation = obs.EventSLOViolation
+)
+
+// WriteEventsNDJSON writes one JSON object per event — the format
+// behind `mudisim -events`.
+func WriteEventsNDJSON(w io.Writer, events []Event) error {
+	return obs.WriteEventsNDJSON(w, events)
+}
+
+// WriteMetricsNDJSON writes one JSON object per metric, sorted by kind
+// then name — the format behind `mudisim -metrics`.
+func WriteMetricsNDJSON(w io.Writer, m *Metrics) error {
+	if m == nil {
+		return nil
+	}
+	return m.WriteNDJSON(w)
+}

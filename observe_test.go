@@ -1,0 +1,196 @@
+package mudi
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// small returns quick simulation options shared by the observation
+// tests.
+func small() SimOptions {
+	return SimOptions{Devices: 4, Tasks: 5, MeanGapSec: 5, IterScale: 0.001}
+}
+
+// TestObserverDoesNotPerturbSummary is the observability layer's core
+// contract: an observed run and an unobserved run of the same options
+// produce byte-identical Result summaries. Each run gets a fresh
+// System: the Mudi policy learns co-location profiles online, so a
+// shared System is stateful across Simulate calls by design.
+func TestObserverDoesNotPerturbSummary(t *testing.T) {
+	newSys := func() *System {
+		sys, err := NewSystem(SystemConfig{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	plain, err := newSys().Simulate(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seen []Event
+	opts := small()
+	opts.Observer = func(e Event) {
+		mu.Lock()
+		seen = append(seen, e)
+		mu.Unlock()
+	}
+	observed, err := newSys().Simulate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Summary() != observed.Summary() {
+		t.Error("observation perturbed Result.Summary()")
+	}
+	if len(seen) == 0 {
+		t.Fatal("observer saw no events")
+	}
+	if len(observed.Events) != len(seen) {
+		t.Errorf("log kept %d events, observer saw %d", len(observed.Events), len(seen))
+	}
+	if observed.Metrics == nil {
+		t.Fatal("observed run has no metrics snapshot")
+	}
+	if plain.Events != nil || plain.Metrics != nil {
+		t.Error("unobserved run collected observability state")
+	}
+}
+
+// TestObserveWithoutObserver: Observe=true alone fills Result.Events /
+// Result.Metrics, and both exports render NDJSON.
+func TestObserveWithoutObserver(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := small()
+	opts.Observe = true
+	res, err := sys.Simulate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 || res.Metrics == nil {
+		t.Fatalf("Observe=true collected events=%d metrics=%v", len(res.Events), res.Metrics != nil)
+	}
+	var ev, met bytes.Buffer
+	if err := WriteEventsNDJSON(&ev, res.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsNDJSON(&met, res.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Len() == 0 || met.Len() == 0 {
+		t.Fatalf("NDJSON exports empty: events=%d metrics=%d", ev.Len(), met.Len())
+	}
+	// The taxonomy must include at least a placement and a retune on any
+	// non-trivial run.
+	types := make(map[EventType]bool)
+	for _, e := range res.Events {
+		types[e.Type] = true
+	}
+	for _, want := range []EventType{EventTaskPlaced, EventRetune} {
+		if !types[want] {
+			t.Errorf("event stream missing %v", want)
+		}
+	}
+}
+
+// TestSimulateContextCancel: a pre-cancelled context aborts the run
+// with ctx.Err() instead of a result.
+func TestSimulateContextCancel(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.SimulateContext(ctx, small()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestValidate exercises the typed option errors.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  SimOptions
+		field string
+	}{
+		{"mig-high", SimOptions{MIGSlices: 8}, "MIGSlices"},
+		{"mig-negative", SimOptions{MIGSlices: -1}, "MIGSlices"},
+		{"load-negative", SimOptions{LoadFactor: -0.5}, "LoadFactor"},
+		{"devices-negative", SimOptions{Devices: -3}, "Devices"},
+		{"tasks-negative", SimOptions{Tasks: -1}, "Tasks"},
+		{"gap-negative", SimOptions{MeanGapSec: -1}, "MeanGapSec"},
+		{"iter-negative", SimOptions{IterScale: -0.1}, "IterScale"},
+		{"trace-negative", SimOptions{TraceDeviceIdx: -1}, "TraceDeviceIdx"},
+		{"queue-unknown", SimOptions{Queue: "lifo"}, "Queue"},
+		{"queue-conflict", SimOptions{Queue: QueueSJF, QueuePolicy: "fair"}, "Queue"},
+		{"burst-bad", SimOptions{Bursts: []Burst{{Start: 10, End: 5}}}, "Bursts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("err = %v, want *OptionError", err)
+			}
+			if oe.Field != tc.field {
+				t.Errorf("field = %q, want %q", oe.Field, tc.field)
+			}
+			if oe.Error() == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+	// Zero options are all-defaults and must validate.
+	if err := (SimOptions{}).Validate(); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+	// Matching typed and deprecated string settings are not a conflict.
+	if err := (SimOptions{Queue: QueueSJF, QueuePolicy: "sjf"}).Validate(); err != nil {
+		t.Errorf("matching Queue/QueuePolicy rejected: %v", err)
+	}
+}
+
+// TestTypedBaselineAndQueueIDs drives the typed constants through a
+// simulation and checks the deprecated shims still resolve.
+func TestTypedBaselineAndQueueIDs(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range Baselines() {
+		p, err := sys.BaselinePolicy(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("%s has no name", id)
+		}
+	}
+	if _, err := sys.BaselinePolicy("bogus"); err == nil {
+		t.Fatal("bogus baseline accepted")
+	}
+	gslice, err := sys.BaselinePolicy(BaselineGSLICE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := small()
+	opts.Policy = gslice
+	opts.Queue = QueueSJF
+	res, err := sys.Simulate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "gslice" {
+		t.Fatalf("policy %q", res.Policy)
+	}
+	if len(QueuePolicies()) != 4 {
+		t.Fatalf("queue policies %v", QueuePolicies())
+	}
+}

@@ -1,0 +1,140 @@
+package mudi
+
+import (
+	"fmt"
+)
+
+// BaselineID identifies one of the paper's comparison systems. The
+// typed constants below replace the stringly-typed System.Baseline
+// argument; the string forms remain valid through the deprecated
+// shim.
+type BaselineID string
+
+// The comparison systems of §7.
+const (
+	// BaselineGSLICE is GSLICE: inference-only spatial sharing.
+	BaselineGSLICE BaselineID = "gslice"
+	// BaselineGpulets is gpulets: profile-table partitioning.
+	BaselineGpulets BaselineID = "gpulets"
+	// BaselineMuxFlow is MuxFlow: SM-threshold co-location.
+	BaselineMuxFlow BaselineID = "muxflow"
+	// BaselineRandom places training tasks uniformly at random.
+	BaselineRandom BaselineID = "random"
+	// BaselineOptimal is the oracle-informed upper bound (Fig. 13).
+	BaselineOptimal BaselineID = "optimal"
+)
+
+// Baselines lists the known baseline IDs in presentation order.
+func Baselines() []BaselineID {
+	return []BaselineID{
+		BaselineGSLICE, BaselineGpulets, BaselineMuxFlow,
+		BaselineRandom, BaselineOptimal,
+	}
+}
+
+// QueuePolicyID selects the training-queue scheduling order (§6: Mudi
+// "seamlessly integrates with various scheduling policies").
+type QueuePolicyID string
+
+// The supported queue policies.
+const (
+	// QueueFCFS schedules in submission order (the paper's default).
+	QueueFCFS QueuePolicyID = "fcfs"
+	// QueueSJF schedules the shortest estimated job first.
+	QueueSJF QueuePolicyID = "sjf"
+	// QueueFair schedules the least-served user first (max-min over
+	// GPU-seconds).
+	QueueFair QueuePolicyID = "fair"
+	// QueuePriority schedules the highest priority first.
+	QueuePriority QueuePolicyID = "priority"
+)
+
+// QueuePolicies lists the known queue policy IDs.
+func QueuePolicies() []QueuePolicyID {
+	return []QueuePolicyID{QueueFCFS, QueueSJF, QueueFair, QueuePriority}
+}
+
+// OptionError reports one invalid configuration field. Errors from
+// SimOptions.Validate (and from Simulate, which validates first) unwrap
+// to this type:
+//
+//	var oe *mudi.OptionError
+//	if errors.As(err, &oe) { fmt.Println(oe.Field, oe.Reason) }
+type OptionError struct {
+	Field  string // the SimOptions field, e.g. "MIGSlices"
+	Value  any    // the rejected value
+	Reason string // why it was rejected
+}
+
+// Error implements error.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("mudi: invalid option %s=%v: %s", e.Field, e.Value, e.Reason)
+}
+
+// queueID resolves the effective queue policy from the typed Queue
+// field and the deprecated QueuePolicy string, rejecting conflicting
+// settings.
+func (o SimOptions) queueID() (QueuePolicyID, *OptionError) {
+	q := o.Queue
+	if o.QueuePolicy != "" {
+		if q != "" && string(q) != o.QueuePolicy {
+			return "", &OptionError{
+				Field: "Queue", Value: o.Queue,
+				Reason: fmt.Sprintf("conflicts with deprecated QueuePolicy=%q", o.QueuePolicy),
+			}
+		}
+		q = QueuePolicyID(o.QueuePolicy)
+	}
+	switch q {
+	case "", QueueFCFS, QueueSJF, QueueFair, QueuePriority:
+		return q, nil
+	}
+	return "", &OptionError{
+		Field: "Queue", Value: q,
+		Reason: fmt.Sprintf("unknown queue policy (known: %v)", QueuePolicies()),
+	}
+}
+
+// Validate checks every SimOptions field and returns the first
+// violation as an *OptionError, or nil.
+//
+// Zero values are not violations — they select documented defaults and
+// Validate accepts them: Policy (system's Mudi), Devices (12),
+// Tasks (24), MeanGapSec (10 s), IterScale (0.002), LoadFactor (1.0),
+// Queue (QueueFCFS), TraceDeviceIdx (no trace), MIGSlices (no MIG
+// splitting; 1 is equivalently off).
+func (o SimOptions) Validate() error {
+	if o.Devices < 0 {
+		return &OptionError{Field: "Devices", Value: o.Devices, Reason: "must be >= 0 (0 selects the default of 12)"}
+	}
+	if o.Tasks < 0 {
+		return &OptionError{Field: "Tasks", Value: o.Tasks, Reason: "must be >= 0 (0 selects the default of 24)"}
+	}
+	if o.MeanGapSec < 0 {
+		return &OptionError{Field: "MeanGapSec", Value: o.MeanGapSec, Reason: "must be >= 0 (0 selects the default of 10 s)"}
+	}
+	if o.IterScale < 0 {
+		return &OptionError{Field: "IterScale", Value: o.IterScale, Reason: "must be >= 0 (0 selects the default of 0.002)"}
+	}
+	if o.LoadFactor < 0 {
+		return &OptionError{Field: "LoadFactor", Value: o.LoadFactor, Reason: "must be >= 0 (0 selects the default of 1.0)"}
+	}
+	if o.TraceDeviceIdx < 0 {
+		return &OptionError{Field: "TraceDeviceIdx", Value: o.TraceDeviceIdx, Reason: "must be >= 0 (0 disables tracing; indexes are 1-based)"}
+	}
+	if o.MIGSlices < 0 || o.MIGSlices > 7 {
+		return &OptionError{Field: "MIGSlices", Value: o.MIGSlices, Reason: "must be in [0, 7] (A100 MIG supports at most 7 instances; 0 or 1 disables splitting)"}
+	}
+	for i, b := range o.Bursts {
+		if b.Start < 0 || b.End < b.Start {
+			return &OptionError{
+				Field: "Bursts", Value: i,
+				Reason: "burst must have Start >= 0 and End >= Start",
+			}
+		}
+	}
+	if _, oe := o.queueID(); oe != nil {
+		return oe
+	}
+	return nil
+}
