@@ -7,7 +7,7 @@ GO ?= go
 
 # Packages exercised concurrently by the parallel experiment engine
 # and the observability fan-in.
-RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/obs
+RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/obs ./internal/faults
 
 .PHONY: tier1 build test vet race bench-parallel bench-obs ci
 

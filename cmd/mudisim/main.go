@@ -62,6 +62,7 @@ func run(args []string, stdout io.Writer) error {
 		parallelFlag = fs.Int("parallel", runtime.NumCPU(), "worker count for replica fan-out (results identical for any value)")
 		eventsFlag   = fs.Bool("events", false, "stream the run's structured event log as NDJSON (one JSON object per line) before the tables")
 		metricsFlag  = fs.Bool("metrics", false, "stream the run's metrics snapshot as NDJSON before the tables")
+		faultsFlag   = fs.String("faults", "", "deterministic fault injection: \"default\" or comma-separated key=value pairs (mtbf, mttr, meas, retries, spin, pciex, pcie-mtbf, pcie-mttr, seed), e.g. \"mtbf=300,mttr=45,meas=0.1\"")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +89,11 @@ func run(args []string, stdout io.Writer) error {
 		bursts = []mudi.Burst{{Start: vals[0], End: vals[1], Factor: vals[2]}}
 	}
 
+	faultCfg, err := parseFaults(*faultsFlag)
+	if err != nil {
+		return err
+	}
+
 	simulate := func(seed uint64) (*mudi.Result, error) {
 		sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: seed, MaxTrainPerGPU: *moreFlag})
 		if err != nil {
@@ -103,6 +109,7 @@ func run(args []string, stdout io.Writer) error {
 			TraceDeviceIdx: *traceFlag,
 			Bursts:         bursts,
 			Observe:        *eventsFlag || *metricsFlag,
+			Faults:         faultCfg,
 		}
 		if *policyFlag != "mudi" {
 			p, err := sys.BaselinePolicy(mudi.BaselineID(*policyFlag))
@@ -157,6 +164,12 @@ func run(args []string, stdout io.Writer) error {
 	tab.AddRow("swap events", res.SwapEvents)
 	tab.AddRow("reconfigurations", res.Reconfigs)
 	tab.AddRow("paused episodes", res.PausedEpisodes)
+	if faultCfg != nil {
+		tab.AddRow("device failures / recoveries", fmt.Sprintf("%d / %d", res.DeviceFailures, res.DeviceRecoveries))
+		tab.AddRow("failovers", res.Failovers)
+		tab.AddRow("failed spin-ups", res.FailedSpinUps)
+		tab.AddRow("measurement retries", res.MeasureRetries)
+	}
 	if err := tab.WriteASCII(stdout); err != nil {
 		return err
 	}
@@ -222,6 +235,71 @@ func runRepeats(n, parallel int, seed uint64, policy string, simulate func(uint6
 		stats.Mean(waits), stats.StdDev(waits),
 		stats.Mean(spans), stats.StdDev(spans))
 	return tab.WriteASCII(stdout)
+}
+
+// parseFaults builds a fault-injection config from the -faults flag.
+// The empty string disables injection; "default" enables a moderate
+// all-class preset; otherwise the value is comma-separated key=value
+// pairs.
+func parseFaults(spec string) (*mudi.FaultConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if spec == "default" {
+		return &mudi.FaultConfig{
+			DeviceMTBFSec:     600,
+			DeviceMTTRSec:     60,
+			MeasureErrRate:    0.05,
+			SpinUpFailRate:    0.05,
+			PCIeDegradeFactor: 2,
+		}, nil
+	}
+	cfg := &mudi.FaultConfig{}
+	for _, pair := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -faults entry %q, want key=value", pair)
+		}
+		if key == "retries" {
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad -faults %s=%q: %v", key, val, err)
+			}
+			cfg.MeasureRetries = n
+			continue
+		}
+		if key == "seed" {
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -faults %s=%q: %v", key, val, err)
+			}
+			cfg.Seed = n
+			continue
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -faults %s=%q: %v", key, val, err)
+		}
+		switch key {
+		case "mtbf":
+			cfg.DeviceMTBFSec = v
+		case "mttr":
+			cfg.DeviceMTTRSec = v
+		case "meas":
+			cfg.MeasureErrRate = v
+		case "spin":
+			cfg.SpinUpFailRate = v
+		case "pciex":
+			cfg.PCIeDegradeFactor = v
+		case "pcie-mtbf":
+			cfg.PCIeMTBFSec = v
+		case "pcie-mttr":
+			cfg.PCIeMTTRSec = v
+		default:
+			return nil, fmt.Errorf("unknown -faults key %q (known: mtbf, mttr, meas, retries, spin, pciex, pcie-mtbf, pcie-mttr, seed)", key)
+		}
+	}
+	return cfg, nil
 }
 
 // runLive drives the concurrent Local Coordinator (§6): one Monitor,

@@ -56,10 +56,59 @@ func TestRunRepeatsDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunWithFaults exercises the -faults flag end to end: the fault
+// rows appear in the table, and a disabled run does not print them.
+func TestRunWithFaults(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-devices", "2", "-tasks", "3", "-seed", "7",
+		"-faults", "mtbf=120,mttr=30,meas=0.2,spin=0.2,retries=3,seed=5"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"device failures / recoveries", "failovers", "failed spin-ups", "measurement retries"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("faulted output missing %q:\n%s", want, out)
+		}
+	}
+	var plain strings.Builder
+	if err := run([]string{"-devices", "2", "-tasks", "3", "-seed", "7"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "device failures") {
+		t.Error("unfaulted run printed fault rows")
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	if cfg, err := parseFaults(""); err != nil || cfg != nil {
+		t.Fatalf("empty spec: %v %v", cfg, err)
+	}
+	cfg, err := parseFaults("default")
+	if err != nil || cfg == nil || !cfg.Enabled() {
+		t.Fatalf("default preset: %+v, %v", cfg, err)
+	}
+	cfg, err = parseFaults("mtbf=300,pciex=2.5,pcie-mtbf=100,pcie-mttr=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DeviceMTBFSec != 300 || cfg.PCIeDegradeFactor != 2.5 || cfg.PCIeMTBFSec != 100 || cfg.PCIeMTTRSec != 10 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	for _, bad := range []string{"nope", "mtbf", "mtbf=x", "unknown=1", "retries=x", "seed=x"} {
+		if _, err := parseFaults(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-burst", "nope"}, &b); err == nil {
 		t.Fatal("bad burst accepted")
+	}
+	if err := run([]string{"-faults", "mtbf=-1"}, &b); err == nil {
+		t.Fatal("invalid fault config accepted")
 	}
 	if err := run([]string{"-repeats", "2", "-json"}, &b); err == nil {
 		t.Fatal("-json with -repeats accepted")

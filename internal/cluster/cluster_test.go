@@ -228,8 +228,12 @@ func TestBurstTriggersSwapsAndPauses(t *testing.T) {
 	oracle := perf.NewOracle(7)
 	mudi := buildMudi(t, oracle, 7)
 	arrivals := smallArrivals(t, 8, 7)
+	// MIG slices shrink each instance to 10 GB so the burst-driven
+	// batch growth actually oversubscribes memory: swap accounting only
+	// counts real evictions and reclaims (first-touch allocations are
+	// free), so the scenario must create genuine pressure.
 	sim, err := New(Options{
-		Policy: mudi, Oracle: oracle, Seed: 7, Devices: 4,
+		Policy: mudi, Oracle: oracle, Seed: 7, Devices: 4, MIGSlices: 4,
 		Arrivals: arrivals,
 		Bursts:   []trace.Burst{{Start: 40, End: 100, Factor: 3}},
 	})

@@ -9,6 +9,7 @@ import (
 
 	"mudi/internal/core"
 	"mudi/internal/eventq"
+	"mudi/internal/faults"
 	"mudi/internal/gpu"
 	"mudi/internal/memmgr"
 	"mudi/internal/model"
@@ -61,6 +62,12 @@ type Options struct {
 	// with and without a sink) — and a nil sink costs one branch per
 	// call site.
 	Obs *obs.Sink
+	// Faults, when non-nil and enabled, injects deterministic failures
+	// (device outages, transient measurement errors, shadow spin-up
+	// failures, degraded PCIe) seeded from Seed. Nil or a disabled
+	// config leaves the simulation bit-for-bit identical to a build
+	// without the injector.
+	Faults *faults.Config
 	// Ctx, when non-nil, cancels the simulation between control
 	// windows; Run then returns ctx.Err(). Nil means run to
 	// completion.
@@ -142,6 +149,14 @@ type Result struct {
 	Reconfigs           int
 	PausedEpisodes      int
 
+	// Fault-injection accounting. All zero (and absent from Summary())
+	// unless Options.Faults enables the injector.
+	DeviceFailures   int // injected device outages
+	DeviceRecoveries int // outages that healed within the horizon
+	Failovers        int // service failovers (device death or lost shadow)
+	FailedSpinUps    int // shadow instances that failed to spin up
+	MeasureRetries   int // transient measurement errors retried
+
 	// Trace is the per-window record of the traced device (Fig. 16).
 	Trace []TracePoint
 
@@ -203,6 +218,11 @@ type Sim struct {
 	jobs    map[int]*queueJob
 	tasks   []*taskState
 
+	// inj is the deterministic fault injector; nil when Options.Faults
+	// is unset or disabled, in which case every fault path collapses to
+	// a single pointer check.
+	inj *faults.Injector
+
 	// obsv caches the cluster-level instruments (nil when observation
 	// is disabled); per-device instruments live on deviceState.
 	obsv *simObs
@@ -224,6 +244,27 @@ type simObs struct {
 	batchChg   *obs.Counter
 	rescales   *obs.Counter
 	shadow     *obs.Counter
+	// faults holds the fault-path counters. It is created only when the
+	// injector is enabled so an unfaulted run's metrics snapshot stays
+	// byte-identical to a build without fault injection.
+	faults *faultObs
+}
+
+// faultObs caches the fault-injection counters.
+type faultObs struct {
+	devFailed    *obs.Counter
+	devRecovered *obs.Counter
+	measRetries  *obs.Counter
+	failovers    *obs.Counter
+}
+
+func newFaultObs(sink *obs.Sink) *faultObs {
+	return &faultObs{
+		devFailed:    sink.Counter("cluster_device_failures_total"),
+		devRecovered: sink.Counter("cluster_device_recoveries_total"),
+		measRetries:  sink.Counter("cluster_measure_retries_total"),
+		failovers:    sink.Counter("cluster_failovers_total"),
+	}
 }
 
 func newSimObs(sink *obs.Sink) *simObs {
@@ -265,8 +306,18 @@ func New(opts Options) (*Sim, error) {
 			MemUtil:      stats.NewTimeSeries(),
 		},
 	}
+	if opts.Faults != nil {
+		inj, err := faults.New(*opts.Faults, opts.Seed, opts.MaxHorizonSec)
+		if err != nil {
+			return nil, err
+		}
+		s.inj = inj // nil when the config is all-zero (disabled)
+	}
 	if opts.Obs != nil {
 		s.obsv = newSimObs(opts.Obs)
+		if s.inj != nil {
+			s.obsv.faults = newFaultObs(opts.Obs)
+		}
 		s.queue.SetObs(opts.Obs)
 	}
 	// Deploy: one inference service per schedulable device (a whole GPU
@@ -306,8 +357,13 @@ func New(opts Options) (*Sim, error) {
 			ds.obsv = newDevObs(opts.Obs, devID, info.Name)
 			ds.pool.SetObs(opts.Obs, devID, info.Name)
 		}
+		if s.inj != nil {
+			// Host↔device transfers slow down inside injected PCIe
+			// degradation windows (factor 1 outside them).
+			ds.pool.SetTransferScale(s.inj.PCIeScale)
+		}
 		s.devices = append(s.devices, ds)
-		s.meas[devID] = &deviceMeasurer{oracle: opts.Oracle, dev: ds, rng: s.rng.ForkString("meas:" + devID)}
+		s.meas[devID] = &deviceMeasurer{oracle: opts.Oracle, dev: ds, rng: s.rng.ForkString("meas:" + devID), sim: s}
 	}
 	return s, nil
 }
@@ -326,6 +382,24 @@ func (s *Sim) Run() (*Result, error) {
 		}
 		if err := d.dev.Place(gpu.Resident{ID: "svc", Kind: gpu.KindInference, Share: d.svc.delta, MemoryMB: d.svc.info.MemoryMB(d.svc.batch)}); err != nil {
 			return nil, err
+		}
+		d.svc.deployed = true
+	}
+	// Fault schedule: every injected outage window becomes a pair of
+	// calendar events. Windows are drawn per device from seed-derived
+	// streams, so the schedule is a pure function of (Seed, Faults) and
+	// identical across worker counts.
+	if s.inj != nil {
+		for _, d := range s.devices {
+			d := d
+			for _, w := range s.inj.DeviceWindows(d.dev.ID, s.opts.MaxHorizonSec) {
+				if _, err := s.engine.At(w.Start, func(now float64) { s.failDevice(now, d) }); err != nil {
+					return nil, err
+				}
+				if _, err := s.engine.At(w.End, func(now float64) { s.recoverDevice(now, d) }); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	// Arrival events.
@@ -400,17 +474,25 @@ func (s *Sim) trySchedule(now float64) {
 		qj := s.jobs[job.ID]
 		views := make([]core.DeviceView, 0, len(s.devices))
 		for _, d := range s.devices {
-			if qj.excluded[d.dev.ID] {
+			if d.down || qj.excluded[d.dev.ID] {
 				continue
 			}
 			views = append(views, d.view())
 		}
 		if len(views) == 0 {
-			// Everything excluded: forget the history and retry fresh.
+			// Everything excluded: forget the history and retry fresh
+			// (failed devices stay off the table until they recover).
 			qj.excluded = nil
 			for _, d := range s.devices {
+				if d.down {
+					continue
+				}
 				views = append(views, d.view())
 			}
+		}
+		if len(views) == 0 {
+			// The whole cluster is down; recovery events reschedule.
+			return
 		}
 		measMap := make(map[string]core.Measurer, len(s.meas))
 		for id, m := range s.meas {
@@ -543,6 +625,31 @@ func (s *Sim) obsRescaled(now float64, d *deviceState, delta float64, shadow boo
 	}
 }
 
+// rescale moves the inference partition to newDelta behind the
+// shadow-instance protocol (§5.4). Under fault injection a shadow can
+// fail to spin up once the service is past its initial deployment; the
+// old instance then keeps serving at the previous partition and the
+// lost reconfiguration is recorded as a failover event. Without an
+// injector this is exactly the pre-fault rescale path.
+func (s *Sim) rescale(now float64, d *deviceState, newDelta float64) {
+	svc := d.svc
+	if s.inj != nil && svc.deployed && s.inj.SpinUpFails(d.dev.ID) {
+		s.res.FailedSpinUps++
+		if s.obsv != nil {
+			s.obsv.faults.failovers.Inc()
+			s.obsv.sink.Emit(obs.Event{
+				Time: now, Type: obs.EventFailover, Device: d.dev.ID,
+				Service: svc.info.Name, Value: newDelta, Cause: "shadow-spinup-failed",
+			})
+		}
+		return
+	}
+	svc.delta = newDelta
+	svc.reconfigs++
+	s.res.Reconfigs++
+	s.obsRescaled(now, d, newDelta, true)
+}
+
 // apply installs a decision on the device.
 func (s *Sim) apply(now float64, d *deviceState, dec core.Decision) {
 	svc := d.svc
@@ -565,11 +672,8 @@ func (s *Sim) apply(now float64, d *deviceState, dec core.Decision) {
 			}
 		}
 		if svc.delta != 1 {
-			svc.reconfigs++
-			s.res.Reconfigs++
-			s.obsRescaled(now, d, 1, true)
+			s.rescale(now, d, 1)
 		}
-		svc.delta = 1
 		s.res.PausedEpisodes++
 		s.syncShares(now, d)
 		return
@@ -594,10 +698,7 @@ func (s *Sim) apply(now float64, d *deviceState, dec core.Decision) {
 		dec.Delta = 0.9
 	}
 	if dec.Delta > 0 && absf(dec.Delta-svc.delta) > 1e-9 {
-		svc.delta = dec.Delta
-		svc.reconfigs++
-		s.res.Reconfigs++
-		s.obsRescaled(now, d, svc.delta, true)
+		s.rescale(now, d, dec.Delta)
 	}
 	for _, t := range d.training {
 		if !t.done {
@@ -646,6 +747,12 @@ func (s *Sim) window(now float64) {
 	w := s.opts.WindowSec
 	var smSum, memSum float64
 	for di, d := range s.devices {
+		if d.down {
+			// A failed device serves nothing and burns nothing: it
+			// contributes zero utilization (the denominator still counts
+			// it) and accrues no SLO windows during the outage.
+			continue
+		}
 		svc := d.svc
 		qps := svc.qpsTrace.At(now)
 
@@ -836,15 +943,31 @@ func (d *deviceState) hasPaused() bool {
 // requeue evicts a paused task back to the scheduling queue with its
 // progress checkpointed.
 func (s *Sim) requeue(now float64, d *deviceState, t *taskState) {
-	qj, ok := s.jobs[t.id]
-	if !ok || qj.requeues >= 2*len(s.devices) {
+	if !s.evictTask(now, d, t, "pause-evict", false) {
 		return
 	}
-	qj.requeues++
-	if qj.excluded == nil {
-		qj.excluded = make(map[string]bool)
+	_ = s.configure(now, d, true, "migration")
+	s.trySchedule(now)
+}
+
+// evictTask checkpoints t off d and pushes its job back to the
+// scheduling queue. force bypasses the requeue cap and skips the
+// device-exclusion mark — used on device failure, where the task
+// cannot stay on dead hardware and should be free to return once the
+// device recovers. Returns false when the cap stops a non-forced
+// eviction.
+func (s *Sim) evictTask(now float64, d *deviceState, t *taskState, cause string, force bool) bool {
+	qj, ok := s.jobs[t.id]
+	if !ok || (!force && qj.requeues >= 2*len(s.devices)) {
+		return false
 	}
-	qj.excluded[d.dev.ID] = true
+	qj.requeues++
+	if !force {
+		if qj.excluded == nil {
+			qj.excluded = make(map[string]bool)
+		}
+		qj.excluded[d.dev.ID] = true
+	}
 	qj.progress = t.itersDone
 	_ = d.pool.Free(now, t.allocID)
 	_ = d.dev.Remove(t.allocID)
@@ -870,12 +993,107 @@ func (s *Sim) requeue(now float64, d *deviceState, t *taskState) {
 		s.obsv.sink.Emit(obs.Event{
 			Time: now, Type: obs.EventTaskMigrated, Device: d.dev.ID,
 			Service: d.svc.info.Name, Task: t.task.Name, Value: float64(t.id),
-			Cause: "pause-evict",
+			Cause: cause,
 		})
 	}
 	_ = s.queue.Push(qj.job)
-	_ = s.configure(now, d, true, "migration")
+	return true
+}
+
+// failDevice begins an injected outage: every unfinished resident is
+// checkpointed and requeued (the forced eviction bypasses the requeue
+// cap — a task cannot wait out a cap on dead hardware), the inference
+// instance fails over off the device, and the device stops taking
+// placements and serving windows until recovery.
+func (s *Sim) failDevice(now float64, d *deviceState) {
+	if d.down {
+		return
+	}
+	d.down = true
+	d.svc.deployed = false
+	s.res.DeviceFailures++
+	if s.obsv != nil {
+		s.obsv.faults.devFailed.Inc()
+		s.obsv.sink.Emit(obs.Event{
+			Time: now, Type: obs.EventDeviceFailed, Device: d.dev.ID,
+			Service: d.svc.info.Name,
+		})
+	}
+	for _, t := range append([]*taskState(nil), d.training...) {
+		if !t.done {
+			s.evictTask(now, d, t, "device-failed", true)
+		}
+	}
+	s.res.Failovers++
+	if s.obsv != nil {
+		s.obsv.faults.failovers.Inc()
+		s.obsv.sink.Emit(obs.Event{
+			Time: now, Type: obs.EventFailover, Device: d.dev.ID,
+			Service: d.svc.info.Name, Cause: "device-failed",
+		})
+	}
+	_ = d.pool.Free(now, "svc")
+	_ = d.dev.Remove("svc")
+	// The requeued tasks look for a home among the surviving devices.
 	s.trySchedule(now)
+}
+
+// recoverDevice ends an outage: the device redeploys its inference
+// instance from scratch (a fresh launch, not a shadow swap — see
+// serviceState.deployed) and rejoins the placement pool.
+func (s *Sim) recoverDevice(now float64, d *deviceState) {
+	if !d.down {
+		return
+	}
+	d.down = false
+	s.res.DeviceRecoveries++
+	if s.obsv != nil {
+		s.obsv.faults.devRecovered.Inc()
+		s.obsv.sink.Emit(obs.Event{
+			Time: now, Type: obs.EventDeviceRecovered, Device: d.dev.ID,
+			Service: d.svc.info.Name,
+		})
+	}
+	svc := d.svc
+	svc.curQPS = svc.qpsTrace.At(now)
+	// Same sequence as the initial deployment in Run: size the config
+	// first, then pin the instance's memory and share.
+	_ = s.configure(now, d, true, "recovery")
+	mb := svc.info.MemoryMB(svc.batch)
+	_ = d.pool.Alloc(now, "svc", memmgr.PriorityInference, mb)
+	_ = d.dev.Place(gpu.Resident{ID: "svc", Kind: gpu.KindInference, Share: svc.delta, MemoryMB: mb})
+	svc.deployed = true
+	// Evicted (and head-of-line blocked) tasks may now fit again.
+	s.trySchedule(now)
+}
+
+// measureFault consults the injector before a TrainIterMs observation.
+// A transiently failing measurement is retried with capped exponential
+// backoff (the backoff spends negligible wall-clock inside a control
+// window, so the simulated clock does not advance); exhausting the
+// retries surfaces faults.ErrMeasurement, on which the tuner falls
+// back to predictor-only curves for the episode.
+func (s *Sim) measureFault(d *deviceState) error {
+	if !s.inj.MeasureFails(d.dev.ID) {
+		return nil
+	}
+	now := s.engine.Now()
+	retries := s.inj.Retries()
+	for attempt := 1; attempt <= retries; attempt++ {
+		s.res.MeasureRetries++
+		if s.obsv != nil {
+			s.obsv.faults.measRetries.Inc()
+			s.obsv.sink.Emit(obs.Event{
+				Time: now, Type: obs.EventMeasureRetry, Device: d.dev.ID,
+				Service: d.svc.info.Name, Value: float64(attempt),
+				Cause: fmt.Sprintf("backoff=%gms", s.inj.BackoffMs(attempt)),
+			})
+		}
+		if !s.inj.MeasureFails(d.dev.ID) {
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: measuring on %s after %d retries: %w", d.dev.ID, retries, faults.ErrMeasurement)
 }
 
 // finalize converts accumulators into rates.

@@ -34,6 +34,12 @@ type serviceState struct {
 	violWin   int // windows with a P99 over budget
 	totalWin  int
 	reconfigs int // shadow-instance restarts
+	// deployed is true while a live instance is serving on the device.
+	// It gates shadow-spin-up fault injection: the initial deployment
+	// and post-failure redeployments are fresh launches, not shadow
+	// swaps, so only rescales of a deployed instance can lose their
+	// shadow to an injected spin-up failure.
+	deployed bool
 }
 
 // taskState is one admitted training task.
@@ -61,6 +67,10 @@ type deviceState struct {
 	training      []*taskState
 	smUtil        float64 // last window's SM utilization
 	lastResumeTry float64
+	// down marks an injected device failure window: the device takes no
+	// placements, serves no inference, and contributes zero utilization
+	// until the matching recovery event clears it.
+	down bool
 	// obsv caches this device's observability instruments (nil when
 	// observation is disabled) so the hot path never takes the
 	// registry lock.
@@ -167,11 +177,23 @@ type deviceMeasurer struct {
 	oracle *perf.Oracle
 	dev    *deviceState
 	rng    *xrand.Rand
+	// sim links back to the simulation for fault injection: transient
+	// measurement errors and their retry accounting live on the Sim.
+	sim *Sim
 }
 
 // TrainIterMs implements tuner.Measurer: the mean measured iteration
-// across active residents, at a hypothetical (batch, delta).
+// across active residents, at a hypothetical (batch, delta). Under
+// fault injection a measurement can transiently fail; the simulator
+// retries with capped exponential backoff and surfaces
+// faults.ErrMeasurement once the retries are exhausted (callers fall
+// back to predictor-only curves).
 func (m *deviceMeasurer) TrainIterMs(batch int, delta float64) (float64, error) {
+	if m.sim != nil && m.sim.inj != nil {
+		if err := m.sim.measureFault(m.dev); err != nil {
+			return 0, err
+		}
+	}
 	tasks := m.dev.residentTasks()
 	if len(tasks) == 0 {
 		return 0, fmt.Errorf("cluster: no training on %s", m.dev.dev.ID)

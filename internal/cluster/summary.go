@@ -82,6 +82,15 @@ func (r *Result) Summary() string {
 	b.WriteString("avg_transfer_ms=" + f(r.AvgTransferMs) + "\n")
 	b.WriteString("reconfigs=" + strconv.Itoa(r.Reconfigs) + "\n")
 	b.WriteString("paused_episodes=" + strconv.Itoa(r.PausedEpisodes) + "\n")
+	// Fault accounting appears only when the injector actually fired,
+	// so unfaulted runs stay byte-identical to pre-fault summaries.
+	if r.DeviceFailures+r.DeviceRecoveries+r.Failovers+r.FailedSpinUps+r.MeasureRetries > 0 {
+		b.WriteString("faults=failed:" + strconv.Itoa(r.DeviceFailures) +
+			",recovered:" + strconv.Itoa(r.DeviceRecoveries) +
+			",failovers:" + strconv.Itoa(r.Failovers) +
+			",spinup_failed:" + strconv.Itoa(r.FailedSpinUps) +
+			",measure_retries:" + strconv.Itoa(r.MeasureRetries) + "\n")
+	}
 	for _, pt := range r.Trace {
 		b.WriteString("trace=" + f(pt.Time) + "," + f(pt.QPS) + "," + strconv.Itoa(pt.Batch) + "," +
 			f(pt.Delta) + "," + f(pt.LatencyMs) + "," + f(pt.BudgetMs) + "," +
@@ -113,6 +122,11 @@ type resultJSON struct {
 	AvgTransferMs     float64            `json:"avg_transfer_ms"`
 	Reconfigs         int                `json:"reconfigs"`
 	PausedEpisodes    int                `json:"paused_episodes"`
+	DeviceFailures    int                `json:"device_failures,omitempty"`
+	DeviceRecoveries  int                `json:"device_recoveries,omitempty"`
+	Failovers         int                `json:"failovers,omitempty"`
+	FailedSpinUps     int                `json:"failed_spinups,omitempty"`
+	MeasureRetries    int                `json:"measure_retries,omitempty"`
 	PlacementP50Ms    float64            `json:"placement_p50_ms"`
 	PlacementP99Ms    float64            `json:"placement_p99_ms"`
 	Trace             []TracePoint       `json:"trace,omitempty"`
@@ -142,6 +156,11 @@ func (r *Result) WriteJSON(w io.Writer, seriesPoints int) error {
 		AvgTransferMs:    r.AvgTransferMs,
 		Reconfigs:        r.Reconfigs,
 		PausedEpisodes:   r.PausedEpisodes,
+		DeviceFailures:   r.DeviceFailures,
+		DeviceRecoveries: r.DeviceRecoveries,
+		Failovers:        r.Failovers,
+		FailedSpinUps:    r.FailedSpinUps,
+		MeasureRetries:   r.MeasureRetries,
 		PlacementP50Ms:   stats.Percentile(r.PlacementOverheadMs, 50),
 		PlacementP99Ms:   stats.Percentile(r.PlacementOverheadMs, 99),
 		Trace:            r.Trace,

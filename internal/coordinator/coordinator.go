@@ -40,6 +40,15 @@ type Config struct {
 	// QPSChangeThreshold mirrors the paper's 50% trigger.
 	QPSChangeThreshold float64
 	Seed               uint64
+	// RetuneRetries bounds how many times the Tuner goroutine re-runs a
+	// Configure episode that returned an error (e.g. a transiently
+	// failing measurement channel) before dropping the trigger. Each
+	// retry waits RetuneBackoff doubled per attempt and capped at
+	// RetuneBackoffCap, aborting early on shutdown. Defaults: 3
+	// retries, 5 ms initial backoff, 100 ms cap.
+	RetuneRetries    int
+	RetuneBackoff    time.Duration
+	RetuneBackoffCap time.Duration
 	// Obs, when non-nil, receives per-device latency histograms, retune
 	// events (with their trigger cause), BO iteration counts, and the
 	// final GP-LCB acquisition value of each episode. The coordinator's
@@ -53,6 +62,15 @@ func (c Config) defaults() Config {
 	}
 	if c.QPSChangeThreshold <= 0 {
 		c.QPSChangeThreshold = 0.5
+	}
+	if c.RetuneRetries <= 0 {
+		c.RetuneRetries = 3
+	}
+	if c.RetuneBackoff <= 0 {
+		c.RetuneBackoff = 5 * time.Millisecond
+	}
+	if c.RetuneBackoffCap <= 0 {
+		c.RetuneBackoffCap = 100 * time.Millisecond
 	}
 	return c
 }
@@ -86,6 +104,7 @@ type deviceRuntime struct {
 	violations atomic.Int64
 	windows    atomic.Int64
 	retunes    atomic.Int64
+	retries    atomic.Int64 // Configure episodes retried after an error
 	applied    atomic.Int64 // config updates perceived by the Agents
 	iterMs     atomic.Uint64
 
@@ -174,6 +193,7 @@ type Stats struct {
 	Windows        int64
 	Violations     int64
 	Retunes        int64
+	RetuneRetries  int64
 	ConfigsApplied int64
 	Batch          int
 	Delta          float64
@@ -189,6 +209,7 @@ func (c *Coordinator) Stats() []Stats {
 			Windows:        d.windows.Load(),
 			Violations:     d.violations.Load(),
 			Retunes:        d.retunes.Load(),
+			RetuneRetries:  d.retries.Load(),
 			ConfigsApplied: d.applied.Load(),
 			Batch:          int(d.batch.Load()),
 			Delta:          d.loadDelta(),
@@ -307,6 +328,32 @@ func (c *Coordinator) tuner(ctx context.Context, d *deviceRuntime) {
 		c.mu.Lock()
 		dec, err := c.policy.Configure(view, meas)
 		c.mu.Unlock()
+		// A Configure error (typically a transiently failing measurement
+		// channel) is retried with capped exponential backoff before the
+		// trigger is dropped — a dropped retune would leave the device
+		// on a stale configuration until the next trigger fires.
+		backoff := c.cfg.RetuneBackoff
+		for attempt := 1; err != nil && attempt <= c.cfg.RetuneRetries; attempt++ {
+			d.retries.Add(1)
+			if d.obsv != nil {
+				d.obsv.sink.Emit(obs.Event{
+					Time: float64(d.simT.Load()), Type: obs.EventMeasureRetry,
+					Device: d.spec.ID, Service: d.spec.Service.Name,
+					Value: float64(attempt), Cause: "configure-error",
+				})
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > c.cfg.RetuneBackoffCap {
+				backoff = c.cfg.RetuneBackoffCap
+			}
+			c.mu.Lock()
+			dec, err = c.policy.Configure(view, meas)
+			c.mu.Unlock()
+		}
 		if err != nil || !dec.Feasible {
 			continue
 		}

@@ -2,6 +2,8 @@ package coordinator
 
 import (
 	"context"
+	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -111,5 +113,61 @@ func TestConfigDefaults(t *testing.T) {
 	c := Config{}.defaults()
 	if c.TickInterval != 10*time.Millisecond || c.QPSChangeThreshold != 0.5 {
 		t.Fatalf("defaults %+v", c)
+	}
+}
+
+// flakyPolicy fails its first N Configure calls, then delegates — a
+// transiently erroring measurement channel as the Tuner goroutine
+// sees it.
+type flakyPolicy struct {
+	core.Policy
+	mu    sync.Mutex
+	fails int
+}
+
+func (p *flakyPolicy) Configure(view core.DeviceView, m core.Measurer) (core.Decision, error) {
+	p.mu.Lock()
+	fail := p.fails > 0
+	if fail {
+		p.fails--
+	}
+	p.mu.Unlock()
+	if fail {
+		return core.Decision{}, errors.New("transient configure failure")
+	}
+	return p.Policy.Configure(view, m)
+}
+
+// TestTunerRetriesConfigureErrors: a Configure error must not silently
+// drop the retune trigger — the Tuner goroutine retries with backoff
+// and still lands a configuration.
+func TestTunerRetriesConfigureErrors(t *testing.T) {
+	oracle := perf.NewOracle(9)
+	policy := &flakyPolicy{Policy: buildPolicy(t, oracle, 9), fails: 2}
+	coord, err := New(Config{
+		Seed:             9,
+		TickInterval:     2 * time.Millisecond,
+		RetuneRetries:    5,
+		RetuneBackoff:    time.Millisecond,
+		RetuneBackoffCap: 4 * time.Millisecond,
+	}, oracle, policy, specs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	if err := coord.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var retries, retunes int64
+	for _, st := range coord.Stats() {
+		retries += st.RetuneRetries
+		retunes += st.Retunes
+	}
+	if retries < 2 {
+		t.Fatalf("retries %d, want >= 2 (the injected failures)", retries)
+	}
+	if retunes == 0 {
+		t.Fatal("no retune landed despite the retry loop")
 	}
 }

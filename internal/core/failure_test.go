@@ -2,8 +2,10 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
+	"mudi/internal/faults"
 	"mudi/internal/model"
 	"mudi/internal/perf"
 	"mudi/internal/xrand"
@@ -44,6 +46,29 @@ func TestConfigureSurfacesMeasurementFailure(t *testing.T) {
 	meas := &failingMeasurer{inner: inner, budget: 0, failErr: errAgentDown}
 	if _, err := m.Configure(view, meas); !errors.Is(err, errAgentDown) {
 		t.Fatalf("err = %v, want the agent failure surfaced", err)
+	}
+}
+
+// TestConfigurePredictorFallbackOnMeasurementFault: a transient fault
+// that exhausts its retry budget (faults.ErrMeasurement) must not
+// drop the reconfiguration — Configure reruns the episode on
+// predictor-only curves and still produces a decision. Other error
+// kinds (see TestConfigureSurfacesMeasurementFailure) keep surfacing.
+func TestConfigurePredictorFallbackOnMeasurementFault(t *testing.T) {
+	oracle := perf.NewOracle(34)
+	m := buildMudi(t, oracle, 34, 1)
+	task, _ := model.TaskByName("LSTM")
+	view := viewFor("BERT", task)
+	meas := &failingMeasurer{
+		budget:  0,
+		failErr: fmt.Errorf("cluster: measuring on gpu0000 after 3 retries: %w", faults.ErrMeasurement),
+	}
+	dec, err := m.Configure(view, meas)
+	if err != nil {
+		t.Fatalf("measurement fault not absorbed by predictor fallback: %v", err)
+	}
+	if !dec.Feasible {
+		t.Fatal("predictor-only fallback produced an infeasible decision for nominal load")
 	}
 }
 

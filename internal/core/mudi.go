@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"mudi/internal/faults"
 	"mudi/internal/fit"
 	"mudi/internal/model"
 	"mudi/internal/opt"
@@ -247,6 +249,15 @@ func (m *Mudi) Configure(view DeviceView, meas Measurer) (Decision, error) {
 		HasTraining: len(view.ResidentTasks) > 0,
 	}
 	dec, err := m.tun.Tune(req)
+	if err != nil && req.Measure != nil && errors.Is(err, faults.ErrMeasurement) {
+		// The live measurement channel is transiently failing and its
+		// retries are exhausted: rerun the episode on predictor-only
+		// curves rather than dropping the reconfiguration. The device
+		// keeps a (possibly slightly stale) valid config instead of
+		// none.
+		req.Measure = nil
+		dec, err = m.tun.Tune(req)
+	}
 	if err != nil {
 		return Decision{}, err
 	}

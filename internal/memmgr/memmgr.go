@@ -73,6 +73,26 @@ type Pool struct {
 	obsInMB    *obs.Counter
 	obsXferMs  *obs.Histogram
 	obsSwapped *obs.Gauge
+
+	// xferScale, when non-nil, multiplies transfer times (fault
+	// injection models degraded PCIe bandwidth this way).
+	xferScale func(now float64) float64
+}
+
+// SetTransferScale installs a transfer-time multiplier sampled at each
+// movement's simulation time — the hook fault injection uses to model
+// degraded PCIe bandwidth. A nil function restores full bandwidth.
+func (p *Pool) SetTransferScale(scale func(now float64) float64) {
+	p.xferScale = scale
+}
+
+// transferMs costs one movement at (possibly degraded) PCIe bandwidth.
+func (p *Pool) transferMs(now, mb float64) float64 {
+	ms := transferTimeMs(mb)
+	if p.xferScale != nil {
+		ms *= p.xferScale(now)
+	}
+	return ms
 }
 
 // SetObs enables observability for this pool: each migration burst
@@ -152,7 +172,9 @@ func (p *Pool) Alloc(now float64, id string, prio Priority, mb float64) error {
 	}
 	a := &allocation{id: id, prio: prio, totalMB: mb, deviceMB: 0}
 	p.allocs[id] = a
-	if err := p.bringIn(now, a, mb); err != nil {
+	// First touch: the bytes materialize on the device, they are not
+	// migrated from the host — no swap traffic is recorded.
+	if err := p.bringIn(now, a, mb, false); err != nil {
 		delete(p.allocs, id)
 		return err
 	}
@@ -172,9 +194,12 @@ func (p *Pool) Resize(now float64, id string, mb float64) error {
 		grow := mb - a.totalMB
 		old := a.totalMB
 		a.totalMB = mb
-		if err := p.bringIn(now, a, grow); err != nil {
-			// Roll back so a failed pinned grow leaves the pool
-			// consistent.
+		// Grown bytes are first-touch (never host-resident), so no swap
+		// traffic is recorded for them. bringIn checks evictable
+		// capacity before evicting anything, so a failed pinned grow
+		// performs no evictions and this rollback fully restores the
+		// pool.
+		if err := p.bringIn(now, a, grow, false); err != nil {
 			a.totalMB = old
 			if a.deviceMB > a.totalMB {
 				a.deviceMB = a.totalMB
@@ -216,27 +241,45 @@ func (p *Pool) Touch(now float64, id string) (transferMs float64, err error) {
 	if missing <= 0 {
 		return 0, nil
 	}
-	if err := p.bringIn(now, a, missing); err != nil {
+	if err := p.bringIn(now, a, missing, true); err != nil {
 		return 0, err
 	}
-	return transferTimeMs(missing), nil
+	return p.transferMs(now, missing), nil
+}
+
+// evictableMB sums the device-resident swappable memory outside
+// `except` — the most an eviction pass can free.
+func (p *Pool) evictableMB(except string) float64 {
+	var sum float64
+	for _, a := range p.allocs {
+		if a.prio == PriorityTraining && a.id != except {
+			sum += a.deviceMB
+		}
+	}
+	return sum
 }
 
 // bringIn makes `mb` more of allocation a device-resident, evicting
-// swappable allocations as needed.
-func (p *Pool) bringIn(now float64, a *allocation, mb float64) error {
+// swappable allocations as needed. fromHost marks bytes migrating back
+// from host residency (a Touch); first-touch bytes from Alloc/Resize
+// were never on the host and record no swap traffic. A pinned request
+// that cannot be satisfied fails before any eviction happens.
+func (p *Pool) bringIn(now float64, a *allocation, mb float64, fromHost bool) error {
 	need := p.DeviceUsedMB() + mb - p.capacityMB
 	if need > 0 {
+		if a.prio == PriorityInference {
+			if avail := p.evictableMB(a.id); avail+1e-9 < need {
+				return fmt.Errorf("%w: need %.0f MB more", ErrOverCapacity, need-avail)
+			}
+		}
 		freed, err := p.evict(now, need, a.id)
 		if err != nil {
 			return err
 		}
 		if freed+1e-9 < need {
-			if a.prio == PriorityInference {
-				return fmt.Errorf("%w: need %.0f MB more", ErrOverCapacity, need-freed)
-			}
 			// A training allocation that cannot fully fit stays
-			// partially host-resident.
+			// partially host-resident (pinned shortfalls returned above,
+			// before evicting).
 			mb -= need - freed
 			if mb < 0 {
 				mb = 0
@@ -247,7 +290,7 @@ func (p *Pool) bringIn(now float64, a *allocation, mb float64) error {
 	if a.deviceMB > a.totalMB {
 		a.deviceMB = a.totalMB
 	}
-	if mb > 0 && a.totalMB > 0 {
+	if fromHost && mb > 0 {
 		p.recordBursts(now, a.id, mb, false)
 	}
 	p.updateSwapClock(now)
@@ -294,7 +337,7 @@ func (p *Pool) recordBursts(now float64, alloc string, mb float64, toHost bool) 
 		if chunk > MigrationChunkMB {
 			chunk = MigrationChunkMB
 		}
-		xfer := transferTimeMs(chunk)
+		xfer := p.transferMs(now, chunk)
 		p.events = append(p.events, SwapEvent{
 			Time: now, Alloc: alloc, MB: chunk, ToHost: toHost, TransferMs: xfer,
 		})

@@ -165,23 +165,137 @@ func TestAllocValidation(t *testing.T) {
 func TestSwapEventsRecorded(t *testing.T) {
 	p := NewPool(1000)
 	p.Alloc(0, "tr", PriorityTraining, 800)
-	p.Alloc(10, "inf", PriorityInference, 600)
-	var toHost, toDevice int
-	for _, e := range p.Events() {
-		if e.MB <= 0 || e.TransferMs <= 0 {
-			t.Fatalf("bad event %+v", e)
+	p.Alloc(10, "inf", PriorityInference, 600) // evicts 400 MB of tr
+	count := func() (toHost, toDevice int) {
+		for _, e := range p.Events() {
+			if e.MB <= 0 || e.TransferMs <= 0 {
+				t.Fatalf("bad event %+v", e)
+			}
+			if e.ToHost {
+				toHost++
+			} else {
+				toDevice++
+			}
 		}
-		if e.ToHost {
-			toHost++
-		} else {
-			toDevice++
-		}
+		return
 	}
+	toHost, toDevice := count()
 	if toHost == 0 {
 		t.Fatal("no host-bound swap recorded")
 	}
-	if toDevice == 0 {
-		t.Fatal("no device-bound transfer recorded")
+	// First-touch allocations materialize on the device; only bytes
+	// that were actually host-resident count as swap-in traffic.
+	if toDevice != 0 {
+		t.Fatalf("first-touch allocation recorded %d device-bound bursts", toDevice)
+	}
+	// Touching the evicted bytes back in is real host→device traffic.
+	if err := p.Resize(20, "inf", 100); err != nil {
+		t.Fatal(err)
+	}
+	if ms, err := p.Touch(30, "tr"); err != nil || ms <= 0 {
+		t.Fatalf("touch: ms=%v err=%v", ms, err)
+	}
+	if _, toDevice = count(); toDevice == 0 {
+		t.Fatal("no device-bound transfer recorded after touch")
+	}
+}
+
+func TestFirstTouchGrowRecordsNoSwapIn(t *testing.T) {
+	p := NewPool(1000)
+	if err := p.Alloc(0, "tr", PriorityTraining, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Resize(5, "tr", 600); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(p.Events()); n != 0 {
+		t.Fatalf("first-touch alloc+grow recorded %d swap events", n)
+	}
+}
+
+func TestFailedPinnedGrowRollsBackWithoutEvictions(t *testing.T) {
+	p := NewPool(1000)
+	if err := p.Alloc(0, "inf", PriorityInference, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Alloc(0, "tr", PriorityTraining, 300); err != nil {
+		t.Fatal(err)
+	}
+	// Growing inference to 1400 MB needs 400 MB more than evicting all
+	// of tr can free: the grow must fail atomically.
+	err := p.Resize(10, "inf", 1400)
+	if !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("err = %v, want ErrOverCapacity", err)
+	}
+	if out, err := p.SwappedOutMB("tr"); err != nil || out != 0 {
+		t.Fatalf("failed pinned grow evicted training memory: swapped %v MB (err %v)", out, err)
+	}
+	if total, err := p.SwappedOutMB("inf"); err != nil || total != 0 {
+		t.Fatalf("inf residency inconsistent after rollback: %v (err %v)", total, err)
+	}
+	if n := len(p.Events()); n != 0 {
+		t.Fatalf("failed pinned grow recorded %d swap events", n)
+	}
+	if got := p.DeviceUsedMB(); got != 800 {
+		t.Fatalf("device use after rollback = %v, want 800", got)
+	}
+	// The pool is still fully functional for a feasible grow.
+	if err := p.Resize(20, "inf", 700); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailedPinnedAllocLeavesResidency(t *testing.T) {
+	p := NewPool(1000)
+	if err := p.Alloc(0, "tr", PriorityTraining, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Alloc(5, "inf", PriorityInference, 1400); !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("err = %v, want ErrOverCapacity", err)
+	}
+	if out, _ := p.SwappedOutMB("tr"); out != 0 {
+		t.Fatalf("failed pinned alloc evicted %v MB of training memory", out)
+	}
+	if n := len(p.Events()); n != 0 {
+		t.Fatalf("failed pinned alloc recorded %d swap events", n)
+	}
+}
+
+func TestTransferScaleDegradesPCIe(t *testing.T) {
+	p := NewPool(1000)
+	p.SetTransferScale(func(now float64) float64 {
+		if now >= 100 {
+			return 4
+		}
+		return 1
+	})
+	p.Alloc(0, "tr", PriorityTraining, 800)
+	p.Alloc(10, "inf", PriorityInference, 600) // evict at healthy bandwidth
+	base := p.Events()
+	if len(base) == 0 {
+		t.Fatal("no eviction events")
+	}
+	for _, e := range base {
+		if math.Abs(e.TransferMs-TransferTimeMs(e.MB)) > 1e-9 {
+			t.Fatalf("healthy-window transfer %v ms, want %v", e.TransferMs, TransferTimeMs(e.MB))
+		}
+	}
+	if err := p.Resize(100, "inf", 100); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := p.Touch(150, "tr") // inside the degraded window
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TransferTimeMs(400) * 4
+	if math.Abs(ms-want) > 1e-9 {
+		t.Fatalf("degraded touch = %v ms, want %v", ms, want)
+	}
+	events := p.Events()[len(base):]
+	for _, e := range events {
+		if math.Abs(e.TransferMs-4*TransferTimeMs(e.MB)) > 1e-9 {
+			t.Fatalf("degraded burst %v ms, want %v", e.TransferMs, 4*TransferTimeMs(e.MB))
+		}
 	}
 }
 

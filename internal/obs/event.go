@@ -40,20 +40,38 @@ const (
 	// EventSLOViolation: a control window's measured latency exceeded
 	// the budget (Value = latency ms).
 	EventSLOViolation
+	// EventDeviceFailed: fault injection took a device down; its
+	// residents are checkpointed off and the service fails over.
+	EventDeviceFailed
+	// EventDeviceRecovered: a failed device came back and redeployed
+	// its inference service.
+	EventDeviceRecovered
+	// EventMeasureRetry: a transient measurement error triggered a
+	// capped-exponential-backoff retry (Value = attempt number).
+	EventMeasureRetry
+	// EventFailover: the inference service switched off its primary
+	// instance — Cause distinguishes a device failure
+	// ("device-failed") from a failed shadow spin-up
+	// ("shadow-spinup-failed", where the old instance keeps serving).
+	EventFailover
 
 	numEventTypes // keep last
 )
 
 var eventTypeNames = [numEventTypes]string{
-	EventTaskPlaced:   "task_placed",
-	EventTaskMigrated: "task_migrated",
-	EventRetune:       "retune",
-	EventBatchChanged: "batch_changed",
-	EventGPURescaled:  "gpu_rescaled",
-	EventShadowSwap:   "shadow_swap",
-	EventMemSwapOut:   "mem_swap_out",
-	EventMemSwapIn:    "mem_swap_in",
-	EventSLOViolation: "slo_violation",
+	EventTaskPlaced:      "task_placed",
+	EventTaskMigrated:    "task_migrated",
+	EventRetune:          "retune",
+	EventBatchChanged:    "batch_changed",
+	EventGPURescaled:     "gpu_rescaled",
+	EventShadowSwap:      "shadow_swap",
+	EventMemSwapOut:      "mem_swap_out",
+	EventMemSwapIn:       "mem_swap_in",
+	EventSLOViolation:    "slo_violation",
+	EventDeviceFailed:    "device_failed",
+	EventDeviceRecovered: "device_recovered",
+	EventMeasureRetry:    "measure_retry",
+	EventFailover:        "failover",
 }
 
 // String returns the wire name of the event type.

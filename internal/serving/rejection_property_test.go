@@ -1,0 +1,114 @@
+package serving
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mudi/internal/xrand"
+)
+
+// TestRejectionConservationProperty drives random arrival streams
+// through bounded queues with MaxQueue < BatchCap — so rejections can
+// happen while a batch is still forming — and checks conservation:
+// every arrival is served exactly once or counted rejected, the
+// rejection indices are a strictly increasing subset of the arrivals,
+// and the windowed view accounts for every request.
+func TestRejectionConservationProperty(t *testing.T) {
+	f := func(seed uint64, formRaw bool) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(300)
+		arrivals := make([]float64, n)
+		ts := 0.0
+		for i := range arrivals {
+			// Bursty gaps so the bounded queue actually overflows.
+			ts += rng.Exp(rng.Range(20, 400))
+			arrivals[i] = ts
+		}
+		sort.Float64s(arrivals)
+		batchCap := 2 + rng.Intn(31)         // 2..32
+		maxQueue := 1 + rng.Intn(batchCap-1) // 1..batchCap-1 < BatchCap
+		cfg := Config{
+			BatchCap:    batchCap,
+			SLOms:       rng.Range(20, 200),
+			MaxQueue:    maxQueue,
+			FormBatches: formRaw,
+			MaxWaitMs:   rng.Range(10, 300),
+		}
+		res, wins, err := RunWindows(arrivals, func(b int) float64 {
+			return rng.Range(1, 30) + 0.5*float64(b)
+		}, cfg, rng.Range(0.5, 5))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Conservation: served + rejected partitions the arrivals.
+		if res.Served+res.Rejected != n {
+			t.Logf("seed %d: served %d + rejected %d != %d", seed, res.Served, res.Rejected, n)
+			return false
+		}
+		if len(res.Latencies) != res.Served || len(res.Rejections) != res.Rejected {
+			t.Logf("seed %d: slice lengths inconsistent", seed)
+			return false
+		}
+		prev := -1
+		for _, idx := range res.Rejections {
+			if idx <= prev || idx < 0 || idx >= n {
+				t.Logf("seed %d: bad rejection index %d after %d", seed, idx, prev)
+				return false
+			}
+			prev = idx
+		}
+		// The window series must exist and account for every request.
+		var served, rejected int
+		for _, w := range wins {
+			served += w.Requests
+			rejected += w.Rejected
+			if w.ViolationRate < 0 || w.ViolationRate > 1 {
+				t.Logf("seed %d: window violation rate %v", seed, w.ViolationRate)
+				return false
+			}
+		}
+		if served != res.Served || rejected != res.Rejected {
+			t.Logf("seed %d: windows cover %d/%d served, %d/%d rejected",
+				seed, served, res.Served, rejected, res.Rejected)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunWindowsWithRejections pins the satellite bugfix: a bounded
+// queue that rejects requests must still produce the per-window time
+// series (it used to silently return nil).
+func TestRunWindowsWithRejections(t *testing.T) {
+	// 20 requests in a near-simultaneous burst against a queue of 2:
+	// most are rejected.
+	arrivals := make([]float64, 20)
+	for i := range arrivals {
+		arrivals[i] = float64(i) * 1e-4
+	}
+	cfg := Config{BatchCap: 4, SLOms: 50, MaxQueue: 2, FormBatches: true, MaxWaitMs: 20}
+	res, wins, err := RunWindows(arrivals, func(b int) float64 { return 100 }, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("scenario did not reject anything")
+	}
+	if len(wins) == 0 {
+		t.Fatal("window series lost under rejections")
+	}
+	var served, rejected int
+	for _, w := range wins {
+		served += w.Requests
+		rejected += w.Rejected
+	}
+	if served != res.Served || rejected != res.Rejected {
+		t.Fatalf("windows cover %d served / %d rejected, want %d / %d",
+			served, rejected, res.Served, res.Rejected)
+	}
+}

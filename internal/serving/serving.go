@@ -10,7 +10,6 @@ package serving
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"mudi/internal/obs"
 	"mudi/internal/stats"
@@ -42,9 +41,14 @@ type Config struct {
 
 // Result summarizes one run.
 type Result struct {
-	Served        int
-	Rejected      int
-	Latencies     []float64 // per served request, ms
+	Served    int
+	Rejected  int
+	Latencies []float64 // per served request, ms
+	// Rejections lists the indices (into the arrivals slice) of the
+	// rejected requests, strictly increasing. It preserves the
+	// arrival→latency pairing under bounded queues: the k-th entry of
+	// Latencies belongs to the k-th non-rejected arrival.
+	Rejections    []int
 	P99           float64
 	Mean          float64
 	ViolationRate float64 // fraction of all requests (served+rejected) over SLO
@@ -83,15 +87,21 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 	var busy float64
 	i := 0
 	n := len(arrivals)
-	queue := make([]float64, 0, cfg.BatchCap)
+	// The queue holds arrival indices so rejections stay attributable
+	// to their arrival (Result.Rejections).
+	queue := make([]int, 0, cfg.BatchCap)
+	reject := func(idx int) {
+		res.Rejected++
+		res.Rejections = append(res.Rejections, idx)
+	}
 
 	for i < n || len(queue) > 0 {
 		// Admit everything that arrived by the time the device is free.
 		for i < n && arrivals[i] <= freeAt {
 			if cfg.MaxQueue > 0 && len(queue) >= cfg.MaxQueue {
-				res.Rejected++
+				reject(i)
 			} else {
-				queue = append(queue, arrivals[i])
+				queue = append(queue, i)
 			}
 			i++
 		}
@@ -106,12 +116,12 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 		if cfg.FormBatches && len(queue) < cfg.BatchCap && maxWait > 0 {
 			// Hold the launch until the batch fills or the oldest
 			// request has waited maxWait.
-			deadline := queue[0] + maxWait/1000
+			deadline := arrivals[queue[0]] + maxWait/1000
 			for len(queue) < cfg.BatchCap && i < n && arrivals[i] <= deadline {
 				if cfg.MaxQueue > 0 && len(queue) >= cfg.MaxQueue {
-					res.Rejected++
+					reject(i)
 				} else {
-					queue = append(queue, arrivals[i])
+					queue = append(queue, i)
 				}
 				i++
 			}
@@ -120,7 +130,7 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 				if deadline > freeAt {
 					freeAt = deadline
 				}
-			} else if last := queue[len(queue)-1]; last > freeAt {
+			} else if last := arrivals[queue[len(queue)-1]]; last > freeAt {
 				// Filled exactly when the last member arrived.
 				freeAt = last
 			}
@@ -136,8 +146,8 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 		}
 		start := freeAt
 		end := start + procMs/1000
-		for _, at := range batch {
-			res.Latencies = append(res.Latencies, (end-at)*1000)
+		for _, idx := range batch {
+			res.Latencies = append(res.Latencies, (end-arrivals[idx])*1000)
 		}
 		res.Batches++
 		res.MeanBatch += float64(take)
@@ -180,18 +190,24 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 	return res, nil
 }
 
-// WindowViolations splits a run into fixed windows and reports, per
-// window, the P99 latency and SLO violation rate — the time-series view
-// behind Fig. 16. Window boundaries are on arrival times.
+// WindowStat reports one fixed window of a RunWindows time series: the
+// P99 latency of the served requests that arrived in it, the rejected
+// count, and a violation rate over all of the window's requests
+// (rejections count as violations, matching Result.ViolationRate).
 type WindowStat struct {
 	Start         float64
 	P99           float64
 	ViolationRate float64
-	Requests      int
+	Requests      int // served requests arriving in the window
+	Rejected      int // rejected requests arriving in the window
 }
 
-// RunWindows is like Run but additionally buckets served requests into
-// windowSec-wide windows of their arrival time.
+// RunWindows is like Run but additionally buckets requests into
+// windowSec-wide windows of their arrival time — the time-series view
+// behind Fig. 16. The pairing survives bounded queues: Run records
+// which arrivals were rejected (Result.Rejections), and every other
+// arrival maps to its latency in order (batches are formed FIFO, so
+// Latencies preserve arrival order).
 func RunWindows(arrivals []float64, lat LatencyFn, cfg Config, windowSec float64) (Result, []WindowStat, error) {
 	res, err := Run(arrivals, lat, cfg)
 	if err != nil {
@@ -200,34 +216,35 @@ func RunWindows(arrivals []float64, lat LatencyFn, cfg Config, windowSec float64
 	if windowSec <= 0 || len(arrivals) == 0 {
 		return res, nil, nil
 	}
-	// Re-derive arrival→latency pairing: Run appends latencies in
-	// batch-completion order, which preserves arrival order because
-	// batches are formed FIFO.
-	type pair struct{ at, lat float64 }
-	pairs := make([]pair, 0, res.Served)
-	// Served arrivals are the first res.Served admitted ones; with
-	// MaxQueue = 0 that is simply all of them in order.
-	served := make([]float64, 0, res.Served)
-	if res.Rejected == 0 {
-		served = append(served, arrivals...)
-	} else {
-		// With rejections we cannot reconstruct pairing after the fact;
-		// keep only aggregate stats.
-		return res, nil, nil
+	type rec struct {
+		at       float64
+		lat      float64
+		rejected bool
 	}
-	for i, l := range res.Latencies {
-		pairs = append(pairs, pair{at: served[i], lat: l})
+	recs := make([]rec, 0, len(arrivals))
+	rej, served := 0, 0
+	for i, at := range arrivals {
+		if rej < len(res.Rejections) && res.Rejections[rej] == i {
+			recs = append(recs, rec{at: at, rejected: true})
+			rej++
+			continue
+		}
+		if served >= len(res.Latencies) {
+			return res, nil, fmt.Errorf("serving: %d served latencies for %d admitted arrivals", len(res.Latencies), served+1)
+		}
+		recs = append(recs, rec{at: at, lat: res.Latencies[served]})
+		served++
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].at < pairs[j].at })
+	// Arrivals are sorted, so recs already are; no re-sort needed.
 
 	var out []WindowStat
-	start := pairs[0].at
 	var bucket []float64
+	rejected := 0
 	flush := func(ws float64) {
-		if len(bucket) == 0 {
+		if len(bucket) == 0 && rejected == 0 {
 			return
 		}
-		viol := 0
+		viol := rejected
 		for _, l := range bucket {
 			if cfg.SLOms > 0 && l > cfg.SLOms {
 				viol++
@@ -236,18 +253,24 @@ func RunWindows(arrivals []float64, lat LatencyFn, cfg Config, windowSec float64
 		out = append(out, WindowStat{
 			Start:         ws,
 			P99:           stats.P99(bucket),
-			ViolationRate: float64(viol) / float64(len(bucket)),
+			ViolationRate: float64(viol) / float64(len(bucket)+rejected),
 			Requests:      len(bucket),
+			Rejected:      rejected,
 		})
 		bucket = bucket[:0]
+		rejected = 0
 	}
-	winStart := start
-	for _, p := range pairs {
-		for p.at >= winStart+windowSec {
+	winStart := recs[0].at
+	for _, r := range recs {
+		for r.at >= winStart+windowSec {
 			flush(winStart)
 			winStart += windowSec
 		}
-		bucket = append(bucket, p.lat)
+		if r.rejected {
+			rejected++
+		} else {
+			bucket = append(bucket, r.lat)
+		}
 	}
 	flush(winStart)
 	return res, out, nil

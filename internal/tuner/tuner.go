@@ -52,12 +52,24 @@ type Config struct {
 	QPSChangeThreshold float64 // retune when |ΔQPS|/QPS exceeds this; default 0.5 (§5.3.2)
 	Headroom           float64 // extra GPU% over the Eq. 4 solution; default 0.10
 	MaxBOIters         int     // BO evaluation budget; default 25 (§7.5)
-	MinTrainShare      float64 // GPU share always reserved for training; default 0.10 (§7.4)
+	// MinTrainShare is the GPU share always reserved for a co-located
+	// training task. The zero value selects the paper's default of
+	// 0.10 (§7.4); to run with no reserved floor, set the explicit
+	// opt-out sentinel MinTrainShareNone (any negative value opts
+	// out — an explicit 0 would be indistinguishable from "unset").
+	MinTrainShare float64
 	// SLOSafety scales the SLO used inside Eq. 4 so the operating point
 	// keeps latency slack against measurement noise and QPS drift
 	// between Monitor triggers; default 0.90.
 	SLOSafety float64
 }
+
+// MinTrainShareNone opts out of the reserved training share entirely:
+// Defaults() maps it (and any negative value) to a floor of 0, letting
+// the inference service claim the whole device while training is
+// co-located. Contrast with the zero value, which selects the paper's
+// 0.10 default.
+const MinTrainShareNone = -1
 
 // Defaults fills zero fields with the paper's values.
 func (c Config) Defaults() Config {
@@ -70,10 +82,11 @@ func (c Config) Defaults() Config {
 	if c.MaxBOIters <= 0 {
 		c.MaxBOIters = 25
 	}
-	if c.MinTrainShare < 0 {
-		c.MinTrainShare = 0
-	} else if c.MinTrainShare == 0 {
-		c.MinTrainShare = 0.10
+	switch {
+	case c.MinTrainShare == 0:
+		c.MinTrainShare = 0.10 // unset → paper default
+	case c.MinTrainShare < 0:
+		c.MinTrainShare = 0 // MinTrainShareNone → no reserved floor
 	}
 	if c.SLOSafety <= 0 || c.SLOSafety > 1 {
 		c.SLOSafety = 0.90

@@ -241,10 +241,32 @@ func TestConfigDefaults(t *testing.T) {
 	if c.QPSChangeThreshold != 0.5 || c.Headroom != 0.10 || c.MaxBOIters != 25 || c.MinTrainShare != 0.10 {
 		t.Fatalf("defaults %+v", c)
 	}
-	// Explicit zero train share is preserved via negative sentinel.
-	c2 := Config{MinTrainShare: -1}.Defaults()
+	// The explicit opt-out sentinel removes the floor entirely.
+	c2 := Config{MinTrainShare: MinTrainShareNone}.Defaults()
 	if c2.MinTrainShare != 0 {
 		t.Fatalf("MinTrainShare sentinel: %v", c2.MinTrainShare)
+	}
+	// Any negative value is treated as the sentinel.
+	if c3 := (Config{MinTrainShare: -0.5}).Defaults(); c3.MinTrainShare != 0 {
+		t.Fatalf("negative MinTrainShare: %v", c3.MinTrainShare)
+	}
+	// An explicit positive share is preserved.
+	if c4 := (Config{MinTrainShare: 0.25}).Defaults(); c4.MinTrainShare != 0.25 {
+		t.Fatalf("explicit MinTrainShare rewritten: %v", c4.MinTrainShare)
+	}
+}
+
+func TestMinTrainShareNoneRemovesFloor(t *testing.T) {
+	withFloor := New(Config{})
+	without := New(Config{MinTrainShare: MinTrainShareNone})
+	if got := withFloor.maxDelta(true); got != 0.90 {
+		t.Fatalf("default maxDelta with training = %v, want 0.90", got)
+	}
+	if got := without.maxDelta(true); got != 1 {
+		t.Fatalf("opt-out maxDelta with training = %v, want 1", got)
+	}
+	if got := without.maxDelta(false); got != 1 {
+		t.Fatalf("maxDelta without training = %v, want 1", got)
 	}
 }
 

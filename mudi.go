@@ -38,6 +38,7 @@ import (
 	"mudi/internal/core"
 	"mudi/internal/exp"
 	"mudi/internal/extract"
+	"mudi/internal/faults"
 	"mudi/internal/model"
 	"mudi/internal/obs"
 	"mudi/internal/perf"
@@ -195,7 +196,22 @@ type SimOptions struct {
 	// into Result.Events / Result.Metrics even without an Observer.
 	// Setting Observer implies Observe.
 	Observe bool
+	// Faults, when non-nil with at least one fault class enabled,
+	// deterministically injects failures — device outages with
+	// recovery, transient measurement errors, shadow spin-up failures,
+	// degraded PCIe bandwidth — seeded from the system seed. Injected
+	// failures surface as typed events (EventDeviceFailed,
+	// EventDeviceRecovered, EventMeasureRetry, EventFailover) and as
+	// fault counters on the Result. Nil, or a config with every fault
+	// class off, leaves the simulation byte-identical to an unfaulted
+	// run.
+	Faults *FaultConfig
 }
+
+// FaultConfig parameterizes deterministic fault injection; see
+// internal/faults for field semantics. The zero value disables every
+// fault class.
+type FaultConfig = faults.Config
 
 // sink builds the run's observation sink, or nil when observation is
 // off — the nil sink is the zero-overhead path (one branch per
@@ -275,6 +291,7 @@ func (s *System) SimulateContext(ctx context.Context, opts SimOptions) (*Result,
 		DisableRetune:  opts.DisableRetune,
 		MIGSlices:      opts.MIGSlices,
 		Obs:            opts.sink(),
+		Faults:         opts.Faults,
 		Ctx:            ctx,
 	})
 	if err != nil {

@@ -34,7 +34,8 @@ type (
 // The event taxonomy. Wire names (Event.Type marshals to these) are the
 // snake_case forms: "task_placed", "task_migrated", "retune",
 // "batch_changed", "gpu_rescaled", "shadow_swap", "mem_swap_out",
-// "mem_swap_in", "slo_violation".
+// "mem_swap_in", "slo_violation", "device_failed", "device_recovered",
+// "measure_retry", "failover".
 const (
 	// EventTaskPlaced: a training task was admitted onto a device.
 	EventTaskPlaced = obs.EventTaskPlaced
@@ -54,6 +55,15 @@ const (
 	EventMemSwapIn = obs.EventMemSwapIn
 	// EventSLOViolation: a control window closed over its SLO budget.
 	EventSLOViolation = obs.EventSLOViolation
+	// EventDeviceFailed: fault injection took a device down.
+	EventDeviceFailed = obs.EventDeviceFailed
+	// EventDeviceRecovered: a failed device came back into service.
+	EventDeviceRecovered = obs.EventDeviceRecovered
+	// EventMeasureRetry: a transient measurement error was retried.
+	EventMeasureRetry = obs.EventMeasureRetry
+	// EventFailover: the service left its primary instance (device
+	// failure) or kept the old one after a failed shadow spin-up.
+	EventFailover = obs.EventFailover
 )
 
 // WriteEventsNDJSON writes one JSON object per event — the format

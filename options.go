@@ -133,6 +133,11 @@ func (o SimOptions) Validate() error {
 			}
 		}
 	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(); err != nil {
+			return &OptionError{Field: "Faults", Value: *o.Faults, Reason: err.Error()}
+		}
+	}
 	if _, oe := o.queueID(); oe != nil {
 		return oe
 	}
