@@ -6,10 +6,12 @@
 GO ?= go
 
 # Packages exercised concurrently by the parallel experiment engine
-# and the observability fan-in.
-RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/obs ./internal/faults
+# and the observability fan-in, plus the hot-path packages whose
+# scratch/memo state must stay correctly confined (oracle caches are
+# shared across workers; gp/stats/serving scratch is per-goroutine).
+RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/obs ./internal/faults ./internal/perf ./internal/stats ./internal/gp ./internal/serving
 
-.PHONY: tier1 build test vet race bench-parallel bench-obs ci
+.PHONY: tier1 build test vet race bench-parallel bench-obs bench-hotpath ci
 
 tier1: build test
 
@@ -33,5 +35,12 @@ bench-parallel:
 # run must stay within noise of the pre-observability baseline.
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimObs(Off|On)$$' -benchtime 3x -short -benchmem -count=1 .
+
+# Regenerate the numbers recorded in BENCH_hotpath.json: the hot-path
+# micro-benchmarks plus the end-to-end alloc budget (BenchmarkSimObsOff
+# must stay within the budget locked against BENCH_obs.json).
+bench-hotpath:
+	$(GO) test -run '^$$' -bench 'BenchmarkHotpath' -benchmem -count=1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimObsOff$$' -benchtime 3x -short -benchmem -count=1 .
 
 ci: tier1 vet race

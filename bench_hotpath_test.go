@@ -1,0 +1,169 @@
+package mudi
+
+// Hot-path micro-benchmarks behind `make bench-hotpath`: they isolate
+// the four simulator inner loops the end-to-end alloc budget
+// (BenchmarkSimObsOff, BENCH_hotpath.json) depends on — GP posterior
+// updates, percentile extraction, oracle curve construction, and the
+// request-level serving loop. The AllocsPerRun regression tests in
+// internal/gp and internal/stats pin the zero-alloc steady states;
+// these benchmarks track the constants.
+
+import (
+	"math"
+	"testing"
+
+	"mudi/internal/gp"
+	"mudi/internal/learn"
+	"mudi/internal/model"
+	"mudi/internal/perf"
+	"mudi/internal/serving"
+	"mudi/internal/stats"
+	"mudi/internal/xrand"
+)
+
+// BenchmarkHotpathGPObserve measures the incremental rank-append
+// posterior update across a growing observation set — the per-tuning
+// episode cost. One op = a fresh GP absorbing 24 observations.
+func BenchmarkHotpathGPObserve(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := gp.New(1, 1, 1e-6)
+		for j := 0; j < 24; j++ {
+			x := float64(j % 8)
+			y := math.Sin(x) + 0.01*float64(j)
+			if err := g.Observe(x+0.05*float64(j), y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkHotpathGPPredict is the warm single-point posterior query —
+// zero allocations once the scratch buffers have grown.
+func BenchmarkHotpathGPPredict(b *testing.B) {
+	g := gp.New(1, 1, 1e-6)
+	for j := 0; j < 16; j++ {
+		if err := g.Observe(float64(j), math.Sin(float64(j))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	g.Predict(2.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Predict(2.5)
+	}
+}
+
+// BenchmarkHotpathGPMinimize runs a full GP-LCB search over the tuner's
+// 6-candidate batch space with a cheap objective, the shape of every
+// retune episode.
+func BenchmarkHotpathGPMinimize(b *testing.B) {
+	candidates := []float64{0, 1, 2, 3, 4, 5} // log2 of the batch ladder
+	obj := func(x float64) (float64, bool) {
+		return (x - 3.3) * (x - 3.3), true
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gp.Minimize(candidates, obj, gp.LCBConfig{MaxIters: 25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotpathScratchP99 is the selection-based percentile on the
+// reusable scratch — the per-window latency reduction. Compare with
+// BenchmarkHotpathSortP99, the copy-and-sort path it replaced.
+func BenchmarkHotpathScratchP99(b *testing.B) {
+	xs := benchLatencies(4096)
+	var sc stats.Scratch
+	sc.P99(xs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.P99(xs)
+	}
+}
+
+func BenchmarkHotpathSortP99(b *testing.B) {
+	xs := benchLatencies(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stats.P99(xs)
+	}
+}
+
+func benchLatencies(n int) []float64 {
+	rng := xrand.New(42)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 5 + 50*rng.Float64()
+	}
+	return xs
+}
+
+// BenchmarkHotpathForestRefit is the online-learning refit that
+// dominates the end-to-end alloc budget: a random forest refit on an
+// incremental-modeler-sized dataset, amortizing the tree builder's
+// scratch and node arena across fits (the cross-validation loop refits
+// the same instance ~11 times per new-workload observation).
+func BenchmarkHotpathForestRefit(b *testing.B) {
+	rng := xrand.New(9)
+	const n, w = 60, 7
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = make([]float64, w)
+		for j := range x[i] {
+			x[i][j] = rng.Range(0, 4)
+		}
+		y[i] = rng.Range(0.5, 3)
+	}
+	f := learn.NewForest(30, 1)
+	if err := f.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotpathOracleCurve queries the memoized co-location curve
+// the way the simulator does: the same (service, batch, residents)
+// signature over and over within a window.
+func BenchmarkHotpathOracleCurve(b *testing.B) {
+	o := perf.NewOracle(1)
+	svc := model.Services()[0].Name
+	coloc := model.ObservedTasks()[:2]
+	if _, err := o.TrainColocCurve(svc, 64, coloc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.TrainColocCurve(svc, 64, coloc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotpathServingRun is the request-level serving loop: 4096
+// arrivals through greedy batching, including the P99 reduction.
+func BenchmarkHotpathServingRun(b *testing.B) {
+	arrivals := make([]float64, 4096)
+	for i := range arrivals {
+		arrivals[i] = float64(i) * 0.002
+	}
+	lat := func(batch int) float64 { return 4 + 0.05*float64(batch) }
+	cfg := serving.Config{BatchCap: 64, SLOms: 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := serving.Run(arrivals, lat, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"mudi"
+	"mudi/internal/pprofutil"
 )
 
 func main() {
@@ -29,21 +30,35 @@ func main() {
 }
 
 // run executes the tool against the given arguments, writing tables to
-// stdout; factored out of main for testability.
-func run(args []string, stdout io.Writer) error {
+// stdout; factored out of main for testability. The error return is
+// named so the deferred profile writer can surface its failure when
+// the run itself succeeded.
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("mudibench", flag.ContinueOnError)
 	var (
-		expFlag   = fs.String("exp", "all", "comma-separated experiment names, or 'all'")
-		scaleFlag = fs.String("scale", "small", "experiment scale: small, physical, simulated")
-		seedFlag  = fs.Uint64("seed", 1, "random seed for the testbed and traces")
-		csvFlag   = fs.Bool("csv", false, "emit CSV instead of ASCII tables")
+		expFlag      = fs.String("exp", "all", "comma-separated experiment names, or 'all'")
+		scaleFlag    = fs.String("scale", "small", "experiment scale: small, physical, simulated")
+		csvFlag      = fs.Bool("csv", false, "emit CSV instead of ASCII tables")
+		seedFlag     = fs.Uint64("seed", 1, "random seed for the testbed and traces")
 		outFlag      = fs.String("o", "", "also write one CSV file per experiment into this directory")
 		listFlag     = fs.Bool("list", false, "list experiment names and exit")
 		parallelFlag = fs.Int("parallel", runtime.NumCPU(), "worker count for independent experiment cells (results identical for any value)")
+		cpuprofFlag  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofFlag  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := pprofutil.Start(*cpuprofFlag, *memprofFlag)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	if *listFlag {
 		for _, name := range mudi.ExperimentNames() {

@@ -26,6 +26,7 @@ import (
 	"mudi/internal/core"
 	"mudi/internal/model"
 	"mudi/internal/perf"
+	"mudi/internal/pprofutil"
 	"mudi/internal/predictor"
 	"mudi/internal/profiler"
 	"mudi/internal/report"
@@ -42,8 +43,10 @@ func main() {
 }
 
 // run executes the tool against the given arguments, writing output to
-// stdout; factored out of main for testability.
-func run(args []string, stdout io.Writer) error {
+// stdout; factored out of main for testability. The error return is
+// named so the deferred profile writer can surface its failure when
+// the run itself succeeded.
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("mudisim", flag.ContinueOnError)
 	var (
 		policyFlag   = fs.String("policy", "mudi", "policy: mudi, gslice, gpulets, muxflow, random, optimal")
@@ -63,10 +66,22 @@ func run(args []string, stdout io.Writer) error {
 		eventsFlag   = fs.Bool("events", false, "stream the run's structured event log as NDJSON (one JSON object per line) before the tables")
 		metricsFlag  = fs.Bool("metrics", false, "stream the run's metrics snapshot as NDJSON before the tables")
 		faultsFlag   = fs.String("faults", "", "deterministic fault injection: \"default\" or comma-separated key=value pairs (mtbf, mttr, meas, retries, spin, pciex, pcie-mtbf, pcie-mttr, seed), e.g. \"mtbf=300,mttr=45,meas=0.1\"")
+		cpuprofFlag  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofFlag  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := pprofutil.Start(*cpuprofFlag, *memprofFlag)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	if *liveFlag > 0 {
 		return runLive(*seedFlag, *liveFlag, stdout)

@@ -227,7 +227,26 @@ type Sim struct {
 	// is disabled); per-device instruments live on deviceState.
 	obsv *simObs
 
+	// measMap is the policy-facing view of meas, built once at
+	// construction (meas never changes afterward) so trySchedule does
+	// not rebuild it per placement attempt.
+	measMap map[string]core.Measurer
+	// viewsBuf backs trySchedule's per-attempt device-view slice.
+	// Policies only read the slice during SelectDevice (values they
+	// retain are copied out), so the storage is reusable.
+	viewsBuf []core.DeviceView
+	// snapBuf backs the d.training snapshots taken where the loop body
+	// can rebuild the live slice (evictions, completions). The snapshot
+	// call chains never take a second snapshot, so one buffer suffices.
+	snapBuf []*taskState
+
 	res *Result
+}
+
+// snapshotTraining copies d.training into the reusable snapshot buffer.
+func (s *Sim) snapshotTraining(d *deviceState) []*taskState {
+	s.snapBuf = append(s.snapBuf[:0], d.training...)
+	return s.snapBuf
 }
 
 // simObs is the cluster-level instrument cache.
@@ -365,6 +384,10 @@ func New(opts Options) (*Sim, error) {
 		s.devices = append(s.devices, ds)
 		s.meas[devID] = &deviceMeasurer{oracle: opts.Oracle, dev: ds, rng: s.rng.ForkString("meas:" + devID), sim: s}
 	}
+	s.measMap = make(map[string]core.Measurer, len(s.meas))
+	for id, m := range s.meas {
+		s.measMap[id] = m
+	}
 	return s, nil
 }
 
@@ -472,7 +495,7 @@ func (s *Sim) trySchedule(now float64) {
 	for s.queue.Len() > 0 {
 		job := s.queue.Peek()
 		qj := s.jobs[job.ID]
-		views := make([]core.DeviceView, 0, len(s.devices))
+		views := s.viewsBuf[:0]
 		for _, d := range s.devices {
 			if d.down || qj.excluded[d.dev.ID] {
 				continue
@@ -492,14 +515,12 @@ func (s *Sim) trySchedule(now float64) {
 		}
 		if len(views) == 0 {
 			// The whole cluster is down; recovery events reschedule.
+			s.viewsBuf = views
 			return
 		}
-		measMap := make(map[string]core.Measurer, len(s.meas))
-		for id, m := range s.meas {
-			measMap[id] = m
-		}
+		s.viewsBuf = views // keep the grown capacity for the next attempt
 		start := time.Now()
-		devID, ok := s.opts.Policy.SelectDevice(qj.arrival.Task, views, measMap)
+		devID, ok := s.opts.Policy.SelectDevice(qj.arrival.Task, views, s.measMap)
 		s.res.PlacementOverheadMs = append(s.res.PlacementOverheadMs, float64(time.Since(start).Microseconds())/1000)
 		if !ok {
 			return // head-of-line blocks until a completion frees capacity
@@ -694,7 +715,7 @@ func (s *Sim) apply(now float64, d *deviceState, dec core.Decision) {
 	// Cluster invariant (§7.4): while training is multiplexed, the
 	// inference service leaves it at least 10% of the device; a policy
 	// that wants the full device must declare infeasibility instead.
-	if dec.Delta > 0.9 && len(d.residentTasks()) > 0 {
+	if dec.Delta > 0.9 && d.residentCount() > 0 {
 		dec.Delta = 0.9
 	}
 	if dec.Delta > 0 && absf(dec.Delta-svc.delta) > 1e-9 {
@@ -769,14 +790,14 @@ func (s *Sim) window(now float64) {
 		}
 		// A task paused too long is evicted back to the queue so the
 		// scheduler can find it a compatible device (checkpointed).
-		for _, t := range append([]*taskState(nil), d.training...) {
+		for _, t := range s.snapshotTraining(d) {
 			if !t.done && t.paused && now-t.pausedAt >= pauseEvictSec {
 				s.requeue(now, d, t)
 			}
 		}
 
 		// SLO accounting with the true co-located latency plus noise.
-		coloc := d.activeTasks()
+		coloc := d.activeScratch()
 		lat, err := s.opts.Oracle.MeasureLatency(svc.info.Name, svc.batch, svc.delta, coloc, s.rng)
 		if err == nil {
 			budget := svc.info.SLOms * float64(svc.batch) / qps
@@ -821,7 +842,7 @@ func (s *Sim) window(now float64) {
 		// Training progress. Iterate a snapshot: completions rebuild
 		// d.training and may place new tasks mid-loop.
 		share := d.trainShare()
-		snapshot := append([]*taskState(nil), d.training...)
+		snapshot := s.snapshotTraining(d)
 		for _, t := range snapshot {
 			if t.done || t.paused || share <= 0 {
 				continue
@@ -1019,7 +1040,7 @@ func (s *Sim) failDevice(now float64, d *deviceState) {
 			Service: d.svc.info.Name,
 		})
 	}
-	for _, t := range append([]*taskState(nil), d.training...) {
+	for _, t := range s.snapshotTraining(d) {
 		if !t.done {
 			s.evictTask(now, d, t, "device-failed", true)
 		}

@@ -75,6 +75,10 @@ type deviceState struct {
 	// observation is disabled) so the hot path never takes the
 	// registry lock.
 	obsv *devObs
+	// taskScratch backs residentScratch/activeScratch: resident lists
+	// consumed within a single call (oracle measurements) reuse it, while
+	// view() keeps allocating because policies retain its slices.
+	taskScratch []model.TrainingTask
 }
 
 // devObs is the per-device instrument cache, resolved once at
@@ -126,17 +130,42 @@ func (d *deviceState) residentTasks() []model.TrainingTask {
 	return out
 }
 
-// activeTasks lists only residents that are actually executing — a
-// paused task's kernels are stopped (and its memory swapped out), so it
-// imposes no interference on the service.
-func (d *deviceState) activeTasks() []model.TrainingTask {
-	out := make([]model.TrainingTask, 0, len(d.training))
+// residentCount counts unfinished residents without building the list.
+func (d *deviceState) residentCount() int {
+	n := 0
 	for _, t := range d.training {
-		if !t.done && !t.paused {
-			out = append(out, t.task)
+		if !t.done {
+			n++
 		}
 	}
-	return out
+	return n
+}
+
+// residentScratch is residentTasks into the reusable scratch buffer —
+// for callers that consume the list before returning and never retain
+// it (the per-measurement oracle queries).
+func (d *deviceState) residentScratch() []model.TrainingTask {
+	d.taskScratch = d.taskScratch[:0]
+	for _, t := range d.training {
+		if !t.done {
+			d.taskScratch = append(d.taskScratch, t.task)
+		}
+	}
+	return d.taskScratch
+}
+
+// activeScratch lists only residents that are actually executing — a
+// paused task's kernels are stopped (and its memory swapped out), so it
+// imposes no interference on the service. Same reuse contract as
+// residentScratch.
+func (d *deviceState) activeScratch() []model.TrainingTask {
+	d.taskScratch = d.taskScratch[:0]
+	for _, t := range d.training {
+		if !t.done && !t.paused {
+			d.taskScratch = append(d.taskScratch, t.task)
+		}
+	}
+	return d.taskScratch
 }
 
 // view builds the policy-facing snapshot. FreeShare is the share not
@@ -194,7 +223,7 @@ func (m *deviceMeasurer) TrainIterMs(batch int, delta float64) (float64, error) 
 			return 0, err
 		}
 	}
-	tasks := m.dev.residentTasks()
+	tasks := m.dev.residentScratch()
 	if len(tasks) == 0 {
 		return 0, fmt.Errorf("cluster: no training on %s", m.dev.dev.ID)
 	}
@@ -215,7 +244,7 @@ func (m *deviceMeasurer) TrainIterMs(batch int, delta float64) (float64, error) 
 
 // InfLatencyMs implements core.Measurer.
 func (m *deviceMeasurer) InfLatencyMs(batch int, delta float64) (float64, error) {
-	return m.oracle.MeasureLatency(m.dev.svc.info.Name, batch, delta, m.dev.residentTasks(), m.rng)
+	return m.oracle.MeasureLatency(m.dev.svc.info.Name, batch, delta, m.dev.residentScratch(), m.rng)
 }
 
 var _ core.Measurer = (*deviceMeasurer)(nil)

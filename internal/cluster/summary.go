@@ -138,6 +138,10 @@ type resultJSON struct {
 // analysis and plotting. The utilization series are downsampled to
 // seriesPoints samples over [0, makespan] (0 omits them).
 func (r *Result) WriteJSON(w io.Writer, seriesPoints int) error {
+	// Sort the placement overheads once and answer both percentile
+	// queries from the sorted copy.
+	placement := append([]float64(nil), r.PlacementOverheadMs...)
+	sort.Float64s(placement)
 	out := resultJSON{
 		Policy:           r.Policy,
 		SLOViolation:     r.SLOViolation,
@@ -161,8 +165,8 @@ func (r *Result) WriteJSON(w io.Writer, seriesPoints int) error {
 		Failovers:        r.Failovers,
 		FailedSpinUps:    r.FailedSpinUps,
 		MeasureRetries:   r.MeasureRetries,
-		PlacementP50Ms:   stats.Percentile(r.PlacementOverheadMs, 50),
-		PlacementP99Ms:   stats.Percentile(r.PlacementOverheadMs, 99),
+		PlacementP50Ms:   stats.PercentileSorted(placement, 50),
+		PlacementP99Ms:   stats.PercentileSorted(placement, 99),
 		Trace:            r.Trace,
 	}
 	if seriesPoints > 0 && r.Makespan > 0 {

@@ -127,11 +127,56 @@ func Cholesky(a [][]float64) ([][]float64, error) {
 	return l, nil
 }
 
+// CholeskyAppend extends the lower-triangular factor l of an n×n SPD
+// matrix to the factor of the (n+1)×(n+1) matrix obtained by appending
+// `row` (the new matrix row, length n+1, diagonal entry last — noise
+// already added). It returns the factor's new last row. The loop is the
+// last-row iteration of Cholesky verbatim, so appending rows one at a
+// time produces a factor bit-identical to a from-scratch factorization:
+// row i of a Cholesky factor depends only on matrix rows 0..i, which a
+// row append leaves untouched. Rows of l may be ragged (length ≥ row
+// index + 1); only the lower triangle is read.
+func CholeskyAppend(l [][]float64, row []float64) ([]float64, error) {
+	n := len(l)
+	if len(row) != n+1 {
+		return nil, fmt.Errorf("fit: append row has %d entries, want %d", len(row), n+1)
+	}
+	out := make([]float64, n+1)
+	for j := 0; j < n; j++ {
+		sum := row[j]
+		for k := 0; k < j; k++ {
+			sum -= out[k] * l[j][k]
+		}
+		out[j] = sum / l[j][j]
+	}
+	sum := row[n]
+	for k := 0; k < n; k++ {
+		sum -= out[k] * out[k]
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("%w: non-PD at row %d (%v)", ErrSingular, n, sum)
+	}
+	out[n] = math.Sqrt(sum)
+	return out, nil
+}
+
 // CholSolve solves A·x = b given the Cholesky factor L of A.
 func CholSolve(l [][]float64, b []float64) []float64 {
 	n := len(l)
-	// Forward: L·y = b.
 	y := make([]float64, n)
+	x := make([]float64, n)
+	CholSolveInto(l, b, y, x)
+	return x
+}
+
+// CholSolveInto is CholSolve into caller-provided buffers: y is an
+// n-length scratch for the forward pass and x receives the solution.
+// The arithmetic is exactly CholSolve's, with zero allocations — the
+// hot-loop variant behind the GP's incremental refits. Rows of l may be
+// ragged (length ≥ row index + 1).
+func CholSolveInto(l [][]float64, b, y, x []float64) {
+	n := len(l)
+	// Forward: L·y = b.
 	for i := 0; i < n; i++ {
 		sum := b[i]
 		for k := 0; k < i; k++ {
@@ -140,7 +185,6 @@ func CholSolve(l [][]float64, b []float64) []float64 {
 		y[i] = sum / l[i][i]
 	}
 	// Backward: Lᵀ·x = y.
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		sum := y[i]
 		for k := i + 1; k < n; k++ {
@@ -148,5 +192,4 @@ func CholSolve(l [][]float64, b []float64) []float64 {
 		}
 		x[i] = sum / l[i][i]
 	}
-	return x
 }

@@ -23,9 +23,19 @@ type GP struct {
 
 	xs    []float64
 	ys    []float64
+	ySum  float64
 	yMean float64
 	chol  [][]float64
 	alpha []float64
+
+	// Hyperparameters the current factor was fitted with. Mutating the
+	// exported fields between Observe calls invalidates the factor, so
+	// the next Observe falls back to a from-scratch refit.
+	fitLS, fitSV, fitNV float64
+
+	// Scratch buffers reused across calls so warm Observe/Predict do not
+	// allocate (beyond the factor row Observe must retain).
+	kstarBuf, vBuf, rowBuf, centeredBuf, solveYBuf []float64
 }
 
 // New returns a GP with the given hyperparameters (zeros select
@@ -53,24 +63,57 @@ func (g *GP) kernel(a, b float64) float64 {
 	return g.SignalVar * math.Exp(-0.5*d*d)
 }
 
-// Observe adds one (x, y) observation and refits the posterior.
+// growTo returns buf resized to n, reallocating only when capacity is
+// exhausted. Contents are unspecified.
+func growTo(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n, 2*n)
+	}
+	return buf[:n]
+}
+
+// Observe adds one (x, y) observation and refits the posterior. The
+// refit is an incremental rank-append Cholesky update: appending a row
+// to the kernel matrix leaves the leading factor untouched, so only the
+// new factor row is computed and the weights are re-solved against the
+// extended factor — O(n²) instead of the from-scratch O(n³), with
+// bit-identical chol/alpha (the append performs exactly the arithmetic
+// the from-scratch factorization would for the same row). On a fit
+// error the observation is rolled back, leaving the previous posterior
+// intact.
 func (g *GP) Observe(x, y float64) error {
+	g.defaults()
+	n := len(g.xs)
+	prevSum := g.ySum
 	g.xs = append(g.xs, x)
 	g.ys = append(g.ys, y)
-	return g.refit()
+	g.ySum += y
+
+	var err error
+	if len(g.chol) != n || g.LengthScale != g.fitLS || g.SignalVar != g.fitSV || g.NoiseVar != g.fitNV {
+		err = g.refit()
+	} else {
+		err = g.appendFit(x)
+	}
+	if err != nil {
+		g.xs = g.xs[:n]
+		g.ys = g.ys[:n]
+		g.ySum = prevSum
+		return err
+	}
+	return nil
 }
 
 // N returns the number of observations.
 func (g *GP) N() int { return len(g.xs) }
 
+// refit rebuilds the factor and weights from scratch — the slow path,
+// used for the first observation and whenever hyperparameters changed
+// since the last fit.
 func (g *GP) refit() error {
 	g.defaults()
 	n := len(g.xs)
-	g.yMean = 0
-	for _, y := range g.ys {
-		g.yMean += y
-	}
-	g.yMean /= float64(n)
+	g.yMean = g.ySum / float64(n)
 
 	k := make([][]float64, n)
 	for i := 0; i < n; i++ {
@@ -87,24 +130,55 @@ func (g *GP) refit() error {
 		return fmt.Errorf("gp: posterior fit: %w", err)
 	}
 	g.chol = chol
-	centered := make([]float64, n)
-	for i, y := range g.ys {
-		centered[i] = y - g.yMean
+	g.fitLS, g.fitSV, g.fitNV = g.LengthScale, g.SignalVar, g.NoiseVar
+	return g.resolve()
+}
+
+// appendFit extends the factor by one row for the just-appended point x
+// and re-solves the weights. Kernel entries are computed in the same
+// argument order as refit's last row, so the arithmetic — and therefore
+// the factor — is bit-identical to a from-scratch rebuild.
+func (g *GP) appendFit(x float64) error {
+	n := len(g.xs)
+	g.yMean = g.ySum / float64(n)
+	g.rowBuf = growTo(g.rowBuf, n)
+	for i := 0; i < n-1; i++ {
+		g.rowBuf[i] = g.kernel(x, g.xs[i])
 	}
-	g.alpha = fit.CholSolve(chol, centered)
+	g.rowBuf[n-1] = g.kernel(x, x) + g.NoiseVar
+	row, err := fit.CholeskyAppend(g.chol, g.rowBuf)
+	if err != nil {
+		return fmt.Errorf("gp: posterior fit: %w", err)
+	}
+	g.chol = append(g.chol, row)
+	return g.resolve()
+}
+
+// resolve recomputes alpha = K⁻¹(y − ȳ) against the current factor.
+func (g *GP) resolve() error {
+	n := len(g.xs)
+	g.centeredBuf = growTo(g.centeredBuf, n)
+	for i, y := range g.ys {
+		g.centeredBuf[i] = y - g.yMean
+	}
+	g.solveYBuf = growTo(g.solveYBuf, n)
+	g.alpha = growTo(g.alpha, n)
+	fit.CholSolveInto(g.chol, g.centeredBuf, g.solveYBuf, g.alpha)
 	return nil
 }
 
 // Predict returns the posterior mean and variance at x. With no
 // observations it returns the prior (0 mean is replaced by 0, variance
-// = signal variance).
+// = signal variance). Warm calls reuse internal scratch buffers and do
+// not allocate.
 func (g *GP) Predict(x float64) (mean, variance float64) {
 	g.defaults()
 	n := len(g.xs)
 	if n == 0 {
 		return 0, g.SignalVar
 	}
-	kstar := make([]float64, n)
+	g.kstarBuf = growTo(g.kstarBuf, n)
+	kstar := g.kstarBuf
 	for i := range g.xs {
 		kstar[i] = g.kernel(x, g.xs[i])
 	}
@@ -114,7 +188,8 @@ func (g *GP) Predict(x float64) (mean, variance float64) {
 	}
 	// variance = k(x,x) − k*ᵀ K⁻¹ k*; compute v = L⁻¹ k* by forward
 	// substitution.
-	v := make([]float64, n)
+	g.vBuf = growTo(g.vBuf, n)
+	v := g.vBuf
 	for i := 0; i < n; i++ {
 		sum := kstar[i]
 		for k := 0; k < i; k++ {
@@ -130,6 +205,16 @@ func (g *GP) Predict(x float64) (mean, variance float64) {
 		variance = 0
 	}
 	return mean, variance
+}
+
+// PredictInto evaluates the posterior at every candidate, writing the
+// results into means[i] and vars[i] (both must have len(candidates)
+// entries). It is the batched, allocation-free sweep behind Minimize's
+// exhausted-set rounds.
+func (g *GP) PredictInto(candidates, means, vars []float64) {
+	for i, c := range candidates {
+		means[i], vars[i] = g.Predict(c)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -194,7 +279,14 @@ func Minimize(candidates []float64, obj Objective, cfg LCBConfig) (LCBResult, er
 	g := New(cfg.LengthScale, 1, 1e-6)
 
 	res := LCBResult{BestValue: math.Inf(1)}
-	evaluated := make(map[float64]bool)
+	// evaluated tracks candidates by index; covered counts distinct
+	// evaluated values. Marking sweeps value-duplicates together, so the
+	// pair reproduces the semantics of a map keyed by candidate value —
+	// including duplicate candidate sets never reaching full coverage.
+	evaluated := make([]bool, len(candidates))
+	covered := 0
+	mus := make([]float64, len(candidates))
+	vars := make([]float64, len(candidates))
 	var worst float64 // running worst feasible value, for the penalty
 	sizeR := float64(len(candidates))
 	staleRounds := 0
@@ -206,15 +298,28 @@ func Minimize(candidates []float64, obj Objective, cfg LCBConfig) (LCBResult, er
 		sqrtBeta := math.Sqrt(beta)
 		bestAcq := math.Inf(1)
 		pick := candidates[0]
+		pickIdx := -1
 		found := false
-		for _, c := range candidates {
-			if evaluated[c] && len(evaluated) < len(candidates) {
-				continue
+		if covered >= len(candidates) {
+			// Exhausted set: the per-candidate skip can no longer apply,
+			// so sweep the whole set in one batched posterior pass.
+			g.PredictInto(candidates, mus, vars)
+			for i, c := range candidates {
+				acq := mus[i] - sqrtBeta*math.Sqrt(vars[i])
+				if acq < bestAcq {
+					bestAcq, pick, pickIdx, found = acq, c, i, true
+				}
 			}
-			mu, v := g.Predict(c)
-			acq := mu - sqrtBeta*math.Sqrt(v)
-			if acq < bestAcq {
-				bestAcq, pick, found = acq, c, true
+		} else {
+			for i, c := range candidates {
+				if evaluated[i] {
+					continue
+				}
+				mu, v := g.Predict(c)
+				acq := mu - sqrtBeta*math.Sqrt(v)
+				if acq < bestAcq {
+					bestAcq, pick, pickIdx, found = acq, c, i, true
+				}
 			}
 		}
 		if !found {
@@ -222,7 +327,14 @@ func Minimize(candidates []float64, obj Objective, cfg LCBConfig) (LCBResult, er
 		}
 		res.FinalAcq = bestAcq
 		value, feasible := obj(pick)
-		evaluated[pick] = true
+		if !evaluated[pickIdx] {
+			covered++
+			for j, c := range candidates {
+				if c == pick {
+					evaluated[j] = true
+				}
+			}
+		}
 		res.Iterations = iter
 
 		improved := false

@@ -14,6 +14,7 @@ type GBRT struct {
 
 	base  float64
 	trees []*treeNode
+	tb    treeBuilder
 }
 
 // NewGBRT returns a gradient-boosted trees regressor.
@@ -56,10 +57,11 @@ func (g *GBRT) Fit(x [][]float64, y []float64) error {
 	}
 	rng := xrand.New(g.Seed + 0x6b)
 	g.trees = g.trees[:0]
+	// Boosted trees use all features per split (mtry = w): the
+	// sequential residual fitting provides the diversity.
+	g.tb.begin(x, residual, 2, w)
 	for round := 0; round < g.Trees; round++ {
-		// Boosted trees use all features per split (mtry = w): the
-		// sequential residual fitting provides the diversity.
-		tree := buildTree(x, residual, idx, g.Depth, 2, w, rng.Fork(uint64(round)))
+		tree := g.tb.build(idx, g.Depth, rng.Fork(uint64(round)))
 		g.trees = append(g.trees, tree)
 		for i := range residual {
 			residual[i] -= g.LearnRte * tree.eval(x[i])

@@ -173,17 +173,27 @@ func (k *KNN) Fit(x [][]float64, y []float64) error {
 	return nil
 }
 
+// knnDist pairs a training target with its distance to the query; the
+// concrete sort.Interface on the slice avoids sort.Slice's per-call
+// reflection allocations while running the same pdqsort.
+type knnDist struct {
+	d float64
+	y float64
+}
+
+type byDist []knnDist
+
+func (s byDist) Len() int           { return len(s) }
+func (s byDist) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s byDist) Less(i, j int) bool { return s[i].d < s[j].d }
+
 // Predict implements Regressor.
 func (k *KNN) Predict(x []float64) float64 {
 	if len(k.xs) == 0 {
 		return 0
 	}
 	x = k.scale.apply(x)
-	type nd struct {
-		d float64
-		y float64
-	}
-	ds := make([]nd, len(k.xs))
+	ds := make(byDist, len(k.xs))
 	for i, row := range k.xs {
 		var sum float64
 		for j := range row {
@@ -192,9 +202,9 @@ func (k *KNN) Predict(x []float64) float64 {
 				sum += d * d
 			}
 		}
-		ds[i] = nd{d: math.Sqrt(sum), y: k.ys[i]}
+		ds[i] = knnDist{d: math.Sqrt(sum), y: k.ys[i]}
 	}
-	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	sort.Sort(ds)
 	n := k.K
 	if n > len(ds) {
 		n = len(ds)
@@ -310,6 +320,8 @@ type Forest struct {
 	MinLeaf  int // default 2
 	Seed     uint64
 	trees    []*treeNode
+	tb       treeBuilder
+	idxBuf   []int // bootstrap-sample scratch, reused across trees
 }
 
 // NewForest returns a random forest regressor with the given ensemble
@@ -346,30 +358,123 @@ func (f *Forest) Fit(x [][]float64, y []float64) error {
 	}
 	rng := xrand.New(f.Seed + 0xf0)
 	n := len(x)
-	f.trees = make([]*treeNode, f.Trees)
+	if cap(f.trees) < f.Trees {
+		f.trees = make([]*treeNode, f.Trees)
+	}
+	f.trees = f.trees[:f.Trees]
 	// Feature subset size: sqrt heuristic, at least 1.
 	mtry := int(math.Sqrt(float64(w)))
 	if mtry < 1 {
 		mtry = 1
 	}
+	f.tb.begin(x, y, f.MinLeaf, mtry)
+	if cap(f.idxBuf) < n {
+		f.idxBuf = make([]int, n)
+	}
 	for t := 0; t < f.Trees; t++ {
-		idx := make([]int, n)
+		idx := f.idxBuf[:n]
 		for i := range idx {
 			idx[i] = rng.Intn(n)
 		}
-		f.trees[t] = buildTree(x, y, idx, f.MaxDepth, f.MinLeaf, mtry, rng.Fork(uint64(t)))
+		f.trees[t] = f.tb.build(idx, f.MaxDepth, rng.Fork(uint64(t)))
 	}
 	return nil
 }
 
-func buildTree(x [][]float64, y []float64, idx []int, depth, minLeaf, mtry int, rng *xrand.Rand) *treeNode {
+// nodeChunk sizes the treeBuilder arena slabs; at depth ≤ 6 a tree has
+// at most 127 nodes, so a slab holds one or two typical trees.
+const nodeChunk = 128
+
+// treeBuilder carries the dataset and reusable scratch across every
+// node of the trees built within one Fit call, and across Fit calls of
+// the same model (the cross-validation loop refits up to ~11 times).
+// The split-search arithmetic is byte-for-byte the previous per-node
+// implementation — ordered partial sums over the same index order, the
+// same sort algorithm (sort.Sort and sort.Slice run the identical
+// generated pdqsort), the same RNG draws — so the fitted trees are
+// bit-identical; only the allocation pattern changed.
+//
+// A treeBuilder is owned by a single model and is not safe for
+// concurrent Fits; Predict never touches it.
+type treeBuilder struct {
+	x       [][]float64
+	y       []float64
+	minLeaf int
+	mtry    int
+
+	idxBuf []int // builder-owned copy of the root index set, partitioned in place
+	order  []int // per-node sort scratch (nodes use it strictly before recursing)
+	part   []int // hi side of the stable partition, copied out before recursing
+	perm   []int // feature-subset scratch
+	sorter featureSorter
+
+	// Node arena: fixed-size slabs, so node pointers stay valid as the
+	// arena grows. Reset per begin — by then the previous Fit's trees
+	// have been discarded by the caller (Fit overwrites the tree slice).
+	chunks [][]treeNode
+	ci, ni int
+}
+
+// featureSorter orders a node's sample indices by one feature; the
+// concrete sort.Interface avoids sort.Slice's per-call reflection
+// allocations while running the same pdqsort.
+type featureSorter struct {
+	order []int
+	x     [][]float64
+	feat  int
+}
+
+func (s *featureSorter) Len() int      { return len(s.order) }
+func (s *featureSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
+func (s *featureSorter) Less(a, b int) bool {
+	return s.x[s.order[a]][s.feat] < s.x[s.order[b]][s.feat]
+}
+
+func (b *treeBuilder) begin(x [][]float64, y []float64, minLeaf, mtry int) {
+	b.x, b.y, b.minLeaf, b.mtry = x, y, minLeaf, mtry
+	b.ci, b.ni = 0, 0
+	if w := len(x[0]); cap(b.perm) < w {
+		b.perm = make([]int, w)
+	}
+}
+
+func (b *treeBuilder) newNode(n treeNode) *treeNode {
+	if b.ci == len(b.chunks) {
+		b.chunks = append(b.chunks, make([]treeNode, nodeChunk))
+	}
+	nd := &b.chunks[b.ci][b.ni]
+	*nd = n
+	if b.ni++; b.ni == nodeChunk {
+		b.ci++
+		b.ni = 0
+	}
+	return nd
+}
+
+// build constructs one tree over the given root sample indices. It
+// copies idx into builder-owned scratch, so the caller's slice is
+// never mutated (GBRT reuses one identity slice across rounds).
+func (b *treeBuilder) build(idx []int, depth int, rng *xrand.Rand) *treeNode {
+	n := len(idx)
+	b.idxBuf = append(b.idxBuf[:0], idx...)
+	if cap(b.order) < n {
+		b.order = make([]int, n)
+	}
+	if cap(b.part) < n {
+		b.part = make([]int, 0, n)
+	}
+	return b.node(b.idxBuf, depth, rng)
+}
+
+func (b *treeBuilder) node(idx []int, depth int, rng *xrand.Rand) *treeNode {
+	x, y := b.x, b.y
 	mean := 0.0
 	for _, i := range idx {
 		mean += y[i]
 	}
 	mean /= float64(len(idx))
-	if depth == 0 || len(idx) <= minLeaf {
-		return &treeNode{terminal: true, value: mean}
+	if depth == 0 || len(idx) <= b.minLeaf {
+		return b.newNode(treeNode{terminal: true, value: mean})
 	}
 	// Variance before split.
 	var sse float64
@@ -378,13 +483,14 @@ func buildTree(x [][]float64, y []float64, idx []int, depth, minLeaf, mtry int, 
 		sse += d * d
 	}
 	if sse < 1e-12 {
-		return &treeNode{terminal: true, value: mean}
+		return b.newNode(treeNode{terminal: true, value: mean})
 	}
 	w := len(x[0])
 	bestGain := 0.0
 	bestFeat, bestThresh := -1, 0.0
-	features := rng.Perm(w)[:mtry]
-	order := make([]int, len(idx))
+	rng.PermInto(b.perm[:w])
+	features := b.perm[:b.mtry]
+	order := b.order[:len(idx)]
 	for _, feat := range features {
 		// Sort the node's samples by the feature once, then scan every
 		// split boundary with running sums: the best split minimizes
@@ -392,7 +498,8 @@ func buildTree(x [][]float64, y []float64, idx []int, depth, minLeaf, mtry int, 
 		// where SSE = Σy² − (Σy)²/n per side — O(n log n) per feature
 		// instead of the naive O(n²).
 		copy(order, idx)
-		sort.Slice(order, func(a, b int) bool { return x[order[a]][feat] < x[order[b]][feat] })
+		b.sorter = featureSorter{order: order, x: x, feat: feat}
+		sort.Sort(&b.sorter)
 		var totalSum, totalSq float64
 		for _, i := range order {
 			totalSum += y[i]
@@ -419,22 +526,27 @@ func buildTree(x [][]float64, y []float64, idx []int, depth, minLeaf, mtry int, 
 		}
 	}
 	if bestFeat < 0 {
-		return &treeNode{terminal: true, value: mean}
+		return b.newNode(treeNode{terminal: true, value: mean})
 	}
-	var loIdx, hiIdx []int
+	// Stable in-place partition: the low side compacts forward, the high
+	// side detours through scratch, so both keep their original relative
+	// order — exactly the element order the old append-built loIdx/hiIdx
+	// had, which the children's ordered float sums depend on.
+	b.part = b.part[:0]
+	nlo := 0
 	for _, i := range idx {
 		if x[i][bestFeat] <= bestThresh {
-			loIdx = append(loIdx, i)
+			idx[nlo] = i
+			nlo++
 		} else {
-			hiIdx = append(hiIdx, i)
+			b.part = append(b.part, i)
 		}
 	}
-	return &treeNode{
-		feature: bestFeat,
-		thresh:  bestThresh,
-		lo:      buildTree(x, y, loIdx, depth-1, minLeaf, mtry, rng),
-		hi:      buildTree(x, y, hiIdx, depth-1, minLeaf, mtry, rng),
-	}
+	copy(idx[nlo:], b.part)
+	nd := b.newNode(treeNode{feature: bestFeat, thresh: bestThresh})
+	nd.lo = b.node(idx[:nlo], depth-1, rng)
+	nd.hi = b.node(idx[nlo:], depth-1, rng)
+	return nd
 }
 
 func (n *treeNode) eval(x []float64) float64 {

@@ -1,0 +1,157 @@
+package learn
+
+import (
+	"sort"
+	"testing"
+
+	"mudi/internal/xrand"
+)
+
+// referenceBuildTree is the pre-treeBuilder implementation, kept
+// verbatim (per-node allocations, sort.Slice, rng.Perm) as the oracle
+// for the scratch-buffer rewrite: both must produce bit-identical
+// trees from identical RNG streams — including tie-breaks, since
+// sort.Sort and sort.Slice run the same generated pdqsort.
+func referenceBuildTree(x [][]float64, y []float64, idx []int, depth, minLeaf, mtry int, rng *xrand.Rand) *treeNode {
+	mean := 0.0
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	if depth == 0 || len(idx) <= minLeaf {
+		return &treeNode{terminal: true, value: mean}
+	}
+	var sse float64
+	for _, i := range idx {
+		d := y[i] - mean
+		sse += d * d
+	}
+	if sse < 1e-12 {
+		return &treeNode{terminal: true, value: mean}
+	}
+	w := len(x[0])
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	features := rng.Perm(w)[:mtry]
+	order := make([]int, len(idx))
+	for _, feat := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][feat] < x[order[b]][feat] })
+		var totalSum, totalSq float64
+		for _, i := range order {
+			totalSum += y[i]
+			totalSq += y[i] * y[i]
+		}
+		n := float64(len(order))
+		var leftSum, leftSq float64
+		for j := 0; j < len(order)-1; j++ {
+			yi := y[order[j]]
+			leftSum += yi
+			leftSq += yi * yi
+			vj, vj1 := x[order[j]][feat], x[order[j+1]][feat]
+			if vj == vj1 {
+				continue
+			}
+			nl := float64(j + 1)
+			nr := n - nl
+			sseL := leftSq - leftSum*leftSum/nl
+			rightSum := totalSum - leftSum
+			sseR := (totalSq - leftSq) - rightSum*rightSum/nr
+			if gain := sse - (sseL + sseR); gain > bestGain {
+				bestGain, bestFeat, bestThresh = gain, feat, (vj+vj1)/2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{terminal: true, value: mean}
+	}
+	var loIdx, hiIdx []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThresh {
+			loIdx = append(loIdx, i)
+		} else {
+			hiIdx = append(hiIdx, i)
+		}
+	}
+	return &treeNode{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		lo:      referenceBuildTree(x, y, loIdx, depth-1, minLeaf, mtry, rng),
+		hi:      referenceBuildTree(x, y, hiIdx, depth-1, minLeaf, mtry, rng),
+	}
+}
+
+func sameTree(t *testing.T, a, b *treeNode, path string) {
+	t.Helper()
+	if a.terminal != b.terminal {
+		t.Fatalf("%s: terminal %v != %v", path, a.terminal, b.terminal)
+	}
+	if a.terminal {
+		if a.value != b.value {
+			t.Fatalf("%s: value %v != %v", path, a.value, b.value)
+		}
+		return
+	}
+	if a.feature != b.feature || a.thresh != b.thresh {
+		t.Fatalf("%s: split (%d, %v) != (%d, %v)", path, a.feature, a.thresh, b.feature, b.thresh)
+	}
+	sameTree(t, a.lo, b.lo, path+"L")
+	sameTree(t, a.hi, b.hi, path+"R")
+}
+
+// TestTreeBuilderBitIdentical fuzzes the scratch-buffer tree builder
+// against the reference across dataset sizes, depths, feature-subset
+// sizes, bootstrap index multisets, and tie-heavy features. The
+// comparison is exact (== on thresholds and leaf values).
+func TestTreeBuilderBitIdentical(t *testing.T) {
+	rng := xrand.New(0x7ee5)
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(60)
+		w := 1 + rng.Intn(6)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = make([]float64, w)
+			for j := range x[i] {
+				if trial%2 == 0 {
+					// Tie-heavy features exercise equal sort keys and the
+					// vj == vj1 skip in the split scan.
+					x[i][j] = float64(rng.Intn(4))
+				} else {
+					x[i][j] = rng.Range(-5, 5)
+				}
+			}
+			y[i] = rng.Range(0, 10)
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n) // bootstrap-style multiset, like Forest.Fit
+		}
+		depth := 1 + rng.Intn(6)
+		mtry := 1 + rng.Intn(w)
+		seed := rng.Uint64()
+
+		want := referenceBuildTree(x, y, idx, depth, 2, mtry, xrand.New(seed))
+
+		idxCopy := append([]int(nil), idx...)
+		var tb treeBuilder
+		tb.begin(x, y, 2, mtry)
+		got := tb.build(idx, depth, xrand.New(seed))
+
+		sameTree(t, want, got, "·")
+		// build must not mutate the caller's index slice (GBRT reuses
+		// one identity slice across boosting rounds).
+		for i := range idx {
+			if idx[i] != idxCopy[i] {
+				t.Fatalf("trial %d: caller idx mutated at %d", trial, i)
+			}
+		}
+
+		// A second build on the same (reset) builder reuses the arena;
+		// the first tree must not be needed anymore, the new one must
+		// still be exact.
+		tb.begin(x, y, 2, mtry)
+		again := tb.build(idxCopy, depth, xrand.New(seed))
+		sameTree(t, want, again, "·")
+	}
+}

@@ -87,25 +87,32 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 	var busy float64
 	i := 0
 	n := len(arrivals)
+	// Every admitted arrival produces exactly one latency; size the slice
+	// once instead of growing it batch by batch.
+	res.Latencies = make([]float64, 0, n)
 	// The queue holds arrival indices so rejections stay attributable
-	// to their arrival (Result.Rejections).
+	// to their arrival (Result.Rejections). Consumption advances qhead
+	// instead of shift-copying the backlog on every batch; the storage
+	// is reclaimed whenever the queue drains.
 	queue := make([]int, 0, cfg.BatchCap)
+	qhead := 0
 	reject := func(idx int) {
 		res.Rejected++
 		res.Rejections = append(res.Rejections, idx)
 	}
 
-	for i < n || len(queue) > 0 {
+	for i < n || len(queue) > qhead {
 		// Admit everything that arrived by the time the device is free.
 		for i < n && arrivals[i] <= freeAt {
-			if cfg.MaxQueue > 0 && len(queue) >= cfg.MaxQueue {
+			if cfg.MaxQueue > 0 && len(queue)-qhead >= cfg.MaxQueue {
 				reject(i)
 			} else {
 				queue = append(queue, i)
 			}
 			i++
 		}
-		if len(queue) == 0 {
+		if len(queue) == qhead {
+			queue, qhead = queue[:0], 0
 			// Idle until the next arrival.
 			if i < n {
 				freeAt = arrivals[i]
@@ -113,19 +120,19 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 			}
 			break
 		}
-		if cfg.FormBatches && len(queue) < cfg.BatchCap && maxWait > 0 {
+		if cfg.FormBatches && len(queue)-qhead < cfg.BatchCap && maxWait > 0 {
 			// Hold the launch until the batch fills or the oldest
 			// request has waited maxWait.
-			deadline := arrivals[queue[0]] + maxWait/1000
-			for len(queue) < cfg.BatchCap && i < n && arrivals[i] <= deadline {
-				if cfg.MaxQueue > 0 && len(queue) >= cfg.MaxQueue {
+			deadline := arrivals[queue[qhead]] + maxWait/1000
+			for len(queue)-qhead < cfg.BatchCap && i < n && arrivals[i] <= deadline {
+				if cfg.MaxQueue > 0 && len(queue)-qhead >= cfg.MaxQueue {
 					reject(i)
 				} else {
 					queue = append(queue, i)
 				}
 				i++
 			}
-			if len(queue) < cfg.BatchCap {
+			if len(queue)-qhead < cfg.BatchCap {
 				// Timed out before filling: launch at the deadline.
 				if deadline > freeAt {
 					freeAt = deadline
@@ -135,11 +142,11 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 				freeAt = last
 			}
 		}
-		take := len(queue)
+		take := len(queue) - qhead
 		if take > cfg.BatchCap {
 			take = cfg.BatchCap
 		}
-		batch := queue[:take]
+		batch := queue[qhead : qhead+take]
 		procMs := lat(take)
 		if procMs < 0 {
 			return Result{}, fmt.Errorf("serving: negative latency %v for batch %d", procMs, take)
@@ -152,7 +159,10 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 		res.Batches++
 		res.MeanBatch += float64(take)
 		busy += procMs / 1000
-		queue = append(queue[:0], queue[take:]...)
+		qhead += take
+		if qhead == len(queue) {
+			queue, qhead = queue[:0], 0
+		}
 		freeAt = end
 	}
 
@@ -169,7 +179,8 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 		cfg.Obs.Counter("serving_rejected_total").Add(float64(res.Rejected))
 		cfg.Obs.Counter("serving_batches_total").Add(float64(res.Batches))
 	}
-	res.P99 = stats.P99(res.Latencies)
+	var sc stats.Scratch
+	res.P99 = sc.P99(res.Latencies)
 	res.Mean = stats.Mean(res.Latencies)
 	if cfg.SLOms > 0 {
 		viol := res.Rejected
@@ -239,6 +250,7 @@ func RunWindows(arrivals []float64, lat LatencyFn, cfg Config, windowSec float64
 
 	var out []WindowStat
 	var bucket []float64
+	var sc stats.Scratch // shared across windows; Run is single-goroutine
 	rejected := 0
 	flush := func(ws float64) {
 		if len(bucket) == 0 && rejected == 0 {
@@ -252,7 +264,7 @@ func RunWindows(arrivals []float64, lat LatencyFn, cfg Config, windowSec float64
 		}
 		out = append(out, WindowStat{
 			Start:         ws,
-			P99:           stats.P99(bucket),
+			P99:           sc.P99(bucket),
 			ViolationRate: float64(viol) / float64(len(bucket)+rejected),
 			Requests:      len(bucket),
 			Rejected:      rejected,

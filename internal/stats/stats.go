@@ -99,9 +99,111 @@ func percentileSorted(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// PercentileSorted returns the p-th percentile of an ascending-sorted
+// slice with the same closest-rank interpolation as Percentile, without
+// copying or re-sorting. It returns 0 for an empty slice. Callers that
+// need several percentiles of one dataset should sort once and query
+// through this.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return percentileSorted(sorted, p)
+}
+
 // P99 is shorthand for Percentile(xs, 99) — the paper's tail-latency
 // metric.
 func P99(xs []float64) float64 { return Percentile(xs, 99) }
+
+// Scratch computes percentiles by selection (quickselect) over a
+// reusable internal buffer: O(n) expected time instead of O(n·log n),
+// and zero allocations once the buffer has grown to the largest input
+// seen. Results are bit-identical to Percentile — selection yields the
+// same order statistics a full sort would, and the interpolation
+// arithmetic is shared. The zero value is ready to use. Not safe for
+// concurrent use; give each goroutine its own Scratch.
+type Scratch struct {
+	buf []float64
+}
+
+// Percentile returns the p-th percentile of xs (same contract as the
+// package-level Percentile; xs is not modified).
+func (s *Scratch) Percentile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return Min(xs)
+	}
+	if p >= 100 {
+		return Max(xs)
+	}
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	s.buf = s.buf[:n]
+	copy(s.buf, xs)
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	v := selectKth(s.buf, lo)
+	if lo == hi {
+		return v
+	}
+	// selectKth leaves every element past index lo at ≥ v, so the next
+	// order statistic is the minimum of that tail.
+	next := Min(s.buf[lo+1:])
+	frac := rank - float64(lo)
+	return v*(1-frac) + next*frac
+}
+
+// P99 is shorthand for Percentile(xs, 99) on the scratch buffer.
+func (s *Scratch) P99(xs []float64) float64 { return s.Percentile(xs, 99) }
+
+// selectKth partially orders buf so buf[k] holds the k-th smallest
+// element (0-based), with everything before it ≤ and everything after
+// it ≥, and returns it. Deterministic median-of-three quickselect.
+func selectKth(buf []float64, k int) float64 {
+	lo, hi := 0, len(buf)-1
+	for lo < hi {
+		p := partition(buf, lo, hi)
+		switch {
+		case k < p:
+			hi = p - 1
+		case k > p:
+			lo = p + 1
+		default:
+			return buf[k]
+		}
+	}
+	return buf[k]
+}
+
+// partition Lomuto-partitions buf[lo..hi] around a median-of-three
+// pivot and returns the pivot's final index.
+func partition(buf []float64, lo, hi int) int {
+	mid := int(uint(lo+hi) >> 1)
+	if buf[mid] < buf[lo] {
+		buf[mid], buf[lo] = buf[lo], buf[mid]
+	}
+	if buf[hi] < buf[lo] {
+		buf[hi], buf[lo] = buf[lo], buf[hi]
+	}
+	if buf[mid] < buf[hi] {
+		buf[mid], buf[hi] = buf[hi], buf[mid]
+	}
+	pivot := buf[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if buf[j] < pivot {
+			buf[i], buf[j] = buf[j], buf[i]
+			i++
+		}
+	}
+	buf[i], buf[hi] = buf[hi], buf[i]
+	return i
+}
 
 // CDF is an empirical cumulative distribution over collected samples.
 type CDF struct {

@@ -231,16 +231,24 @@ func (t *Tuner) Tune(req Request) (Decision, error) {
 	// Phase 1: adaptive batching via constrained GP-LCB (§5.3.1). The
 	// objective is the measured training iteration time at the current
 	// partition; a candidate is feasible when Eq. 4 has a solution.
+	// candidates[i] is Log2(req.Candidates[i]); with the slices
+	// index-aligned, a linear scan over the handful of batch sizes beats
+	// a float-keyed map (and allocates nothing).
 	candidates := make([]float64, len(req.Candidates))
-	byLog := make(map[float64]int, len(req.Candidates))
 	for i, b := range req.Candidates {
-		x := math.Log2(float64(b))
-		candidates[i] = x
-		byLog[x] = b
+		candidates[i] = math.Log2(float64(b))
+	}
+	batchFor := func(x float64) int {
+		for i, c := range candidates {
+			if c == x {
+				return req.Candidates[i]
+			}
+		}
+		return 0
 	}
 	var measureErr error
 	objective := func(x float64) (float64, bool) {
-		b := byLog[x]
+		b := batchFor(x)
 		_, ok := t.feasibleDelta(req, b, maxDelta)
 		iter, err := req.Measure.TrainIterMs(b, delta)
 		if err != nil {
@@ -267,7 +275,7 @@ func (t *Tuner) Tune(req Request) (Decision, error) {
 		// the service degrades as little as possible.
 		return Decision{Feasible: false, Batch: t.bestServingBatch(req), BOIterations: res.Iterations, AcqValue: res.FinalAcq}, nil
 	}
-	batch := byLog[res.Best]
+	batch := batchFor(res.Best)
 
 	// Phase 2: dynamic resource scaling — the minimum partition for the
 	// chosen batch, plus headroom (Eq. 4).

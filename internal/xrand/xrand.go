@@ -145,14 +145,22 @@ func (r *Rand) Poisson(mean float64) int {
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *Rand) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a pseudo-random permutation of [0, len(p)).
+// It draws exactly the variates Perm(len(p)) would, so the two are
+// interchangeable stream-wise; this is the allocation-free form for
+// hot loops with a reusable buffer.
+func (r *Rand) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
-	return p
 }
 
 // Shuffle pseudo-randomly reorders the first n elements using swap.
