@@ -9,9 +9,9 @@ GO ?= go
 # and the observability fan-in, plus the hot-path packages whose
 # scratch/memo state must stay correctly confined (oracle caches are
 # shared across workers; gp/stats/serving scratch is per-goroutine).
-RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/obs ./internal/faults ./internal/perf ./internal/stats ./internal/gp ./internal/serving
+RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/obs ./internal/faults ./internal/perf ./internal/stats ./internal/gp ./internal/serving ./internal/span ./internal/telemetry ./telemetryhttp
 
-.PHONY: tier1 build test vet race bench-parallel bench-obs bench-hotpath ci
+.PHONY: tier1 build test vet race bench-parallel bench-obs bench-hotpath bench-trace ci
 
 tier1: build test
 
@@ -42,5 +42,12 @@ bench-obs:
 bench-hotpath:
 	$(GO) test -run '^$$' -bench 'BenchmarkHotpath' -benchmem -count=1 .
 	$(GO) test -run '^$$' -bench 'BenchmarkSimObsOff$$' -benchtime 3x -short -benchmem -count=1 .
+
+# Regenerate the numbers recorded in BENCH_trace.json: the tracer-off
+# run must match BenchmarkSimObsOff's alloc budget (BENCH_hotpath.json)
+# — tracing disabled is the same zero-overhead path as observation
+# disabled.
+bench-trace:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimTrace(Off|On)$$' -benchtime 3x -short -benchmem -count=1 .
 
 ci: tier1 vet race

@@ -397,9 +397,16 @@ func benchRunAll(b *testing.B, parallel int) {
 // benchRunAllObs is benchRunAll with an optional Observer wired into
 // every cell — the harness behind BenchmarkSimObsOn/Off.
 func benchRunAllObs(b *testing.B, parallel int, observer obs.Observer) {
+	benchRunAllTrace(b, parallel, observer, false)
+}
+
+// benchRunAllTrace additionally switches per-cell span tracing — the
+// harness behind BenchmarkSimTraceOn/Off.
+func benchRunAllTrace(b *testing.B, parallel int, observer obs.Observer, trace bool) {
 	cfg := benchCfg(b)
 	cfg.Parallel = parallel
 	cfg.Observer = observer
+	cfg.Trace = trace
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		s, err := exp.NewSuite(cfg)
@@ -438,6 +445,18 @@ func BenchmarkSimObsOn(b *testing.B) {
 		b.Fatal("observer saw no events")
 	}
 }
+
+// BenchmarkSimTraceOff pins the tracer's zero-overhead-when-disabled
+// contract: the exact BenchmarkSimObsOff workload with tracing compiled
+// in but off, so every span call site costs one nil check. Its allocs/op
+// must match BenchmarkSimObsOff (compare BENCH_trace.json against
+// BENCH_hotpath.json).
+func BenchmarkSimTraceOff(b *testing.B) { benchRunAllTrace(b, 1, nil, false) }
+
+// BenchmarkSimTraceOn runs the same workload with a live per-cell span
+// tracer and violation attributor, measuring the full cost of causal
+// span capture plus attribution on the simulation hot path.
+func BenchmarkSimTraceOn(b *testing.B) { benchRunAllTrace(b, 1, nil, true) }
 
 func BenchmarkFidelity(b *testing.B) {
 	cfg := benchCfg(b)

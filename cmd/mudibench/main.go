@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"mudi"
+	"mudi/internal/atomicio"
 	"mudi/internal/pprofutil"
 )
 
@@ -103,15 +104,9 @@ func run(args []string, stdout io.Writer) (err error) {
 				name = mudi.ExperimentNames()[idx]
 			}
 			idx++
-			f, err := os.Create(filepath.Join(*outFlag, name+".csv"))
-			if err != nil {
-				return err
-			}
-			if err := tab.WriteCSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			// Atomic write: a crashed or interrupted run never leaves a
+			// truncated CSV behind for downstream plotting scripts.
+			if err := atomicio.WriteFile(filepath.Join(*outFlag, name+".csv"), tab.WriteCSV); err != nil {
 				return err
 			}
 		}

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -22,16 +24,20 @@ import (
 	"time"
 
 	"mudi"
+	"mudi/internal/atomicio"
 	"mudi/internal/coordinator"
 	"mudi/internal/core"
 	"mudi/internal/model"
+	"mudi/internal/obs"
 	"mudi/internal/perf"
 	"mudi/internal/pprofutil"
 	"mudi/internal/predictor"
 	"mudi/internal/profiler"
 	"mudi/internal/report"
 	"mudi/internal/runner"
+	"mudi/internal/span"
 	"mudi/internal/stats"
+	"mudi/internal/telemetry"
 	"mudi/internal/xrand"
 )
 
@@ -57,7 +63,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		seedFlag     = fs.Uint64("seed", 1, "random seed")
 		queueFlag    = fs.String("queue", "fcfs", "queue policy: fcfs, sjf, fair, priority")
 		burstFlag    = fs.String("burst", "", "QPS burst as start:end:factor (e.g. 100:200:3)")
-		traceFlag    = fs.Int("trace", 0, "1-based device index to trace per window")
+		traceFlag    = fs.String("trace", "", "1-based device index for the per-window device trace, or a file path: the run's causal spans are written there as Chrome trace-event JSON (open in Perfetto or chrome://tracing)")
 		moreFlag     = fs.Int("maxtrain", 1, "max training tasks per GPU (3 = Mudi-more)")
 		liveFlag     = fs.Duration("live", 0, "run the live Local Coordinator (goroutines + ETCD-style store) for this wall-clock duration instead of the batch simulation")
 		jsonFlag     = fs.Bool("json", false, "emit the result as JSON instead of tables")
@@ -65,6 +71,9 @@ func run(args []string, stdout io.Writer) (err error) {
 		parallelFlag = fs.Int("parallel", runtime.NumCPU(), "worker count for replica fan-out (results identical for any value)")
 		eventsFlag   = fs.Bool("events", false, "stream the run's structured event log as NDJSON (one JSON object per line) before the tables")
 		metricsFlag  = fs.Bool("metrics", false, "stream the run's metrics snapshot as NDJSON before the tables")
+		eventsOut    = fs.String("events-out", "", "write the structured event log as NDJSON to this file (atomic: temp file in the destination directory, then rename)")
+		metricsOut   = fs.String("metrics-out", "", "write the metrics snapshot as NDJSON to this file (atomic)")
+		httpFlag     = fs.String("http", "", "serve live telemetry on this address while the run is in flight: /metrics (Prometheus text), /slo (attribution JSON), /healthz, /debug/vars, /debug/pprof/")
 		faultsFlag   = fs.String("faults", "", "deterministic fault injection: \"default\" or comma-separated key=value pairs (mtbf, mttr, meas, retries, spin, pciex, pcie-mtbf, pcie-mttr, seed), e.g. \"mtbf=300,mttr=45,meas=0.1\"")
 		cpuprofFlag  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofFlag  = fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -83,8 +92,20 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	}()
 
+	// -trace is dual-use: a bare integer keeps the legacy per-window
+	// device trace; anything else is a Chrome trace-event output path.
+	traceDevIdx := 0
+	tracePath := ""
+	if *traceFlag != "" {
+		if n, aerr := strconv.Atoi(*traceFlag); aerr == nil {
+			traceDevIdx = n
+		} else {
+			tracePath = *traceFlag
+		}
+	}
+
 	if *liveFlag > 0 {
-		return runLive(*seedFlag, *liveFlag, stdout)
+		return runLive(*seedFlag, *liveFlag, tracePath, *httpFlag, stdout)
 	}
 
 	var bursts []mudi.Burst
@@ -109,6 +130,25 @@ func run(args []string, stdout io.Writer) (err error) {
 		return err
 	}
 
+	// Live telemetry: the instruments are shared with the simulation
+	// and served while it runs. The address note goes to stderr so the
+	// NDJSON/table output on stdout stays clean.
+	var tel *mudi.Telemetry
+	if *httpFlag != "" {
+		tel = mudi.NewTelemetry()
+		ln, lerr := net.Listen("tcp", *httpFlag)
+		if lerr != nil {
+			return lerr
+		}
+		sink, tracer, attr := tel.Instruments()
+		srv := &http.Server{Handler: telemetry.Handler(telemetry.Options{
+			Sink: sink, Trace: tracer, Attr: attr, WindowSec: 1,
+		})}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mudisim: serving telemetry on http://%s\n", ln.Addr())
+	}
+
 	simulate := func(seed uint64) (*mudi.Result, error) {
 		sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: seed, MaxTrainPerGPU: *moreFlag})
 		if err != nil {
@@ -121,9 +161,11 @@ func run(args []string, stdout io.Writer) (err error) {
 			IterScale:      0.002,
 			LoadFactor:     *loadFlag,
 			Queue:          mudi.QueuePolicyID(*queueFlag),
-			TraceDeviceIdx: *traceFlag,
+			TraceDeviceIdx: traceDevIdx,
 			Bursts:         bursts,
-			Observe:        *eventsFlag || *metricsFlag,
+			Observe:        *eventsFlag || *metricsFlag || *eventsOut != "" || *metricsOut != "",
+			Trace:          tracePath != "",
+			Telemetry:      tel,
 			Faults:         faultCfg,
 		}
 		if *policyFlag != "mudi" {
@@ -137,8 +179,8 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 
 	if *repeatsFlag > 1 {
-		if *jsonFlag || *eventsFlag || *metricsFlag {
-			return fmt.Errorf("-json/-events/-metrics support a single run; drop them or use -repeats 1")
+		if *jsonFlag || *eventsFlag || *metricsFlag || *eventsOut != "" || *metricsOut != "" || tracePath != "" || *httpFlag != "" {
+			return fmt.Errorf("-json/-events/-metrics/-events-out/-metrics-out/-trace <path>/-http support a single run; drop them or use -repeats 1")
 		}
 		return runRepeats(*repeatsFlag, *parallelFlag, *seedFlag, *policyFlag, simulate, stdout)
 	}
@@ -156,6 +198,28 @@ func run(args []string, stdout io.Writer) (err error) {
 		if err := mudi.WriteMetricsNDJSON(stdout, res.Metrics); err != nil {
 			return err
 		}
+	}
+	if *eventsOut != "" {
+		if err := atomicio.WriteFile(*eventsOut, func(w io.Writer) error {
+			return mudi.WriteEventsNDJSON(w, res.Events)
+		}); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := atomicio.WriteFile(*metricsOut, func(w io.Writer) error {
+			return mudi.WriteMetricsNDJSON(w, res.Metrics)
+		}); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		if err := atomicio.WriteFile(tracePath, func(w io.Writer) error {
+			return mudi.WriteChromeTrace(w, res.Spans)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mudisim: wrote %d spans to %s (open in ui.perfetto.dev)\n", len(res.Spans), tracePath)
 	}
 	if *jsonFlag {
 		return res.WriteJSON(stdout, 64)
@@ -202,7 +266,30 @@ func run(args []string, stdout io.Writer) (err error) {
 		return err
 	}
 
-	if *traceFlag > 0 && len(res.Trace) > 0 {
+	if res.SLOReport != nil && res.SLOReport.Total > 0 {
+		at := report.NewTable("SLO-violation attribution", "service", "violations", "violated (min)", "causes", "top co-located task")
+		for _, svc := range res.SLOReport.Services {
+			var causes []string
+			for name := range svc.Causes {
+				causes = append(causes, name)
+			}
+			sort.Strings(causes)
+			parts := make([]string, 0, len(causes))
+			for _, c := range causes {
+				parts = append(parts, fmt.Sprintf("%s:%d", c, svc.Causes[c]))
+			}
+			offender := "-"
+			if svc.TopOffender != "" {
+				offender = fmt.Sprintf("%s (%d)", svc.TopOffender, svc.TopOffenderHits)
+			}
+			at.AddRow(svc.Service, svc.Violations, fmt.Sprintf("%.1f", svc.ViolatedMinutes), strings.Join(parts, " "), offender)
+		}
+		if err := at.WriteASCII(stdout); err != nil {
+			return err
+		}
+	}
+
+	if traceDevIdx > 0 && len(res.Trace) > 0 {
 		tr := report.NewTable("device trace (sampled)", "t (s)", "QPS", "batch", "GPU%", "P99", "budget", "swapped MB")
 		for i, pt := range res.Trace {
 			if i%10 != 0 {
@@ -319,8 +406,27 @@ func parseFaults(spec string) (*mudi.FaultConfig, error) {
 
 // runLive drives the concurrent Local Coordinator (§6): one Monitor,
 // Tuner, and Agent set per device, communicating through the embedded
-// watchable config store.
-func runLive(seed uint64, dur time.Duration, stdout io.Writer) error {
+// watchable config store. With tracePath set the coordinator's tuning
+// episodes are recorded as retune/bo_iter spans and written as Chrome
+// trace JSON at exit; with httpAddr set the live metrics and debug
+// endpoints are served for the duration of the run.
+func runLive(seed uint64, dur time.Duration, tracePath, httpAddr string, stdout io.Writer) error {
+	var tracer *span.Tracer
+	if tracePath != "" || httpAddr != "" {
+		tracer = span.NewTracer(0)
+	}
+	var sink *obs.Sink
+	if httpAddr != "" {
+		sink = obs.NewSink()
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: telemetry.Handler(telemetry.Options{Sink: sink, Trace: tracer})}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mudisim: serving telemetry on http://%s\n", ln.Addr())
+	}
 	oracle := perf.NewOracle(seed)
 	prof := profiler.New(oracle, xrand.New(seed+100))
 	pred := predictor.New(seed)
@@ -343,7 +449,7 @@ func runLive(seed uint64, dur time.Duration, stdout io.Writer) error {
 			ID: fmt.Sprintf("dev%d", i), Service: svc, Training: &task,
 		})
 	}
-	coord, err := coordinator.New(coordinator.Config{Seed: seed}, oracle, policy, specs)
+	coord, err := coordinator.New(coordinator.Config{Seed: seed, Obs: sink, Trace: tracer}, oracle, policy, specs)
 	if err != nil {
 		return err
 	}
@@ -352,6 +458,15 @@ func runLive(seed uint64, dur time.Duration, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "running live coordinator on %d devices for %s...\n", len(specs), dur)
 	if err := coord.Run(ctx); err != nil {
 		return err
+	}
+	if tracer != nil && tracePath != "" {
+		spans := tracer.Spans()
+		if err := atomicio.WriteFile(tracePath, func(w io.Writer) error {
+			return span.WriteChromeTrace(w, spans)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mudisim: wrote %d spans to %s (open in ui.perfetto.dev)\n", len(spans), tracePath)
 	}
 	tab := report.NewTable("live coordinator stats",
 		"device", "service", "windows", "violations", "retunes", "configs applied", "batch", "GPU%", "iter (ms)")

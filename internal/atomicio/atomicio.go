@@ -1,0 +1,38 @@
+// Package atomicio writes files atomically: content goes to a
+// temporary file in the destination directory and is renamed into
+// place only on success, so a mid-run error or interrupt never leaves
+// a truncated half-file at the destination path.
+package atomicio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile streams write(w) into a temp file next to path and
+// renames it over path on success. On any error the temp file is
+// removed and the destination is left untouched.
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -16,8 +16,10 @@ import (
 	"mudi/internal/obs"
 	"mudi/internal/perf"
 	"mudi/internal/sched"
+	"mudi/internal/span"
 	"mudi/internal/stats"
 	"mudi/internal/trace"
+	"mudi/internal/tuner"
 	"mudi/internal/xrand"
 )
 
@@ -68,6 +70,16 @@ type Options struct {
 	// config leaves the simulation bit-for-bit identical to a build
 	// without the injector.
 	Faults *faults.Config
+	// Trace, when non-nil, records causal simulated-time spans for
+	// every control-plane operation (retune with bo_iter children,
+	// rescale with shadow_spinup/shadow_swap children, migrate,
+	// mem_swap, fault outages); the end-of-run roll-up lands in
+	// Result.Spans. Passive and deterministic, same contract as Obs.
+	Trace *span.Tracer
+	// Attr, when non-nil, captures per-violation context at each
+	// slo_violation and classifies the dominant cause at finalize time;
+	// the roll-up lands in Result.SLOReport.
+	Attr *span.Attributor
 	// Ctx, when non-nil, cancels the simulation between control
 	// windows; Run then returns ctx.Err(). Nil means run to
 	// completion.
@@ -167,6 +179,13 @@ type Result struct {
 	// the determinism contract.
 	Events  []obs.Event
 	Metrics *obs.Metrics
+
+	// Tracing roll-up, populated only when Options.Trace / Options.Attr
+	// are set: the causal span stream in creation order and the SLO
+	// attribution report. Derived views, excluded from Summary() like
+	// Events/Metrics.
+	Spans     []span.Span
+	SLOReport *span.SLOReport
 }
 
 // TracePoint is one control-window snapshot of the traced device.
@@ -226,6 +245,11 @@ type Sim struct {
 	// obsv caches the cluster-level instruments (nil when observation
 	// is disabled); per-device instruments live on deviceState.
 	obsv *simObs
+
+	// tracer/attr mirror Options.Trace/Options.Attr (nil when tracing
+	// is disabled); every emission site guards on them with one branch.
+	tracer *span.Tracer
+	attr   *span.Attributor
 
 	// measMap is the policy-facing view of meas, built once at
 	// construction (meas never changes afterward) so trySchedule does
@@ -339,6 +363,8 @@ func New(opts Options) (*Sim, error) {
 		}
 		s.queue.SetObs(opts.Obs)
 	}
+	s.tracer = opts.Trace
+	s.attr = opts.Attr
 	// Deploy: one inference service per schedulable device (a whole GPU
 	// or a MIG instance), round-robin over the catalog (the paper's
 	// setting — every GPU serves inference and hosts training
@@ -375,6 +401,9 @@ func New(opts Options) (*Sim, error) {
 		if opts.Obs != nil {
 			ds.obsv = newDevObs(opts.Obs, devID, info.Name)
 			ds.pool.SetObs(opts.Obs, devID, info.Name)
+		}
+		if opts.Trace != nil {
+			ds.pool.SetTrace(opts.Trace, devID, info.Name)
 		}
 		if s.inj != nil {
 			// Host↔device transfers slow down inside injected PCIe
@@ -558,6 +587,15 @@ func (s *Sim) place(now float64, d *deviceState, qj *queueJob) {
 	d.training = append(d.training, t)
 	s.tasks = append(s.tasks, t)
 	s.res.Admitted++
+	if s.tracer != nil && qj.migrateSpan != 0 {
+		// Close the eviction's migrate span: the task found a new home.
+		dst := d.dev.ID
+		s.tracer.Annotate(qj.migrateSpan, func(sp *span.Span) {
+			sp.Task = sp.Task + ">" + dst
+		})
+		s.tracer.End(qj.migrateSpan, now)
+		qj.migrateSpan = 0
+	}
 	if s.obsv != nil {
 		s.obsv.placements.Inc()
 		s.obsv.sink.Emit(obs.Event{
@@ -588,6 +626,30 @@ func (s *Sim) place(now float64, d *deviceState, qj *queueJob) {
 	}
 }
 
+// evalHooker is implemented by policies (core.Mudi) that can report
+// every tuner objective evaluation — the tracing layer's per-probe
+// bo_iter feed.
+type evalHooker interface {
+	SetEvalHook(func(batch int, delta, trainIterMs float64, feasible bool))
+}
+
+// taskSig is the resident training-task signature used to annotate
+// control-plane spans: unfinished resident names joined with "+", in
+// residency order. Trace-path only (it allocates).
+func taskSig(d *deviceState) string {
+	var sig string
+	for _, t := range d.training {
+		if t.done {
+			continue
+		}
+		if sig != "" {
+			sig += "+"
+		}
+		sig += t.task.Name
+	}
+	return sig
+}
+
 // configure runs the policy's device-level tuning and applies the
 // decision. initial marks placement-time calls (always allowed even
 // with DisableRetune); cause labels the retune event for the
@@ -603,11 +665,53 @@ func (s *Sim) configure(now float64, d *deviceState, initial bool, cause string)
 			Service: d.svc.info.Name, Cause: cause,
 		})
 	}
+	var retuneID span.ID
+	if s.tracer != nil {
+		// One retune span per tuning episode; every tuner objective
+		// evaluation during the episode becomes a bo_iter child (the
+		// hook fires synchronously inside Configure, and Configure
+		// calls are serialized, so clearing it afterwards is safe).
+		retuneID = s.tracer.Start(span.Span{
+			Kind: span.KindRetune, Start: now, Device: d.dev.ID,
+			Service: d.svc.info.Name, Task: taskSig(d),
+			Batch: d.svc.batch, Delta: d.svc.delta, Cause: cause,
+		})
+		if hooker, ok := s.opts.Policy.(evalHooker); ok {
+			devID, svcName := d.dev.ID, d.svc.info.Name
+			hooker.SetEvalHook(func(batch int, delta, trainIterMs float64, feasible bool) {
+				sp := span.Span{
+					Kind: span.KindBOIter, Parent: retuneID, Start: now, End: now,
+					Device: devID, Service: svcName,
+					Batch: batch, Delta: delta, Value: trainIterMs,
+				}
+				if !feasible {
+					sp.Cause = "infeasible"
+				}
+				s.tracer.Add(sp)
+			})
+			defer hooker.SetEvalHook(nil)
+		}
+	}
 	dec, err := s.opts.Policy.Configure(d.view(), s.meas[d.dev.ID])
+	if s.tracer != nil {
+		s.tracer.Annotate(retuneID, func(sp *span.Span) {
+			if err != nil {
+				sp.Cause = cause + ";error"
+				return
+			}
+			sp.Batch = dec.Batch
+			sp.Delta = dec.Delta
+			sp.Value = float64(dec.BOIterations)
+			if !dec.Feasible {
+				sp.Cause = cause + ";infeasible"
+			}
+		})
+		s.tracer.End(retuneID, now)
+	}
 	if err != nil {
 		return err
 	}
-	s.apply(now, d, dec)
+	s.apply(now, d, dec, retuneID)
 	return nil
 }
 
@@ -652,8 +756,9 @@ func (s *Sim) obsRescaled(now float64, d *deviceState, delta float64, shadow boo
 // old instance then keeps serving at the previous partition and the
 // lost reconfiguration is recorded as a failover event. Without an
 // injector this is exactly the pre-fault rescale path.
-func (s *Sim) rescale(now float64, d *deviceState, newDelta float64) {
+func (s *Sim) rescale(now float64, d *deviceState, newDelta float64, parent span.ID) {
 	svc := d.svc
+	oldDelta := svc.delta
 	if s.inj != nil && svc.deployed && s.inj.SpinUpFails(d.dev.ID) {
 		s.res.FailedSpinUps++
 		if s.obsv != nil {
@@ -663,7 +768,45 @@ func (s *Sim) rescale(now float64, d *deviceState, newDelta float64) {
 				Service: svc.info.Name, Value: newDelta, Cause: "shadow-spinup-failed",
 			})
 		}
+		if s.tracer != nil {
+			// The shadow never came up: the rescale span covers the
+			// attempted spin-up window and carries the failure cause; no
+			// swap child is emitted.
+			spinUp, _ := tuner.ShadowReconfig(oldDelta, newDelta)
+			rs := s.tracer.Add(span.Span{
+				Kind: span.KindRescale, Parent: parent, Start: now, End: now + spinUp,
+				Device: d.dev.ID, Service: svc.info.Name, Task: taskSig(d),
+				Batch: svc.batch, Delta: newDelta - oldDelta, Cause: "shadow-spinup-failed",
+			})
+			s.tracer.Add(span.Span{
+				Kind: span.KindShadowSpinup, Parent: rs, Start: now, End: now + spinUp,
+				Device: d.dev.ID, Service: svc.info.Name, Cause: "shadow-spinup-failed",
+			})
+		}
 		return
+	}
+	if s.tracer != nil {
+		// Rescale span: the shadow-instance protocol window (§5.4). A
+		// restart hides spin-up behind the old instance, then cuts over
+		// instantaneously (the shadow_swap child marks the cutover
+		// point); batch-only episodes reconfigure on the fly and the
+		// span collapses to zero duration.
+		spinUp, restarted := tuner.ShadowReconfig(oldDelta, newDelta)
+		rs := s.tracer.Add(span.Span{
+			Kind: span.KindRescale, Parent: parent, Start: now, End: now + spinUp,
+			Device: d.dev.ID, Service: svc.info.Name, Task: taskSig(d),
+			Batch: svc.batch, Delta: newDelta - oldDelta, Value: newDelta,
+		})
+		if restarted {
+			s.tracer.Add(span.Span{
+				Kind: span.KindShadowSpinup, Parent: rs, Start: now, End: now + spinUp,
+				Device: d.dev.ID, Service: svc.info.Name,
+			})
+			s.tracer.Add(span.Span{
+				Kind: span.KindShadowSwap, Parent: rs, Start: now + spinUp, End: now + spinUp,
+				Device: d.dev.ID, Service: svc.info.Name, Value: newDelta,
+			})
+		}
 	}
 	svc.delta = newDelta
 	svc.reconfigs++
@@ -671,8 +814,10 @@ func (s *Sim) rescale(now float64, d *deviceState, newDelta float64) {
 	s.obsRescaled(now, d, newDelta, true)
 }
 
-// apply installs a decision on the device.
-func (s *Sim) apply(now float64, d *deviceState, dec core.Decision) {
+// apply installs a decision on the device. parent is the retune span
+// the decision came from (zero when tracing is off), threaded through
+// so the rescale spans nest under it.
+func (s *Sim) apply(now float64, d *deviceState, dec core.Decision, parent span.ID) {
 	svc := d.svc
 	if !dec.Feasible {
 		// Pause training; the service takes the device (§5.3.2). The
@@ -693,7 +838,7 @@ func (s *Sim) apply(now float64, d *deviceState, dec core.Decision) {
 			}
 		}
 		if svc.delta != 1 {
-			s.rescale(now, d, 1)
+			s.rescale(now, d, 1, parent)
 		}
 		s.res.PausedEpisodes++
 		s.syncShares(now, d)
@@ -719,7 +864,7 @@ func (s *Sim) apply(now float64, d *deviceState, dec core.Decision) {
 		dec.Delta = 0.9
 	}
 	if dec.Delta > 0 && absf(dec.Delta-svc.delta) > 1e-9 {
-		s.rescale(now, d, dec.Delta)
+		s.rescale(now, d, dec.Delta, parent)
 	}
 	for _, t := range d.training {
 		if !t.done {
@@ -820,6 +965,21 @@ func (s *Sim) window(now float64) {
 			}
 			if lat > budget {
 				svc.violWin++
+				if s.attr != nil {
+					// Capture the violation's context for cause
+					// classification at finalize time. Residents are
+					// copied out of the scratch co-location list.
+					residents := make([]string, len(coloc))
+					for ri, ct := range coloc {
+						residents[ri] = ct.Name
+					}
+					s.attr.Observe(span.Sample{
+						Time: now, Device: d.dev.ID, Service: svc.info.Name,
+						LatencyMs: lat, BudgetMs: budget, QPS: qps,
+						BaseQPS:   svc.info.BaseQPS * s.opts.LoadFactor,
+						Residents: residents,
+					})
+				}
 				if s.obsv != nil {
 					s.obsv.violations.Inc()
 					d.obsv.violations.Inc()
@@ -1017,6 +1177,15 @@ func (s *Sim) evictTask(now float64, d *deviceState, t *taskState, cause string,
 			Cause: cause,
 		})
 	}
+	if s.tracer != nil {
+		// The migrate span stays open until place lands the job on its
+		// next device; its duration is the task's off-device time.
+		qj.migrateSpan = s.tracer.Start(span.Span{
+			Kind: span.KindMigrate, Start: now, Device: d.dev.ID,
+			Service: d.svc.info.Name, Task: t.task.Name,
+			Value: float64(t.id), Cause: cause,
+		})
+	}
 	_ = s.queue.Push(qj.job)
 	return true
 }
@@ -1033,6 +1202,15 @@ func (s *Sim) failDevice(now float64, d *deviceState) {
 	d.down = true
 	d.svc.deployed = false
 	s.res.DeviceFailures++
+	if s.tracer != nil {
+		// The outage span stays open until recovery (or CloseOpen at the
+		// horizon if the device never heals) — it is what the attributor
+		// matches violations against for device_fault classification.
+		d.outageSpan = s.tracer.Start(span.Span{
+			Kind: span.KindOutage, Start: now, Device: d.dev.ID,
+			Service: d.svc.info.Name, Task: taskSig(d), Cause: "device-failed",
+		})
+	}
 	if s.obsv != nil {
 		s.obsv.faults.devFailed.Inc()
 		s.obsv.sink.Emit(obs.Event{
@@ -1068,6 +1246,10 @@ func (s *Sim) recoverDevice(now float64, d *deviceState) {
 	}
 	d.down = false
 	s.res.DeviceRecoveries++
+	if s.tracer != nil && d.outageSpan != 0 {
+		s.tracer.End(d.outageSpan, now)
+		d.outageSpan = 0
+	}
 	if s.obsv != nil {
 		s.obsv.faults.devRecovered.Inc()
 		s.obsv.sink.Emit(obs.Event{
@@ -1151,6 +1333,16 @@ func (s *Sim) finalize(now float64) {
 			s.res.Events = s.opts.Obs.Log.Events()
 		}
 		s.res.Metrics = s.opts.Obs.Snapshot()
+	}
+	// Tracing roll-up: close whatever is still in flight at the horizon
+	// (unhealed outages, unplaced migrations), then snapshot the span
+	// stream and classify the captured violations against it.
+	if s.tracer != nil {
+		s.tracer.CloseOpen(now)
+		s.res.Spans = s.tracer.Spans()
+	}
+	if s.attr != nil {
+		s.res.SLOReport = s.attr.Report(s.res.Spans, s.opts.WindowSec)
 	}
 	// MeanP99 accumulated sums; divide by window counters.
 	for _, svcInfo := range s.opts.Services {

@@ -28,6 +28,7 @@ import (
 	"mudi/internal/model"
 	"mudi/internal/obs"
 	"mudi/internal/perf"
+	"mudi/internal/span"
 	"mudi/internal/trace"
 	"mudi/internal/xrand"
 )
@@ -54,6 +55,11 @@ type Config struct {
 	// final GP-LCB acquisition value of each episode. The coordinator's
 	// goroutines share the sink; its instruments are concurrency-safe.
 	Obs *obs.Sink
+	// Trace, when non-nil, records each tuning episode as a retune span
+	// with bo_iter children (one per tuner objective evaluation),
+	// stamped with the device's simulated clock. The tracer is
+	// concurrency-safe; a nil tracer costs one branch per episode.
+	Trace *span.Tracer
 }
 
 func (c Config) defaults() Config {
@@ -304,6 +310,64 @@ func (c *Coordinator) monitor(ctx context.Context, d *deviceRuntime) {
 	}
 }
 
+// evalHooker is implemented by policies (core.Mudi) that can report
+// every tuner objective evaluation — the per-probe bo_iter feed.
+type evalHooker interface {
+	SetEvalHook(func(batch int, delta, trainIterMs float64, feasible bool))
+}
+
+// configure runs one policy.Configure episode under the serialization
+// lock. With tracing enabled it wraps the episode in a retune span and
+// installs the bo_iter hook for its duration — the hook fires
+// synchronously inside Configure and c.mu serializes episodes across
+// devices, so installing/clearing it under the lock is race-free.
+func (c *Coordinator) configure(d *deviceRuntime, view core.DeviceView, meas core.Measurer, cause string) (core.Decision, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.Trace == nil {
+		return c.policy.Configure(view, meas)
+	}
+	now := float64(d.simT.Load())
+	taskSig := ""
+	if d.spec.Training != nil {
+		taskSig = d.spec.Training.Name
+	}
+	rid := c.cfg.Trace.Start(span.Span{
+		Kind: span.KindRetune, Start: now, Device: d.spec.ID,
+		Service: d.spec.Service.Name, Task: taskSig,
+		Batch: view.Batch, Delta: view.Delta, Cause: cause,
+	})
+	if hooker, ok := c.policy.(evalHooker); ok {
+		hooker.SetEvalHook(func(batch int, delta, trainIterMs float64, feasible bool) {
+			sp := span.Span{
+				Kind: span.KindBOIter, Parent: rid, Start: now, End: now,
+				Device: d.spec.ID, Service: d.spec.Service.Name,
+				Batch: batch, Delta: delta, Value: trainIterMs,
+			}
+			if !feasible {
+				sp.Cause = "infeasible"
+			}
+			c.cfg.Trace.Add(sp)
+		})
+		defer hooker.SetEvalHook(nil)
+	}
+	dec, err := c.policy.Configure(view, meas)
+	c.cfg.Trace.Annotate(rid, func(sp *span.Span) {
+		if err != nil {
+			sp.Cause = cause + ";error"
+			return
+		}
+		sp.Batch = dec.Batch
+		sp.Delta = dec.Delta
+		sp.Value = float64(dec.BOIterations)
+		if !dec.Feasible {
+			sp.Cause = cause + ";infeasible"
+		}
+	})
+	c.cfg.Trace.End(rid, now)
+	return dec, err
+}
+
 // tuner consumes trigger events, runs the policy's two-phase episode,
 // and publishes the decided configuration to the store (§6 Tuner).
 func (c *Coordinator) tuner(ctx context.Context, d *deviceRuntime) {
@@ -325,9 +389,7 @@ func (c *Coordinator) tuner(ctx context.Context, d *deviceRuntime) {
 			ResidentTasks: d.colocSlice(),
 			FreeShare:     1 - d.loadDelta(),
 		}
-		c.mu.Lock()
-		dec, err := c.policy.Configure(view, meas)
-		c.mu.Unlock()
+		dec, err := c.configure(d, view, meas, req.cause)
 		// A Configure error (typically a transiently failing measurement
 		// channel) is retried with capped exponential backoff before the
 		// trigger is dropped — a dropped retune would leave the device
@@ -350,9 +412,7 @@ func (c *Coordinator) tuner(ctx context.Context, d *deviceRuntime) {
 			if backoff *= 2; backoff > c.cfg.RetuneBackoffCap {
 				backoff = c.cfg.RetuneBackoffCap
 			}
-			c.mu.Lock()
-			dec, err = c.policy.Configure(view, meas)
-			c.mu.Unlock()
+			dec, err = c.configure(d, view, meas, req.cause+";retry")
 		}
 		if err != nil || !dec.Feasible {
 			continue

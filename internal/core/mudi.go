@@ -63,6 +63,10 @@ type Mudi struct {
 	curves map[string]piecewise.Func
 	// Overhead bookkeeping for Fig. 18.
 	boIters []int
+	// evalHook, when set via SetEvalHook, is forwarded to every tuning
+	// episode as tuner.Request.OnEval — the tracing layer's per-probe
+	// bo_iter feed. Purely observational.
+	evalHook func(batch int, delta, trainIterMs float64, feasible bool)
 }
 
 // NewMudi builds the policy around a trained Interference Predictor
@@ -111,6 +115,15 @@ func (m *Mudi) AddProfiles(profiles []profiler.Profile) {
 // BOIterations returns the per-episode GP-LCB iteration counts
 // collected so far (Fig. 18a).
 func (m *Mudi) BOIterations() []int { return append([]int(nil), m.boIters...) }
+
+// SetEvalHook installs (or, with nil, removes) an observer invoked on
+// every tuner objective evaluation the next Configure calls perform —
+// see tuner.Request.OnEval. The caller that serializes Configure calls
+// (cluster simulator, coordinator mutex) is responsible for setting
+// and clearing it around episodes; the hook must not mutate state.
+func (m *Mudi) SetEvalHook(fn func(batch int, delta, trainIterMs float64, feasible bool)) {
+	m.evalHook = fn
+}
 
 // colocArch is the cumulative Ψ of resident tasks plus the candidate
 // (§5.5: "designates the cumulative feature layers as Ψ").
@@ -247,6 +260,7 @@ func (m *Mudi) Configure(view DeviceView, meas Measurer) (Decision, error) {
 		Curves:      curves,
 		Measure:     meas,
 		HasTraining: len(view.ResidentTasks) > 0,
+		OnEval:      m.evalHook,
 	}
 	dec, err := m.tun.Tune(req)
 	if err != nil && req.Measure != nil && errors.Is(err, faults.ErrMeasurement) {

@@ -22,6 +22,7 @@ import (
 	"mudi/internal/profiler"
 	"mudi/internal/report"
 	"mudi/internal/runner"
+	"mudi/internal/span"
 	"mudi/internal/sched"
 	"mudi/internal/trace"
 	"mudi/internal/tuner"
@@ -58,6 +59,11 @@ type Config struct {
 	// function is shared across workers — it must be safe for concurrent
 	// calls when Parallel != 1. Observation never changes results.
 	Observer obs.Observer
+	// Trace, when true, gives every suite cell a private span tracer
+	// and violation attributor; the roll-ups land on each cell's
+	// cluster.Result (Spans / SLOReport). Like observation, tracing
+	// never changes results.
+	Trace bool
 }
 
 // ctx returns the run context, defaulting to Background.
@@ -77,6 +83,15 @@ func (c Config) sink() *obs.Sink {
 	s := obs.NewSink()
 	s.Observer = c.Observer
 	return s
+}
+
+// tracing builds a fresh per-cell tracer/attributor pair when tracing
+// is enabled, nils otherwise (the zero-overhead path).
+func (c Config) tracing() (*span.Tracer, *span.Attributor) {
+	if !c.Trace {
+		return nil, nil
+	}
+	return span.NewTracer(0), span.NewAttributor(0)
 }
 
 // runCells is the harness's runner entry point: every fan-out goes
@@ -243,6 +258,7 @@ func (s *Suite) policyFor(name string) (core.Policy, error) {
 // as long as each passes its own policy instance.
 func (s *Suite) runPolicy(policy core.Policy) (*cluster.Result, error) {
 	devices, _, _, _ := s.Config.sizes()
+	tracer, attr := s.Config.tracing()
 	sim, err := cluster.New(cluster.Options{
 		Policy:   policy,
 		Oracle:   s.Oracle,
@@ -250,6 +266,8 @@ func (s *Suite) runPolicy(policy core.Policy) (*cluster.Result, error) {
 		Devices:  devices,
 		Arrivals: s.Arrivals,
 		Obs:      s.Config.sink(),
+		Trace:    tracer,
+		Attr:     attr,
 		Ctx:      s.Config.Ctx,
 	})
 	if err != nil {

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestTraceParallelDeterminism extends the engine's determinism
+// guarantee to the tracing layer: with per-cell tracers enabled, the
+// span streams and SLO attribution reports of every policy cell are
+// byte-identical whether the cells run on one worker or eight.
+func TestTraceParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full comparison sets in -short")
+	}
+	traces := func(parallel int) map[string]string {
+		s, err := NewSuite(Config{Seed: 3, Parallel: parallel, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := s.RunAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(results))
+		for name, res := range results {
+			if len(res.Spans) == 0 {
+				t.Fatalf("cell %q: tracing enabled but no spans", name)
+			}
+			if res.SLOReport == nil {
+				t.Fatalf("cell %q: tracing enabled but no SLO report", name)
+			}
+			blob, err := json.Marshal(struct {
+				Spans  any
+				Report any
+			}{res.Spans, res.SLOReport})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[name] = string(blob)
+		}
+		return out
+	}
+	seq := traces(1)
+	par := traces(8)
+	if len(seq) != len(par) {
+		t.Fatalf("cell count differs: %d vs %d", len(seq), len(par))
+	}
+	for name, want := range seq {
+		got, ok := par[name]
+		if !ok {
+			t.Fatalf("parallel run missing cell %q", name)
+		}
+		if got != want {
+			t.Errorf("cell %q: -parallel 8 trace differs from -parallel 1 (len %d vs %d)",
+				name, len(got), len(want))
+		}
+	}
+}
+
+// TestTraceDoesNotPerturbSummaries: a traced suite run and an untraced
+// one produce byte-identical Result summaries.
+func TestTraceDoesNotPerturbSummaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full comparison sets in -short")
+	}
+	summaries := func(traced bool) map[string]string {
+		s, err := NewSuite(Config{Seed: 5, Parallel: 1, Trace: traced})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := s.RunAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(results))
+		for name, res := range results {
+			out[name] = res.Summary()
+		}
+		return out
+	}
+	plain := summaries(false)
+	traced := summaries(true)
+	for name, want := range plain {
+		if got := traced[name]; got != want {
+			t.Errorf("cell %q: tracing perturbed Result.Summary()", name)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"mudi/internal/gpu"
 	"mudi/internal/obs"
+	"mudi/internal/span"
 )
 
 // Priority orders evictions: inference allocations are pinned on the
@@ -77,6 +78,12 @@ type Pool struct {
 	// xferScale, when non-nil, multiplies transfer times (fault
 	// injection models degraded PCIe bandwidth this way).
 	xferScale func(now float64) float64
+
+	// Tracing (nil when disabled): each migration burst becomes a
+	// mem_swap span covering its PCIe transfer window.
+	tracer       *span.Tracer
+	traceDevice  string
+	traceService string
 }
 
 // SetTransferScale installs a transfer-time multiplier sampled at each
@@ -110,6 +117,16 @@ func (p *Pool) SetObs(sink *obs.Sink, device, service string) {
 	p.obsInMB = sink.Counter(obs.Labeled("mem_swap_in_mb_total", device, service))
 	p.obsXferMs = sink.Histogram("mem_swap_transfer_ms", nil)
 	p.obsSwapped = sink.Gauge(obs.Labeled("mem_swapped_out_mb", device, service))
+}
+
+// SetTrace enables span tracing for this pool: each migration burst
+// records a mem_swap span [now, now + transfer] labeled with the
+// device, owning service, allocation, and direction. A nil tracer
+// disables tracing.
+func (p *Pool) SetTrace(tr *span.Tracer, device, service string) {
+	p.tracer = tr
+	p.traceDevice = device
+	p.traceService = service
 }
 
 // Common pool errors.
@@ -341,6 +358,17 @@ func (p *Pool) recordBursts(now float64, alloc string, mb float64, toHost bool) 
 		p.events = append(p.events, SwapEvent{
 			Time: now, Alloc: alloc, MB: chunk, ToHost: toHost, TransferMs: xfer,
 		})
+		if p.tracer != nil {
+			dir := "to-device"
+			if toHost {
+				dir = "to-host"
+			}
+			p.tracer.Add(span.Span{
+				Kind: span.KindMemSwap, Start: now, End: now + xfer/1000,
+				Device: p.traceDevice, Service: p.traceService,
+				Task: alloc, Value: chunk, Cause: dir,
+			})
+		}
 		if p.sink != nil {
 			typ := obs.EventMemSwapIn
 			if toHost {

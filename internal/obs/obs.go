@@ -27,6 +27,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"mudi/internal/stats"
 )
 
 // Counter is a monotonically increasing float64, safe for concurrent
@@ -87,18 +89,23 @@ func (g *Gauge) Value() float64 {
 // implicit +Inf bucket catches the rest).
 var DefLatencyBuckets = []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
 
-// Histogram is a fixed-bucket histogram with quantile export. Bucket
-// bounds are upper bounds; an implicit +Inf bucket is always present.
-// Observations are mutex-protected (the slice walk is short and the
-// hot paths batch at window granularity).
+// Histogram is a latency histogram with exact quantile export: raw
+// samples are retained and quantiles come from the shared
+// stats.PercentileSorted implementation, so obs and serving report
+// bit-identical percentiles. Fixed bucket counts (upper bounds plus
+// an implicit +Inf bucket) are maintained alongside for Prometheus
+// exposition. Observations are mutex-protected (the hot paths batch
+// at window granularity).
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // sorted upper bounds
-	counts []uint64  // len(bounds)+1; last is +Inf
-	count  uint64
-	sum    float64
-	min    float64
-	max    float64
+	mu      sync.Mutex
+	bounds  []float64 // sorted upper bounds
+	counts  []uint64  // len(bounds)+1; last is +Inf
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64
+	sorted  []float64 // scratch for quantile queries, reused
 }
 
 // NewHistogram returns a histogram over the given sorted upper bounds
@@ -133,60 +140,49 @@ func (h *Histogram) Observe(v float64) {
 	if v > h.max {
 		h.max = v
 	}
+	h.samples = append(h.samples, v)
 	h.mu.Unlock()
 }
 
-// Quantile estimates the q-quantile (0 < q ≤ 1) by linear
-// interpolation inside the containing bucket; samples in the +Inf
-// bucket report the observed maximum. Returns 0 for an empty
-// histogram.
+// sortedLocked refreshes the sorted scratch copy of the samples.
+// Quantile queries are off the hot path (snapshot / live-export time),
+// so re-sorting per query keeps Observe cheap.
+func (h *Histogram) sortedLocked() []float64 {
+	h.sorted = append(h.sorted[:0], h.samples...)
+	sort.Float64s(h.sorted)
+	return h.sorted
+}
+
+// Quantile returns the exact q-quantile (0 < q ≤ 1) of the observed
+// samples, computed with the same closest-rank interpolation
+// (stats.PercentileSorted) the serving path uses. Returns 0 for an
+// empty histogram.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.quantileLocked(q)
-}
-
-func (h *Histogram) quantileLocked(q float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
-	rank := q * float64(h.count)
-	var seen float64
-	for i, c := range h.counts {
-		if c == 0 {
-			continue
-		}
-		seen += float64(c)
-		if seen < rank {
-			continue
-		}
-		if i == len(h.bounds) {
-			return h.max // +Inf bucket: best estimate is the max
-		}
-		lo := 0.0
-		if i > 0 {
-			lo = h.bounds[i-1]
-		}
-		hi := h.bounds[i]
-		frac := 1 - (seen-rank)/float64(c)
-		v := lo + (hi-lo)*frac
-		// Clamp to the observed range so sparse buckets don't
-		// overshoot reality.
-		if v > h.max {
-			v = h.max
-		}
-		if v < h.min {
-			v = h.min
-		}
-		return v
-	}
-	return h.max
+	return stats.PercentileSorted(h.sortedLocked(), q*100)
 }
 
-// Stats snapshots the histogram.
+// Buckets returns copies of the bucket upper bounds and per-bucket
+// counts (the extra trailing count is the +Inf bucket) — the
+// Prometheus exposition shape.
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.counts...)
+}
+
+// Stats snapshots the histogram, sorting the sample set once and
+// reading all percentiles from it.
 func (h *Histogram) Stats() HistogramStats {
 	if h == nil {
 		return HistogramStats{}
@@ -195,25 +191,42 @@ func (h *Histogram) Stats() HistogramStats {
 	defer h.mu.Unlock()
 	s := HistogramStats{Count: h.count, Sum: h.sum}
 	if h.count > 0 {
+		sorted := h.sortedLocked()
 		s.Min, s.Max = h.min, h.max
 		s.Mean = h.sum / float64(h.count)
-		s.P50 = h.quantileLocked(0.50)
-		s.P95 = h.quantileLocked(0.95)
-		s.P99 = h.quantileLocked(0.99)
+		s.P50 = stats.PercentileSorted(sorted, 50)
+		s.P95 = stats.PercentileSorted(sorted, 95)
+		s.P99 = stats.PercentileSorted(sorted, 99)
+		s.Buckets = make([]BucketCount, 0, len(h.bounds))
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			s.Buckets = append(s.Buckets, BucketCount{Le: b, Count: cum})
+		}
 	}
 	return s
 }
 
+// BucketCount is one cumulative histogram bucket: Count samples were
+// ≤ Le (Prometheus `le` semantics). The implicit +Inf bucket is not
+// listed — its cumulative count is HistogramStats.Count, which keeps
+// the struct marshalable by encoding/json (no non-finite values).
+type BucketCount struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
 // HistogramStats is one histogram's exported summary.
 type HistogramStats struct {
-	Count uint64  `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	Mean  float64 `json:"mean"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	Mean    float64       `json:"mean"`
+	P50     float64       `json:"p50"`
+	P95     float64       `json:"p95"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // Registry holds named instruments. Get-or-create lookups take a

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"mudi/internal/stats"
 )
 
 func TestCounterGauge(t *testing.T) {
@@ -65,16 +67,52 @@ func TestHistogramQuantiles(t *testing.T) {
 }
 
 func TestHistogramOverflowBucket(t *testing.T) {
+	// Samples far past the last bucket bound land in the +Inf bucket
+	// yet still get exact quantiles: since PR 5 the histogram retains
+	// raw samples and quantiles use stats.PercentileSorted, so
+	// Quantile(0.99) of {1000, 2000} interpolates at rank 0.99.
 	h := NewHistogram([]float64{1, 2})
 	h.Observe(1000)
 	h.Observe(2000)
-	if got := h.Quantile(0.99); got != 2000 {
-		t.Fatalf("+Inf-bucket quantile = %v, want the observed max", got)
+	if got, want := h.Quantile(0.99), 1990.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("+Inf-bucket quantile = %v, want exact interpolated %v", got, want)
+	}
+	if got := h.Quantile(1); got != 2000 {
+		t.Fatalf("quantile(1) = %v, want the observed max", got)
+	}
+	// Bucket counts stay maintained for Prometheus exposition.
+	bounds, counts := h.Buckets()
+	if len(bounds) != 2 || len(counts) != 3 || counts[2] != 2 {
+		t.Fatalf("buckets = %v / %v, want both samples in +Inf", bounds, counts)
 	}
 	var nh *Histogram
 	nh.Observe(1) // nil-safe
 	if nh.Quantile(0.5) != 0 {
 		t.Fatal("nil histogram quantile should be 0")
+	}
+	if b, c := nh.Buckets(); b != nil || c != nil {
+		t.Fatal("nil histogram buckets should be nil")
+	}
+}
+
+func TestHistogramMatchesStatsPercentile(t *testing.T) {
+	// obs and serving must report bit-identical percentiles from the
+	// one shared implementation.
+	h := NewHistogram(nil)
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8.97, 120.5, 0.2}
+	for _, x := range xs {
+		h.Observe(x)
+	}
+	var sc stats.Scratch
+	for _, p := range []float64{50, 95, 99} {
+		want := sc.Percentile(xs, p)
+		if got := h.Quantile(p / 100); got != want {
+			t.Fatalf("P%v = %v, want stats.Scratch value %v", p, got, want)
+		}
+	}
+	s := h.Stats()
+	if s.P99 != sc.P99(xs) {
+		t.Fatalf("Stats P99 = %v, want %v", s.P99, sc.P99(xs))
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"mudi/internal/obs"
+	"mudi/internal/span"
 	"mudi/internal/stats"
 )
 
@@ -37,6 +38,14 @@ type Config struct {
 	// (serving_latency_ms), served/rejected counters, and a batch-size
 	// histogram. Passive: it never changes Result.
 	Obs *obs.Sink
+	// Trace, when non-nil, records the request lifecycle as causal
+	// spans: one batch_form + gpu_exec pair per batch and one
+	// request + queue_wait pair per served request, stamped in
+	// simulated seconds. Passive, same contract as Obs.
+	Trace *span.Tracer
+	// Device and Service label the emitted spans (trace-only).
+	Device  string
+	Service string
 }
 
 // Result summarizes one run.
@@ -153,6 +162,30 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 		}
 		start := freeAt
 		end := start + procMs/1000
+		if cfg.Trace != nil {
+			// One batch_form (first member's arrival → launch) with a
+			// gpu_exec child, then a request + queue_wait pair per
+			// member. All stamps are simulated seconds.
+			bf := cfg.Trace.Add(span.Span{
+				Kind: span.KindBatchForm, Start: arrivals[batch[0]], End: start,
+				Device: cfg.Device, Service: cfg.Service, Batch: take,
+			})
+			cfg.Trace.Add(span.Span{
+				Kind: span.KindGPUExec, Parent: bf, Start: start, End: end,
+				Device: cfg.Device, Service: cfg.Service, Batch: take, Value: procMs,
+			})
+			for _, idx := range batch {
+				rq := cfg.Trace.Add(span.Span{
+					Kind: span.KindRequest, Start: arrivals[idx], End: end,
+					Device: cfg.Device, Service: cfg.Service,
+					Value: (end - arrivals[idx]) * 1000,
+				})
+				cfg.Trace.Add(span.Span{
+					Kind: span.KindQueueWait, Parent: rq, Start: arrivals[idx], End: start,
+					Device: cfg.Device, Service: cfg.Service,
+				})
+			}
+		}
 		for _, idx := range batch {
 			res.Latencies = append(res.Latencies, (end-arrivals[idx])*1000)
 		}
@@ -194,9 +227,9 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 			res.ViolationRate = float64(viol) / float64(total)
 		}
 	}
-	span := freeAt - arrivals[0]
-	if span > 0 {
-		res.BusyFraction = busy / span
+	simSpan := freeAt - arrivals[0]
+	if simSpan > 0 {
+		res.BusyFraction = busy / simSpan
 	}
 	return res, nil
 }

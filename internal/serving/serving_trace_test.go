@@ -1,0 +1,118 @@
+package serving
+
+import (
+	"testing"
+
+	"mudi/internal/span"
+)
+
+// traceArrivals is a small deterministic workload: three bursts of
+// arrivals that form multiple batches under BatchCap 2.
+func traceArrivals() []float64 {
+	return []float64{0, 0.001, 0.002, 0.5, 0.501, 1.0}
+}
+
+func traceCfg(tr *span.Tracer) Config {
+	return Config{
+		BatchCap: 2, SLOms: 100, Trace: tr,
+		Device: "gpu0000", Service: "bert",
+	}
+}
+
+func TestRunEmitsRequestLifecycleSpans(t *testing.T) {
+	tr := span.NewTracer(0)
+	res, err := Run(traceArrivals(), func(b int) float64 { return 10 * float64(b) }, traceCfg(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	byKind := make(map[span.Kind][]span.Span)
+	byID := make(map[span.ID]span.Span)
+	for _, sp := range spans {
+		byKind[sp.Kind] = append(byKind[sp.Kind], sp)
+		byID[sp.ID] = sp
+	}
+	if got := len(byKind[span.KindBatchForm]); got != res.Batches {
+		t.Errorf("batch_form spans = %d, want %d", got, res.Batches)
+	}
+	if got := len(byKind[span.KindGPUExec]); got != res.Batches {
+		t.Errorf("gpu_exec spans = %d, want %d", got, res.Batches)
+	}
+	if got := len(byKind[span.KindRequest]); got != res.Served {
+		t.Errorf("request spans = %d, want %d", got, res.Served)
+	}
+	if got := len(byKind[span.KindQueueWait]); got != res.Served {
+		t.Errorf("queue_wait spans = %d, want %d", got, res.Served)
+	}
+	for _, sp := range spans {
+		if sp.End < sp.Start {
+			t.Errorf("span %d (%v) ends %.3f before start %.3f", sp.ID, sp.Kind, sp.End, sp.Start)
+		}
+		if sp.Device != "gpu0000" || sp.Service != "bert" {
+			t.Errorf("span %d labels = %q/%q", sp.ID, sp.Device, sp.Service)
+		}
+	}
+	// Causality: every gpu_exec nests under its batch_form, every
+	// queue_wait under its request, and the parent contains the child.
+	for _, ge := range byKind[span.KindGPUExec] {
+		parent, ok := byID[ge.Parent]
+		if !ok || parent.Kind != span.KindBatchForm {
+			t.Errorf("gpu_exec %d parent %d is not a batch_form", ge.ID, ge.Parent)
+		}
+	}
+	for _, qw := range byKind[span.KindQueueWait] {
+		parent, ok := byID[qw.Parent]
+		if !ok || parent.Kind != span.KindRequest {
+			t.Fatalf("queue_wait %d parent %d is not a request", qw.ID, qw.Parent)
+		}
+		if qw.Start < parent.Start || qw.End > parent.End {
+			t.Errorf("queue_wait [%.3f,%.3f] outside request [%.3f,%.3f]",
+				qw.Start, qw.End, parent.Start, parent.End)
+		}
+	}
+	// A request's recorded latency (Value, ms) matches the Result's.
+	reqs := byKind[span.KindRequest]
+	if len(reqs) == len(res.Latencies) {
+		for i, rq := range reqs {
+			if diff := rq.Value - res.Latencies[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("request %d latency %.6f != result %.6f", i, rq.Value, res.Latencies[i])
+			}
+		}
+	}
+}
+
+// TestRunTraceOffNoExtraAllocs pins the disabled path: configuring the
+// trace labels but leaving Trace nil must not change Run's allocation
+// count at all.
+func TestRunTraceOffNoExtraAllocs(t *testing.T) {
+	arrivals := traceArrivals()
+	lat := func(b int) float64 { return 10 * float64(b) }
+	base := testing.AllocsPerRun(50, func() {
+		_, _ = Run(arrivals, lat, Config{BatchCap: 2, SLOms: 100})
+	})
+	off := testing.AllocsPerRun(50, func() {
+		_, _ = Run(arrivals, lat, traceCfg(nil))
+	})
+	if off != base {
+		t.Errorf("tracer-off Run allocates %.0f, plain Run %.0f", off, base)
+	}
+}
+
+// TestRunTraceDoesNotPerturbResult: the traced run's Result is
+// identical to the untraced run's.
+func TestRunTraceDoesNotPerturbResult(t *testing.T) {
+	arrivals := traceArrivals()
+	lat := func(b int) float64 { return 10 * float64(b) }
+	plain, err := Run(arrivals, lat, Config{BatchCap: 2, SLOms: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Run(arrivals, lat, traceCfg(span.NewTracer(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Served != traced.Served || plain.P99 != traced.P99 ||
+		plain.Mean != traced.Mean || plain.Batches != traced.Batches {
+		t.Errorf("tracing perturbed Result: %+v vs %+v", plain, traced)
+	}
+}

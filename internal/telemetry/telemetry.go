@@ -1,0 +1,199 @@
+// Package telemetry serves the simulator's observability surfaces over
+// HTTP while a run is in flight: a Prometheus text exposition of the
+// obs registry (/metrics), the live SLO-violation attribution report
+// (/slo), a liveness probe (/healthz), and the stdlib debug endpoints
+// (expvar under /debug/vars, pprof under /debug/pprof/). Everything is
+// read-only and snapshot-based — handlers never block the simulation,
+// they read the concurrency-safe instruments on demand.
+//
+// The package is stdlib-only by design: the Prometheus text format is
+// simple enough to render by hand, and the repo's no-new-dependencies
+// rule rules out the client library.
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mudi/internal/obs"
+	"mudi/internal/span"
+)
+
+// Options wires the live components into the handler. Every field is
+// optional: a nil Sink serves an empty /metrics page, a nil
+// Trace/Attr pair serves an empty /slo report.
+type Options struct {
+	Sink *obs.Sink
+	// Trace supplies the span stream /slo classifies violations
+	// against (outage and rescale windows).
+	Trace *span.Tracer
+	// Attr supplies the captured violation samples for /slo.
+	Attr *span.Attributor
+	// WindowSec is the control-window length used for the report's
+	// violated-minutes accounting (default 1).
+	WindowSec float64
+	// Version, when set, is reported by /healthz.
+	Version string
+}
+
+// publishOnce guards the process-global expvar registrations —
+// expvar.Publish panics on duplicate names, and tests build several
+// handlers in one process.
+var publishOnce sync.Once
+
+// Handler returns the telemetry mux.
+func Handler(opts Options) http.Handler {
+	if opts.WindowSec <= 0 {
+		opts.WindowSec = 1
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("mudi_trace", expvar.Func(func() any {
+			// Best-effort: the expvar page reports whatever handler
+			// registered first; per-run numbers live on /slo and
+			// /metrics, which close over their own Options.
+			return map[string]any{"enabled": opts.Trace != nil}
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var m *obs.Metrics
+		if opts.Sink != nil {
+			m = opts.Sink.Snapshot()
+		}
+		writeProm(w, m)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var rep *span.SLOReport
+		if opts.Attr != nil {
+			var spans []span.Span
+			if opts.Trace != nil {
+				spans = opts.Trace.Spans()
+			}
+			rep = opts.Attr.Report(spans, opts.WindowSec)
+		}
+		if rep == nil {
+			rep = &span.SLOReport{WindowSec: opts.WindowSec}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		h := map[string]any{"status": "ok"}
+		if opts.Version != "" {
+			h["version"] = opts.Version
+		}
+		if opts.Trace != nil {
+			h["spans"] = opts.Trace.Len()
+			h["spans_dropped"] = opts.Trace.Dropped()
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// splitName separates a registry name built by obs.Labeled into the
+// bare metric name and the label list (brace contents, no braces).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// promLine renders one sample, splicing extra labels (e.g. le) into
+// the metric's existing label set.
+func promLine(w *strings.Builder, base, labels, extra string, value string) {
+	w.WriteString(base)
+	if labels != "" || extra != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		if labels != "" && extra != "" {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func formatVal(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeProm renders the snapshot in the Prometheus text exposition
+// format, deterministically ordered: families sorted by bare name,
+// samples inside a family by full registry name.
+func writeProm(w http.ResponseWriter, m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	var b strings.Builder
+	renderScalar := func(vals map[string]float64, typ string) {
+		fams := make(map[string][]string, len(vals))
+		for name := range vals {
+			base, _ := splitName(name)
+			fams[base] = append(fams[base], name)
+		}
+		for _, base := range sortedFamilyKeys(fams) {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+			names := fams[base]
+			sort.Strings(names)
+			for _, name := range names {
+				_, labels := splitName(name)
+				promLine(&b, base, labels, "", formatVal(vals[name]))
+			}
+		}
+	}
+	renderScalar(m.Counters, "counter")
+	renderScalar(m.Gauges, "gauge")
+
+	hfams := make(map[string][]string, len(m.Histograms))
+	for name := range m.Histograms {
+		base, _ := splitName(name)
+		hfams[base] = append(hfams[base], name)
+	}
+	for _, base := range sortedFamilyKeys(hfams) {
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+		names := hfams[base]
+		sort.Strings(names)
+		for _, name := range names {
+			_, labels := splitName(name)
+			h := m.Histograms[name]
+			for _, bk := range h.Buckets {
+				le := `le="` + formatVal(bk.Le) + `"`
+				promLine(&b, base+"_bucket", labels, le, strconv.FormatUint(bk.Count, 10))
+			}
+			promLine(&b, base+"_bucket", labels, `le="+Inf"`, strconv.FormatUint(h.Count, 10))
+			promLine(&b, base+"_sum", labels, "", formatVal(h.Sum))
+			promLine(&b, base+"_count", labels, "", strconv.FormatUint(h.Count, 10))
+		}
+	}
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func sortedFamilyKeys(m map[string][]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

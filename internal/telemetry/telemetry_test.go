@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mudi/internal/obs"
+	"mudi/internal/span"
+)
+
+func get(t *testing.T, opts Options, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	h := Handler(opts)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestMetricsPrometheusText(t *testing.T) {
+	sink := obs.NewSink()
+	sink.Counter("cluster_windows_total").Add(42)
+	sink.Gauge("cluster_sm_util").Set(0.75)
+	h := sink.Histogram(obs.Labeled("inf_latency_ms", "gpu0000", "bert"), []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	rec := get(t, Options{Sink: sink}, "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE cluster_windows_total counter\n",
+		"cluster_windows_total 42\n",
+		"# TYPE cluster_sm_util gauge\n",
+		"cluster_sm_util 0.75\n",
+		"# TYPE inf_latency_ms histogram\n",
+		`inf_latency_ms_bucket{device="gpu0000",service="bert",le="10"} 1` + "\n",
+		`inf_latency_ms_bucket{device="gpu0000",service="bert",le="100"} 2` + "\n",
+		`inf_latency_ms_bucket{device="gpu0000",service="bert",le="+Inf"} 3` + "\n",
+		`inf_latency_ms_sum{device="gpu0000",service="bert"} 555` + "\n",
+		`inf_latency_ms_count{device="gpu0000",service="bert"} 3` + "\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsEmptySink(t *testing.T) {
+	rec := get(t, Options{}, "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("expected empty body, got %q", rec.Body.String())
+	}
+}
+
+func TestSLOReportJSON(t *testing.T) {
+	tr := span.NewTracer(0)
+	attr := span.NewAttributor(0)
+	// One violation on a device with an overlapping outage span: the
+	// report must classify it device_fault.
+	tr.Add(span.Span{Kind: span.KindOutage, Start: 5, End: 40, Device: "gpu0000"})
+	attr.Observe(span.Sample{
+		Time: 10, Device: "gpu0000", Service: "bert",
+		LatencyMs: 200, BudgetMs: 100, QPS: 50, BaseQPS: 100,
+	})
+
+	rec := get(t, Options{Trace: tr, Attr: attr, WindowSec: 1}, "/slo")
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var rep span.SLOReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, rec.Body.String())
+	}
+	if rep.Total != 1 || len(rep.Services) != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	svc := rep.Services[0]
+	if svc.Service != "bert" || svc.Causes["device_fault"] != 1 {
+		t.Fatalf("service rollup %+v", svc)
+	}
+}
+
+func TestSLOEmptyWhenDisabled(t *testing.T) {
+	rec := get(t, Options{WindowSec: 2}, "/slo")
+	var rep span.SLOReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if rep.Total != 0 || rep.WindowSec != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	tr := span.NewTracer(0)
+	tr.Add(span.Span{Kind: span.KindRetune, Start: 0, End: 1})
+	rec := get(t, Options{Trace: tr, Version: "test"}, "/healthz")
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var h map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if h["status"] != "ok" || h["version"] != "test" || h["spans"] != float64(1) {
+		t.Fatalf("health %v", h)
+	}
+}
+
+func TestDebugEndpointsRegistered(t *testing.T) {
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		rec := get(t, Options{}, path)
+		if rec.Code != 200 {
+			t.Errorf("%s: status %d", path, rec.Code)
+		}
+	}
+}

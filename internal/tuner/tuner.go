@@ -107,6 +107,13 @@ type Request struct {
 	// HasTraining reports whether a training task is co-located; if
 	// not, the Tuner only solves the SLO side.
 	HasTraining bool
+	// OnEval, when non-nil, observes every objective evaluation the
+	// episode performs (one BO probe or one exhaustive-search
+	// measurement): the probed batch, the partition the measurement ran
+	// at, the measured training iteration ms, and whether Eq. 4 was
+	// feasible for that batch. The tracing layer hooks this to emit
+	// bo_iter child spans; it must not mutate tuner state.
+	OnEval func(batch int, delta, trainIterMs float64, feasible bool)
 }
 
 // Decision is the Tuner's output configuration.
@@ -255,6 +262,9 @@ func (t *Tuner) Tune(req Request) (Decision, error) {
 			measureErr = err
 			return math.Inf(1), false
 		}
+		if req.OnEval != nil {
+			req.OnEval(b, delta, iter, ok)
+		}
 		return iter, ok
 	}
 	res, err := gp.Minimize(candidates, objective, gp.LCBConfig{
@@ -327,6 +337,9 @@ func (t *Tuner) tuneExhaustive(req Request, delta, maxDelta float64) (Decision, 
 		iter, err := req.Measure.TrainIterMs(b, delta)
 		if err != nil {
 			return Decision{}, err
+		}
+		if req.OnEval != nil {
+			req.OnEval(b, delta, iter, true)
 		}
 		evals++
 		if iter < bestIter {

@@ -44,6 +44,7 @@ import (
 	"mudi/internal/perf"
 	"mudi/internal/report"
 	"mudi/internal/sched"
+	"mudi/internal/span"
 	"mudi/internal/trace"
 	"mudi/internal/xrand"
 )
@@ -196,6 +197,19 @@ type SimOptions struct {
 	// into Result.Events / Result.Metrics even without an Observer.
 	// Setting Observer implies Observe.
 	Observe bool
+	// Trace, when true, records causal simulated-time spans for the
+	// run's control-plane operations (retunes with bo_iter children,
+	// rescales with shadow_spinup/shadow_swap children, migrations,
+	// memory swaps, fault outages) and attributes every SLO violation
+	// to its dominant cause. The roll-ups land in Result.Spans and
+	// Result.SLOReport. Tracing is passive: Result.Summary() is
+	// identical with and without it.
+	Trace bool
+	// Telemetry, when non-nil, supplies the run's live instruments —
+	// metrics sink, span tracer, violation attributor — so they can be
+	// served over HTTP (Telemetry.Handler) while the simulation is in
+	// flight. Implies Observe and Trace.
+	Telemetry *Telemetry
 	// Faults, when non-nil with at least one fault class enabled,
 	// deterministically injects failures — device outages with
 	// recovery, transient measurement errors, shadow spin-up failures,
@@ -217,12 +231,29 @@ type FaultConfig = faults.Config
 // off — the nil sink is the zero-overhead path (one branch per
 // would-be observation site).
 func (o SimOptions) sink() *obs.Sink {
+	if o.Telemetry != nil {
+		s := o.Telemetry.sink
+		s.Observer = o.Observer
+		return s
+	}
 	if !o.Observe && o.Observer == nil {
 		return nil
 	}
 	s := obs.NewSink()
 	s.Observer = o.Observer
 	return s
+}
+
+// tracing builds the run's tracer/attributor pair, or nils when
+// tracing is off — the nil pair is the zero-overhead path.
+func (o SimOptions) tracing() (*span.Tracer, *span.Attributor) {
+	if o.Telemetry != nil {
+		return o.Telemetry.tracer, o.Telemetry.attr
+	}
+	if !o.Trace {
+		return nil, nil
+	}
+	return span.NewTracer(0), span.NewAttributor(0)
 }
 
 // Simulate runs one cluster simulation to completion. It is
@@ -277,6 +308,7 @@ func (s *System) SimulateContext(ctx context.Context, opts SimOptions) (*Result,
 		return nil, err
 	}
 	services := append(model.Services(), s.cfg.ExtraServices...)
+	tracer, attr := opts.tracing()
 	sim, err := cluster.New(cluster.Options{
 		Policy:         policy,
 		Oracle:         s.oracle,
@@ -292,6 +324,8 @@ func (s *System) SimulateContext(ctx context.Context, opts SimOptions) (*Result,
 		MIGSlices:      opts.MIGSlices,
 		Obs:            opts.sink(),
 		Faults:         opts.Faults,
+		Trace:          tracer,
+		Attr:           attr,
 		Ctx:            ctx,
 	})
 	if err != nil {

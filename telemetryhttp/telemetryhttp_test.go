@@ -1,0 +1,59 @@
+package telemetryhttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mudi"
+)
+
+// TestLiveEndpoints drives the public Telemetry handle through a run
+// and polls its HTTP surface the way an operator would.
+func TestLiveEndpoints(t *testing.T) {
+	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := mudi.NewTelemetry()
+	res, err := sys.Simulate(mudi.SimOptions{
+		Devices: 4, Tasks: 5, MeanGapSec: 5, IterScale: 0.001,
+		Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spans) == 0 || res.Metrics == nil {
+		t.Fatalf("Telemetry did not imply tracing+observation: spans=%d metrics=%v",
+			len(res.Spans), res.Metrics != nil)
+	}
+	srv := httptest.NewServer(Handler(tel))
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/healthz"); !strings.Contains(body, `"status"`) {
+		t.Errorf("/healthz: %s", body)
+	}
+	var rep mudi.SLOReport
+	if err := json.Unmarshal([]byte(get("/slo")), &rep); err != nil {
+		t.Errorf("/slo is not a valid report: %v", err)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "# TYPE") {
+		t.Errorf("/metrics has no type metadata:\n%.200s", body)
+	}
+}

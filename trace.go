@@ -1,0 +1,116 @@
+package mudi
+
+import (
+	"io"
+
+	"mudi/internal/obs"
+	"mudi/internal/span"
+)
+
+// Causal tracing surface. A run with SimOptions.Trace set records
+// every request-lifecycle and control-plane operation as a span in
+// simulated time — parent/child linked, annotated with the device, the
+// resident training-task signature, the partition change, and the batch
+// size — and classifies every SLO violation's dominant cause. Like the
+// event stream, tracing is passive: Result.Summary() is bit-identical
+// with and without it.
+type (
+	// Span is one causal simulated-time span. Start/End are simulation
+	// seconds; Parent links children (bo_iter under retune,
+	// shadow_spinup/shadow_swap under rescale, queue_wait under
+	// request).
+	Span = span.Span
+	// SpanID identifies a span within one run (0 = none).
+	SpanID = span.ID
+	// SpanKind discriminates spans; wire names are snake_case
+	// ("request", "queue_wait", "batch_form", "gpu_exec", "retune",
+	// "bo_iter", "rescale", "shadow_spinup", "shadow_swap", "migrate",
+	// "mem_swap", "outage").
+	SpanKind = span.Kind
+	// SLOReport is the per-service SLO-violation attribution roll-up:
+	// violation counts, violated-minutes, a cause breakdown, and the
+	// top offending co-located task.
+	SLOReport = span.SLOReport
+	// ServiceSLO is one service's attribution rollup.
+	ServiceSLO = span.ServiceSLO
+	// AttributedViolation is one classified SLO violation.
+	AttributedViolation = span.AttributedViolation
+	// ViolationCause enumerates the attribution classes; wire names are
+	// "device_fault", "rescale_in_progress", "burst_overload",
+	// "interference", "queueing".
+	ViolationCause = span.Cause
+)
+
+// The span taxonomy.
+const (
+	SpanRequest      = span.KindRequest
+	SpanQueueWait    = span.KindQueueWait
+	SpanBatchForm    = span.KindBatchForm
+	SpanGPUExec      = span.KindGPUExec
+	SpanRetune       = span.KindRetune
+	SpanBOIter       = span.KindBOIter
+	SpanRescale      = span.KindRescale
+	SpanShadowSpinup = span.KindShadowSpinup
+	SpanShadowSwap   = span.KindShadowSwap
+	SpanMigrate      = span.KindMigrate
+	SpanMemSwap      = span.KindMemSwap
+	SpanOutage       = span.KindOutage
+)
+
+// The attribution classes, in priority order: an overlapping device
+// outage beats an in-flight rescale beats a QPS burst beats training
+// interference; queueing is the fallback.
+const (
+	CauseDeviceFault   = span.CauseDeviceFault
+	CauseRescale       = span.CauseRescale
+	CauseBurstOverload = span.CauseBurstOverload
+	CauseInterference  = span.CauseInterference
+	CauseQueueing      = span.CauseQueueing
+)
+
+// WriteChromeTrace writes the spans as Chrome trace-event JSON —
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Timestamps are simulated microseconds; tracks are device/lane pairs.
+// This is the format behind `mudisim -trace out.json`.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	return span.WriteChromeTrace(w, spans)
+}
+
+// Telemetry bundles live observability instruments — a metrics sink, a
+// span tracer, and a violation attributor — that can be served over
+// HTTP while a simulation runs. Pass it via SimOptions.Telemetry (the
+// run then records into these instruments instead of private ones) and
+// mount the telemetryhttp subpackage's handler on a server:
+//
+//	tel := mudi.NewTelemetry()
+//	go http.ListenAndServe(":8080", telemetryhttp.Handler(tel))
+//	res, err := sys.Simulate(mudi.SimOptions{Telemetry: tel})
+//
+// The HTTP surface lives in the separate telemetryhttp package so that
+// importing mudi alone never links net/http (whose transitive init
+// starts runtime background work that would show up in this package's
+// allocation-budget benchmarks). A Telemetry is good for one run at a
+// time.
+type Telemetry struct {
+	sink   *obs.Sink
+	tracer *span.Tracer
+	attr   *span.Attributor
+}
+
+// NewTelemetry returns a Telemetry with default-capacity instruments.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{
+		sink:   obs.NewSink(),
+		tracer: span.NewTracer(0),
+		attr:   span.NewAttributor(0),
+	}
+}
+
+// Instruments exposes the underlying sink, tracer, and attributor —
+// the bridge the telemetryhttp subpackage (and the CLIs) build the
+// live HTTP surface from. The returned values are internal types:
+// outside this module they are opaque handles to pass along, not
+// something to construct or name.
+func (t *Telemetry) Instruments() (*obs.Sink, *span.Tracer, *span.Attributor) {
+	return t.sink, t.tracer, t.attr
+}
