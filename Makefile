@@ -9,9 +9,9 @@ GO ?= go
 # and the observability fan-in, plus the hot-path packages whose
 # scratch/memo state must stay correctly confined (oracle caches are
 # shared across workers; gp/stats/serving scratch is per-goroutine).
-RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/obs ./internal/faults ./internal/perf ./internal/stats ./internal/gp ./internal/serving ./internal/span ./internal/telemetry ./telemetryhttp
+RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/obs ./internal/faults ./internal/perf ./internal/stats ./internal/gp ./internal/serving ./internal/span ./internal/telemetry ./internal/trace ./internal/trace/scenario ./telemetryhttp
 
-.PHONY: tier1 build test vet race bench-parallel bench-obs bench-hotpath bench-trace ci
+.PHONY: tier1 build test vet race test-scenarios bench-parallel bench-obs bench-hotpath bench-trace ci
 
 tier1: build test
 
@@ -26,6 +26,13 @@ vet:
 
 race:
 	$(GO) test -race -timeout 120m $(RACE_PKGS)
+
+# The trace-v2 scenario validation harness: golden fixtures, statistical
+# shape tests, and 1-vs-8-worker replay determinism, under the race
+# detector. Regenerate fixtures with:
+#   go test ./internal/trace/... -update
+test-scenarios:
+	$(GO) test -race -timeout 60m ./internal/trace ./internal/trace/scenario ./internal/exp -run 'Scenario|Golden|Trace|Cohort|Diurnal|Ramp|FlashCrowd|BurstStorm|Failover|StepQPS|Decode|Encode|Validate|Recorder'
 
 # Regenerate the numbers recorded in BENCH_parallel.json.
 bench-parallel:

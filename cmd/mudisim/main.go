@@ -75,12 +75,17 @@ func run(args []string, stdout io.Writer) (err error) {
 		metricsOut   = fs.String("metrics-out", "", "write the metrics snapshot as NDJSON to this file (atomic)")
 		httpFlag     = fs.String("http", "", "serve live telemetry on this address while the run is in flight: /metrics (Prometheus text), /slo (attribution JSON), /healthz, /debug/vars, /debug/pprof/")
 		faultsFlag   = fs.String("faults", "", "deterministic fault injection: \"default\" or comma-separated key=value pairs (mtbf, mttr, meas, retries, spin, pciex, pcie-mtbf, pcie-mttr, seed), e.g. \"mtbf=300,mttr=45,meas=0.1\"")
+		traceInFlag  = fs.String("trace-in", "", "replay a recorded trace-v2 workload from this file (-tasks/-gap/-load/-burst do not apply; -devices must match the trace header if given)")
+		traceOutFlag = fs.String("trace-out", "", "record this run's workload (QPS steps + task arrivals) as a trace-v2 file, replayable with -trace-in")
+		scenarioFlag = fs.String("scenario", "", "replay a named scenario from the library: "+strings.Join(mudi.ScenarioNames(), ", "))
 		cpuprofFlag  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofFlag  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	stopProf, err := pprofutil.Start(*cpuprofFlag, *memprofFlag)
 	if err != nil {
@@ -130,6 +135,37 @@ func run(args []string, stdout io.Writer) (err error) {
 		return err
 	}
 
+	// Replay source: a recorded trace-v2 file or a named scenario. The
+	// workload carries its own device count, QPS streams, and arrivals,
+	// so the generator knobs don't apply.
+	var workload *mudi.WorkloadTrace
+	switch {
+	case *traceInFlag != "" && *scenarioFlag != "":
+		return fmt.Errorf("-trace-in and -scenario are mutually exclusive")
+	case *traceInFlag != "":
+		f, oerr := os.Open(*traceInFlag)
+		if oerr != nil {
+			return oerr
+		}
+		workload, err = mudi.ReadWorkload(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *traceInFlag, err)
+		}
+	case *scenarioFlag != "":
+		workload, err = mudi.BuildScenario(*scenarioFlag, *seedFlag)
+		if err != nil {
+			return err
+		}
+	}
+	if workload != nil {
+		for _, name := range []string{"tasks", "gap", "load", "burst"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s does not apply when replaying a workload (-trace-in/-scenario): the trace defines the arrivals and QPS", name)
+			}
+		}
+	}
+
 	// Live telemetry: the instruments are shared with the simulation
 	// and served while it runs. The address note goes to stderr so the
 	// NDJSON/table output on stdout stays clean.
@@ -155,18 +191,29 @@ func run(args []string, stdout io.Writer) (err error) {
 			return nil, err
 		}
 		opts := mudi.SimOptions{
-			Devices:        *devicesFlag,
-			Tasks:          *tasksFlag,
-			MeanGapSec:     *gapFlag,
-			IterScale:      0.002,
-			LoadFactor:     *loadFlag,
 			Queue:          mudi.QueuePolicyID(*queueFlag),
 			TraceDeviceIdx: traceDevIdx,
-			Bursts:         bursts,
 			Observe:        *eventsFlag || *metricsFlag || *eventsOut != "" || *metricsOut != "",
 			Trace:          tracePath != "",
 			Telemetry:      tel,
 			Faults:         faultCfg,
+			RecordWorkload: *traceOutFlag != "",
+		}
+		if workload != nil {
+			opts.Workload = workload
+			// The trace header fixes the device count; an explicit
+			// -devices is passed through so a mismatch surfaces as the
+			// Validate error rather than being silently ignored.
+			if explicit["devices"] {
+				opts.Devices = *devicesFlag
+			}
+		} else {
+			opts.Devices = *devicesFlag
+			opts.Tasks = *tasksFlag
+			opts.MeanGapSec = *gapFlag
+			opts.IterScale = 0.002
+			opts.LoadFactor = *loadFlag
+			opts.Bursts = bursts
 		}
 		if *policyFlag != "mudi" {
 			p, err := sys.BaselinePolicy(mudi.BaselineID(*policyFlag))
@@ -179,8 +226,8 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 
 	if *repeatsFlag > 1 {
-		if *jsonFlag || *eventsFlag || *metricsFlag || *eventsOut != "" || *metricsOut != "" || tracePath != "" || *httpFlag != "" {
-			return fmt.Errorf("-json/-events/-metrics/-events-out/-metrics-out/-trace <path>/-http support a single run; drop them or use -repeats 1")
+		if *jsonFlag || *eventsFlag || *metricsFlag || *eventsOut != "" || *metricsOut != "" || tracePath != "" || *httpFlag != "" || *traceInFlag != "" || *traceOutFlag != "" || *scenarioFlag != "" {
+			return fmt.Errorf("-json/-events/-metrics/-events-out/-metrics-out/-trace <path>/-http/-trace-in/-trace-out/-scenario support a single run; drop them or use -repeats 1")
 		}
 		return runRepeats(*repeatsFlag, *parallelFlag, *seedFlag, *policyFlag, simulate, stdout)
 	}
@@ -188,6 +235,15 @@ func run(args []string, stdout io.Writer) (err error) {
 	res, err := simulate(*seedFlag)
 	if err != nil {
 		return err
+	}
+	if *traceOutFlag != "" {
+		if err := atomicio.WriteFile(*traceOutFlag, func(w io.Writer) error {
+			return mudi.WriteWorkload(w, res.Workload)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mudisim: recorded workload (%d QPS steps, %d tasks) to %s (replay with -trace-in)\n",
+			len(res.Workload.QPS), len(res.Workload.Tasks), *traceOutFlag)
 	}
 	if *eventsFlag {
 		if err := mudi.WriteEventsNDJSON(stdout, res.Events); err != nil {
@@ -225,8 +281,16 @@ func run(args []string, stdout io.Writer) (err error) {
 		return res.WriteJSON(stdout, 64)
 	}
 
-	tab := report.NewTable(fmt.Sprintf("mudisim: %s on %d GPUs, %d tasks, load %gx", res.Policy, *devicesFlag, *tasksFlag, *loadFlag),
-		"metric", "value")
+	devCount, taskCount := *devicesFlag, *tasksFlag
+	title := fmt.Sprintf("mudisim: %s on %d GPUs, %d tasks, load %gx", res.Policy, devCount, taskCount, *loadFlag)
+	if workload != nil {
+		devCount, taskCount = workload.Header.Devices, len(workload.Tasks)
+		title = fmt.Sprintf("mudisim: %s replaying %d-task workload on %d GPUs", res.Policy, taskCount, devCount)
+		if *scenarioFlag != "" {
+			title = fmt.Sprintf("mudisim: %s on scenario %q (%d tasks, %d GPUs)", res.Policy, *scenarioFlag, taskCount, devCount)
+		}
+	}
+	tab := report.NewTable(title, "metric", "value")
 	tab.AddRow("completed / admitted", fmt.Sprintf("%d / %d", res.Completed, res.Admitted))
 	tab.AddRow("mean SLO violation", report.Pct(res.MeanSLOViolation()))
 	tab.AddRow("mean CT (s)", res.MeanCT())

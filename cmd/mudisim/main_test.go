@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -115,5 +118,96 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-policy", "bogus", "-devices", "2", "-tasks", "2"}, &b); err == nil {
 		t.Fatal("bogus policy accepted")
+	}
+}
+
+// TestRunTraceRoundTrip is the CLI record→replay smoke test: a bursty
+// faulted run recorded with -trace-out, replayed with -trace-in, must
+// produce the same metrics tables, and re-recording the replay must
+// reproduce the trace file byte for byte.
+func TestRunTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	recPath := filepath.Join(dir, "rec.trace")
+	repPath := filepath.Join(dir, "rep.trace")
+	faults := "mtbf=500,mttr=60"
+
+	var recOut strings.Builder
+	err := run([]string{"-devices", "3", "-tasks", "4", "-gap", "5",
+		"-burst", "40:120:3", "-faults", faults, "-trace-out", recPath}, &recOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recBytes, err := os.ReadFile(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var repOut strings.Builder
+	err = run([]string{"-trace-in", recPath, "-faults", faults, "-trace-out", repPath}, &repOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBytes, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recBytes, repBytes) {
+		t.Fatal("re-recorded replay trace differs from the original recording")
+	}
+
+	// The tables after the title line (which names the mode) must match:
+	// the replay reproduces every simulated metric.
+	body := func(s string) string {
+		if i := strings.Index(s, "\n"); i >= 0 {
+			return s[i:]
+		}
+		return s
+	}
+	if body(recOut.String()) != body(repOut.String()) {
+		t.Errorf("replay metrics diverged from recording:\n--- recorded ---\n%s\n--- replayed ---\n%s",
+			recOut.String(), repOut.String())
+	}
+}
+
+// TestRunScenario replays a library scenario by name.
+func TestRunScenario(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scenario", "steady-baseline"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `scenario "steady-baseline"`) {
+		t.Errorf("title missing scenario name:\n%s", out)
+	}
+	if !strings.Contains(out, "completed / admitted") {
+		t.Errorf("metrics table missing:\n%s", out)
+	}
+	if err := run([]string{"-scenario", "bogus"}, &b); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestRunTraceFlagErrors pins the replay-mode conflicts.
+func TestRunTraceFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	recPath := filepath.Join(dir, "rec.trace")
+	var b strings.Builder
+	if err := run([]string{"-devices", "2", "-tasks", "2", "-trace-out", recPath}, &b); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-trace-in", recPath, "-tasks", "5"},
+		{"-trace-in", recPath, "-gap", "3"},
+		{"-trace-in", recPath, "-load", "2"},
+		{"-trace-in", recPath, "-burst", "1:2:3"},
+		{"-trace-in", recPath, "-scenario", "steady-baseline"},
+		{"-trace-in", recPath, "-devices", "9"},
+		{"-trace-in", filepath.Join(dir, "missing.trace")},
+		{"-repeats", "2", "-scenario", "steady-baseline"},
+	}
+	for _, args := range cases {
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
 	}
 }

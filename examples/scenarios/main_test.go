@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke replays the two cheapest scenarios end to end through
+// the encode→decode→simulate loop.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"steady-baseline", "model-rollout"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"scenario", "steady-baseline", "model-rollout", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunUnknownScenario surfaces trace errors instead of panicking.
+func TestRunUnknownScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"bogus"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -80,6 +80,21 @@ type Options struct {
 	// slo_violation and classifies the dominant cause at finalize time;
 	// the roll-up lands in Result.SLOReport.
 	Attr *span.Attributor
+	// Replay, when non-nil, drives every device's QPS from the trace's
+	// recorded streams instead of synthesizing a fluctuating walk. The
+	// header's Devices/MIGSlices must match this Options, and the
+	// streams must follow the canonical device order (gpu0000,
+	// gpu0000/mig1, ...). LoadFactor and Bursts are ignored in replay —
+	// the recorded values already include them. Arrivals still come
+	// from Options.Arrivals; pass Replay.Arrivals() to re-submit the
+	// recorded task sequence.
+	Replay *trace.Trace
+	// Record, when non-nil, captures the workload this run actually
+	// consumes — every QPS query and task submission — for later
+	// replay. Recording is passive (wrapped traces return exactly what
+	// the originals return); the assembled trace lands in
+	// Result.Workload at finalize.
+	Record *trace.Recorder
 	// Ctx, when non-nil, cancels the simulation between control
 	// windows; Run then returns ctx.Err(). Nil means run to
 	// completion.
@@ -186,6 +201,12 @@ type Result struct {
 	// Events/Metrics.
 	Spans     []span.Span
 	SLOReport *span.SLOReport
+
+	// Workload is the recorded trace-v2 workload, populated only when
+	// Options.Record is set. A derived view like Events/Spans, excluded
+	// from Summary() — recording must not perturb the determinism
+	// contract.
+	Workload *trace.Trace
 }
 
 // TracePoint is one control-window snapshot of the traced device.
@@ -365,6 +386,25 @@ func New(opts Options) (*Sim, error) {
 	}
 	s.tracer = opts.Trace
 	s.attr = opts.Attr
+	// Replay: the trace's streams supply every device's QPS. The header
+	// must describe this exact cluster shape, and the streams must be in
+	// canonical device order — the order the Recorder writes them in.
+	var replayStreams map[string]*trace.StepQPS
+	if opts.Replay != nil {
+		if err := opts.Replay.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: replay trace: %w", err)
+		}
+		h := opts.Replay.Header
+		hm := h.MIGSlices
+		if hm <= 0 {
+			hm = 1
+		}
+		if h.Devices != opts.Devices || hm != opts.MIGSlices {
+			return nil, fmt.Errorf("cluster: replay trace is for %d devices × %d MIG slices, run configured %d × %d",
+				h.Devices, hm, opts.Devices, opts.MIGSlices)
+		}
+		replayStreams = opts.Replay.StreamMap()
+	}
 	// Deploy: one inference service per schedulable device (a whole GPU
 	// or a MIG instance), round-robin over the catalog (the paper's
 	// setting — every GPU serves inference and hosts training
@@ -381,12 +421,32 @@ func New(opts Options) (*Sim, error) {
 			devID = fmt.Sprintf("gpu%04d/mig%d", i/opts.MIGSlices, i%opts.MIGSlices)
 		}
 		dev := gpu.NewDevice(devID, fmt.Sprintf("node%d", i/(4*opts.MIGSlices)), memMB)
-		var q trace.QPSTrace = trace.NewFluctuatingQPS(info.BaseQPS, s.rng.ForkString("qps:"+devID))
-		if opts.LoadFactor != 1 {
-			q = trace.ScaledQPS{Inner: q, Factor: opts.LoadFactor}
+		var q trace.QPSTrace
+		if replayStreams != nil {
+			st := opts.Replay.Header.Streams[i]
+			if st.ID != devID {
+				return nil, fmt.Errorf("cluster: replay stream %d is %q, want canonical device %q", i, st.ID, devID)
+			}
+			svc, ok := serviceByName(opts.Services, st.Service)
+			if !ok {
+				return nil, fmt.Errorf("cluster: replay stream %q names unknown service %q", st.ID, st.Service)
+			}
+			info = svc
+			q = replayStreams[devID]
+			// No qps rng fork in replay: ForkString never advances the
+			// parent stream, so skipping it leaves s.rng bit-identical to
+			// the recorded run's.
+		} else {
+			q = trace.NewFluctuatingQPS(info.BaseQPS, s.rng.ForkString("qps:"+devID))
+			if opts.LoadFactor != 1 {
+				q = trace.ScaledQPS{Inner: q, Factor: opts.LoadFactor}
+			}
+			if len(opts.Bursts) > 0 {
+				q = trace.BurstyQPS{Inner: q, Bursts: opts.Bursts}
+			}
 		}
-		if len(opts.Bursts) > 0 {
-			q = trace.BurstyQPS{Inner: q, Bursts: opts.Bursts}
+		if opts.Record != nil {
+			q = opts.Record.Wrap(devID, info.Name, q)
 		}
 		ds := &deviceState{
 			dev:  dev,
@@ -454,9 +514,13 @@ func (s *Sim) Run() (*Result, error) {
 			}
 		}
 	}
-	// Arrival events.
+	// Arrival events. A recorder captures the submission sequence as
+	// scheduled — the recorded trace replays these exact arrivals.
 	for _, a := range s.opts.Arrivals {
 		arr := a
+		if s.opts.Record != nil {
+			s.opts.Record.Task(arr)
+		}
 		if _, err := s.engine.At(arr.At, func(now float64) { s.onArrival(now, arr) }); err != nil {
 			return nil, err
 		}
@@ -500,15 +564,25 @@ func (s *Sim) allDone() bool {
 
 // onArrival queues the task and attempts scheduling.
 func (s *Sim) onArrival(now float64, a trace.TaskArrival) {
+	user := a.Task.Name // one "user" per task family for fair sharing
+	if a.Cohort != "" {
+		// Cohort traces name the real submitter population; fair-share
+		// queueing then balances across cohorts, not task families.
+		user = a.Cohort
+	}
+	// Smaller size classes get higher priority under the priority
+	// policy (a simple deadline-ish assignment; users would set this
+	// in production). Cohort traces may override per population.
+	prio := int(model.SizeXL - a.Task.Size)
+	if a.Priority != 0 {
+		prio = a.Priority
+	}
 	job := &sched.Job{
-		ID:         a.ID,
-		SubmitTime: a.At,
-		TaskName:   a.Task.Name,
-		User:       a.Task.Name, // one "user" per task family for fair sharing
-		// Smaller size classes get higher priority under the priority
-		// policy (a simple deadline-ish assignment; users would set
-		// this in production).
-		Priority:       int(model.SizeXL - a.Task.Size),
+		ID:             a.ID,
+		SubmitTime:     a.At,
+		TaskName:       a.Task.Name,
+		User:           user,
+		Priority:       prio,
 		EstDurationSec: a.Task.BaseIterMs * float64(a.Iters) / 1000,
 	}
 	qj := &queueJob{job: job, arrival: a}
@@ -561,6 +635,17 @@ func (s *Sim) trySchedule(now float64) {
 		s.queue.Pop()
 		s.place(now, dev, qj)
 	}
+}
+
+// serviceByName resolves a replay stream's service against the run's
+// service set.
+func serviceByName(services []model.InferenceService, name string) (model.InferenceService, bool) {
+	for _, s := range services {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return model.InferenceService{}, false
 }
 
 func (s *Sim) deviceByID(id string) *deviceState {
@@ -1343,6 +1428,11 @@ func (s *Sim) finalize(now float64) {
 	}
 	if s.attr != nil {
 		s.res.SLOReport = s.attr.Report(s.res.Spans, s.opts.WindowSec)
+	}
+	// Recording roll-up: the workload this run consumed, assembled into
+	// a replayable trace-v2 document (a derived view like Events/Spans).
+	if s.opts.Record != nil {
+		s.res.Workload = s.opts.Record.Trace()
 	}
 	// MeanP99 accumulated sums; divide by window counters.
 	for _, svcInfo := range s.opts.Services {

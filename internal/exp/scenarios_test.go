@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"mudi/internal/trace/scenario"
+)
+
+// TestScenariosParallelDeterminism is PR 1's discipline applied to the
+// scenario library: every named scenario replayed through the simulator
+// produces a byte-identical Result summary whether the cells run on one
+// worker or eight.
+func TestScenariosParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full scenario sweeps in -short")
+	}
+	summaries := func(parallel int) map[string]string {
+		results, err := ScenarioResults(Config{Seed: 3, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(results))
+		for name, res := range results {
+			out[name] = res.Summary()
+		}
+		return out
+	}
+	seq := summaries(1)
+	par := summaries(8)
+	if len(seq) != len(par) || len(seq) != len(scenario.Names()) {
+		t.Fatalf("cell counts: sequential %d, parallel %d, scenarios %d",
+			len(seq), len(par), len(scenario.Names()))
+	}
+	for name, want := range seq {
+		got, ok := par[name]
+		if !ok {
+			t.Fatalf("parallel run missing scenario %q", name)
+		}
+		if got != want {
+			t.Errorf("scenario %q: -parallel 8 summary differs from -parallel 1 (len %d vs %d)",
+				name, len(got), len(want))
+		}
+	}
+}
+
+// TestScenariosTable sanity-checks the rendered experiment: one row per
+// scenario, every workload fully drained.
+func TestScenariosTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario sweep in -short")
+	}
+	tab, err := Scenarios(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tab.Rows), len(scenario.Names()); got != want {
+		t.Fatalf("rows %d, want %d", got, want)
+	}
+	rendered := renderTable(t, tab)
+	for _, name := range scenario.Names() {
+		if !strings.Contains(rendered, name) {
+			t.Fatalf("table missing scenario %q:\n%s", name, rendered)
+		}
+	}
+	for _, row := range tab.Rows {
+		admitted, completed := row[2], row[3]
+		if admitted != completed {
+			t.Fatalf("scenario %s: %s admitted but %s completed", row[0], admitted, completed)
+		}
+		if admitted == "0" {
+			t.Fatalf("scenario %s admitted no tasks", row[0])
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mudi/internal/model"
+)
+
+func wantConfigError(t *testing.T, err error, field string) {
+	t.Helper()
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *ConfigError, got %v", err)
+	}
+	if ce.Field != field {
+		t.Fatalf("field %q, want %q (err: %v)", ce.Field, field, ce)
+	}
+}
+
+// TestDiurnalAnalytic: with no noise the trace is the exact sum of
+// sinusoids, and At is pure in t (random access, repeated queries).
+func TestDiurnalAnalytic(t *testing.T) {
+	d, err := NewDiurnalQPS(DiurnalConfig{
+		Base: 100,
+		Harmonics: []Harmonic{
+			{PeriodSec: 400, Amp: 0.3},
+			{PeriodSec: 2800, Amp: 0.1, PhaseSec: 700},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := func(ts float64) float64 {
+		return 100 + 100*0.3*math.Sin(2*math.Pi*ts/400) +
+			100*0.1*math.Sin(2*math.Pi*(ts-700)/2800)
+	}
+	for _, ts := range []float64{0, 100, 250, 1234.5, 2800} {
+		if got := d.At(ts); math.Abs(got-want(ts)) > 1e-9 {
+			t.Fatalf("At(%v) = %v, want %v", ts, got, want(ts))
+		}
+	}
+	if d.At(-10) != d.At(0) {
+		t.Fatal("negative time should clamp to 0")
+	}
+}
+
+// TestDiurnalNoiseRandomAccess: noisy values depend only on (seed, t),
+// not on query order, and share a value within one noise bucket.
+func TestDiurnalNoiseRandomAccess(t *testing.T) {
+	cfg := DiurnalConfig{Base: 100, NoiseFrac: 0.05, StepSec: 10, Seed: 11}
+	a, err := NewDiurnalQPS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDiurnalQPS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query in opposite orders.
+	times := []float64{950, 15, 400, 15, 72}
+	for _, ts := range times {
+		_ = a.At(ts)
+	}
+	for i := len(times) - 1; i >= 0; i-- {
+		ts := times[i]
+		if a.At(ts) != b.At(ts) {
+			t.Fatalf("At(%v) depends on access order", ts)
+		}
+	}
+	if a.At(12) != a.At(17) {
+		t.Fatal("values inside one 10 s noise bucket should agree")
+	}
+	if a.At(12) == a.At(22) && a.At(22) == a.At(32) {
+		t.Fatal("adjacent buckets all identical — noise not applied")
+	}
+}
+
+func TestDiurnalConfigRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   DiurnalConfig
+		field string
+	}{
+		{"zero-base", DiurnalConfig{Base: 0}, "Base"},
+		{"nan-base", DiurnalConfig{Base: math.NaN()}, "Base"},
+		{"zero-period", DiurnalConfig{Base: 1, Harmonics: []Harmonic{{PeriodSec: 0}}}, "Harmonics[0].PeriodSec"},
+		{"neg-amp", DiurnalConfig{Base: 1, Harmonics: []Harmonic{{PeriodSec: 10, Amp: -1}}}, "Harmonics[0].Amp"},
+		{"neg-noise", DiurnalConfig{Base: 1, NoiseFrac: -0.1}, "NoiseFrac"},
+		{"neg-step", DiurnalConfig{Base: 1, StepSec: -5}, "StepSec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewDiurnalQPS(tc.cfg)
+			wantConfigError(t, err, tc.field)
+		})
+	}
+}
+
+// TestRampAnalytic pins the three ramp regimes: flat before, linear
+// inside the window, flat after; DurSec 0 is a step.
+func TestRampAnalytic(t *testing.T) {
+	r, err := NewRampQPS(RampConfig{From: 100, To: 20, StartSec: 50, DurSec: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ t, want float64 }{
+		{0, 100}, {50, 100}, {100, 60}, {125, 40}, {150, 20}, {1e5, 20},
+	} {
+		if got := r.At(tc.t); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("At(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	step, err := NewRampQPS(RampConfig{From: 1, To: 9, StartSec: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.At(10) != 1 || step.At(10.001) != 9 {
+		t.Fatal("DurSec=0 should step at StartSec")
+	}
+	if _, err := NewRampQPS(RampConfig{From: 0, To: 0}); err == nil {
+		t.Fatal("zero QPS at both ends accepted")
+	}
+	_, err = NewRampQPS(RampConfig{From: 1, To: 2, DurSec: -3})
+	wantConfigError(t, err, "DurSec")
+}
+
+// TestFlashCrowdDecay pins the exponential envelope: PeakFactor at
+// onset, 1+(peak-1)/e after one decay constant, inert before onset.
+func TestFlashCrowdDecay(t *testing.T) {
+	f, err := NewFlashCrowdQPS(ConstantQPS(100), FlashCrowdConfig{
+		StartSec: 200, PeakFactor: 3, DecaySec: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.At(199.999) != 100 {
+		t.Fatal("flash crowd leaked before onset")
+	}
+	if got := f.At(200); math.Abs(got-300) > 1e-9 {
+		t.Fatalf("onset factor %v, want 3x", got/100)
+	}
+	if got, want := f.At(260), 100*(1+2*math.Exp(-1)); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("one decay constant: %v, want %v", got, want)
+	}
+	_, err = NewFlashCrowdQPS(ConstantQPS(1), FlashCrowdConfig{StartSec: 0, PeakFactor: 1, DecaySec: 5})
+	wantConfigError(t, err, "PeakFactor")
+	_, err = NewFlashCrowdQPS(nil, FlashCrowdConfig{StartSec: 0, PeakFactor: 2, DecaySec: 5})
+	wantConfigError(t, err, "Inner")
+}
+
+// TestBurstStormSeededAndCorrelated: the episode schedule is a pure
+// function of (seed, i); two streams wrapped by the same storm burst at
+// exactly the same times.
+func TestBurstStormSeededAndCorrelated(t *testing.T) {
+	cfg := BurstStormConfig{HorizonSec: 500, NBursts: 4, MinFactor: 1.5, MaxFactor: 2.5, DurSec: 30, Seed: 21}
+	s1, err := NewBurstStorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewBurstStorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Episodes) != 4 {
+		t.Fatalf("episodes %d", len(s1.Episodes))
+	}
+	for i := range s1.Episodes {
+		if s1.Episodes[i] != s2.Episodes[i] {
+			t.Fatalf("episode %d not seed-determined: %+v vs %+v", i, s1.Episodes[i], s2.Episodes[i])
+		}
+		e := s1.Episodes[i]
+		if e.Start < 0 || e.End > 500 || e.Factor < 1.5 || e.Factor > 2.5 {
+			t.Fatalf("episode %d out of configured bounds: %+v", i, e)
+		}
+	}
+	a, b := s1.Apply(ConstantQPS(100)), s1.Apply(ConstantQPS(40))
+	for ts := 0.0; ts < 500; ts += 1 {
+		elevatedA := a.At(ts) > 100
+		elevatedB := b.At(ts) > 40
+		if elevatedA != elevatedB {
+			t.Fatalf("streams not burst-correlated at t=%v", ts)
+		}
+	}
+	_, err = NewBurstStorm(BurstStormConfig{HorizonSec: 0, NBursts: 1, MinFactor: 1, MaxFactor: 2, DurSec: 1})
+	wantConfigError(t, err, "HorizonSec")
+}
+
+// TestFailoverShiftWindows pins the loss/gain factors inside the shift
+// window and identity outside; RecoverSec 0 persists forever.
+func TestFailoverShiftWindows(t *testing.T) {
+	f, err := NewFailoverShift(FailoverConfig{ShiftSec: 100, RecoverSec: 300, LossFrac: 0.25, GainFactor: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed, receiving := f.Failed(ConstantQPS(200)), f.Receiving(ConstantQPS(200))
+	for _, tc := range []struct{ t, failedWant, recvWant float64 }{
+		{50, 200, 200}, {100, 50, 300}, {299.999, 50, 300}, {300, 200, 200}, {1e4, 200, 200},
+	} {
+		if got := failed.At(tc.t); got != tc.failedWant {
+			t.Fatalf("failed.At(%v) = %v, want %v", tc.t, got, tc.failedWant)
+		}
+		if got := receiving.At(tc.t); got != tc.recvWant {
+			t.Fatalf("receiving.At(%v) = %v, want %v", tc.t, got, tc.recvWant)
+		}
+	}
+	forever, err := NewFailoverShift(FailoverConfig{ShiftSec: 10, LossFrac: 0.5, GainFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forever.Failed(ConstantQPS(100)).At(1e9) != 50 {
+		t.Fatal("RecoverSec=0 should persist to the horizon")
+	}
+	_, err = NewFailoverShift(FailoverConfig{ShiftSec: 100, RecoverSec: 50, LossFrac: 0.5, GainFactor: 2})
+	wantConfigError(t, err, "RecoverSec")
+	_, err = NewFailoverShift(FailoverConfig{ShiftSec: 0, LossFrac: 1, GainFactor: 2})
+	wantConfigError(t, err, "LossFrac")
+}
+
+// TestCohortCountsLargestRemainder: exact totals with no rounding
+// drift, deterministic tie-breaks.
+func TestCohortCountsLargestRemainder(t *testing.T) {
+	cohorts := []Cohort{{Weight: 1}, {Weight: 1}, {Weight: 1}}
+	counts := cohortCounts(cohorts, 10)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 10 {
+		t.Fatalf("allocated %d of 10", sum)
+	}
+	// Equal weights, count 10: remainders tie at 1/3; the stable
+	// tie-break hands the extra task to the earliest cohorts.
+	if counts[0] != 4 || counts[1] != 3 || counts[2] != 3 {
+		t.Fatalf("counts %v, want [4 3 3]", counts)
+	}
+}
+
+// TestCohortTraceIndependence: adding a cohort must not perturb the
+// arrivals another cohort generates (per-cohort DeriveSeed streams).
+func TestCohortTraceIndependence(t *testing.T) {
+	research := Cohort{Name: "research", Weight: 1, MeanGapSec: 30}
+	solo, err := CohortTrace(CohortConfig{Cohorts: []Cohort{research}, Count: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := CohortTrace(CohortConfig{
+		Cohorts: []Cohort{research, {Name: "batch", Weight: 1, MeanGapSec: 60, Priority: 3}},
+		Count:   20, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var researchTimes []float64
+	for _, a := range both {
+		if a.Cohort == "research" {
+			researchTimes = append(researchTimes, a.At)
+		}
+	}
+	if len(researchTimes) != 10 {
+		t.Fatalf("research tasks %d of 20, want weight-split 10", len(researchTimes))
+	}
+	for i, a := range solo {
+		if a.At != researchTimes[i] {
+			t.Fatalf("arrival %d moved when a second cohort was added: %v vs %v", i, a.At, researchTimes[i])
+		}
+	}
+}
+
+// TestCohortSizeMix: a cohort restricted to one size class only draws
+// tasks of that class.
+func TestCohortSizeMix(t *testing.T) {
+	arr, err := CohortTrace(CohortConfig{
+		Cohorts: []Cohort{{
+			Name: "large-only", Weight: 1, MeanGapSec: 10,
+			SizeMix: map[model.SizeClass]float64{model.SizeL: 1},
+		}},
+		Count: 30, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arr {
+		if a.Task.Size != model.SizeL {
+			t.Fatalf("size mix violated: drew %s (%v)", a.Task.Name, a.Task.Size)
+		}
+	}
+	// A mix that zeroes every class falls back to the catalog Frac
+	// instead of producing an unchoosable distribution.
+	if _, err := CohortTrace(CohortConfig{
+		Cohorts: []Cohort{{
+			Name: "zeroed", Weight: 1, MeanGapSec: 10,
+			SizeMix: map[model.SizeClass]float64{},
+		}},
+		Count: 5, Seed: 7,
+	}); err != nil {
+		t.Fatalf("degenerate mix should fall back, got %v", err)
+	}
+}
+
+// TestCohortConfigRejections: negative durations, zero counts, empty
+// sets and duplicates are typed errors, not panics downstream.
+func TestCohortConfigRejections(t *testing.T) {
+	valid := Cohort{Name: "a", Weight: 1, MeanGapSec: 10}
+	cases := []struct {
+		name string
+		cfg  CohortConfig
+	}{
+		{"empty", CohortConfig{Count: 5}},
+		{"zero-count", CohortConfig{Cohorts: []Cohort{valid}}},
+		{"neg-gap", CohortConfig{Cohorts: []Cohort{{Name: "a", Weight: 1, MeanGapSec: -2}}, Count: 5}},
+		{"zero-weight", CohortConfig{Cohorts: []Cohort{{Name: "a", MeanGapSec: 10}}, Count: 5}},
+		{"dup-name", CohortConfig{Cohorts: []Cohort{valid, valid}, Count: 5}},
+		{"bad-burstprob", CohortConfig{Cohorts: []Cohort{{Name: "a", Weight: 1, MeanGapSec: 10, BurstProb: 1.5}}, Count: 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CohortTrace(tc.cfg)
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want *ConfigError, got %v", err)
+			}
+		})
+	}
+}

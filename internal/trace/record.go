@@ -1,0 +1,118 @@
+// Recording: capture the workload a run actually consumed as a
+// trace-v2 document. The Recorder wraps every device's QPS trace and
+// logs each At(t) query's result as a step-function sample. Because a
+// deterministic replay issues identical queries at identical times, the
+// recorded steps reproduce the original values exactly — which is what
+// makes record→replay byte-identical on Result.Summary.
+package trace
+
+import "math"
+
+// Recorder accumulates one run's effective workload. It is passive: the
+// wrapped traces return exactly what the originals return, so recording
+// never perturbs the run. Not safe for concurrent use — one Recorder
+// serves one (single-goroutine) simulation run.
+type Recorder struct {
+	header Header
+	qps    map[string]*recStream
+	order  []string // stream registration order, for stable output
+	tasks  []TaskRec
+}
+
+type recStream struct {
+	samples []QPSSample
+}
+
+// NewRecorder starts a recording with the run's identifying header
+// fields. Streams and tasks are registered as the run touches them.
+func NewRecorder(seed uint64, devices, migSlices int) *Recorder {
+	return &Recorder{
+		header: Header{
+			Version:   SchemaVersion,
+			Seed:      seed,
+			TimeBase:  TimeBaseSeconds,
+			Devices:   devices,
+			MIGSlices: migSlices,
+		},
+		qps: make(map[string]*recStream),
+	}
+}
+
+// Wrap registers a stream (device id + service name) and returns a
+// pass-through QPSTrace that records every query's (t, value) pair.
+func (r *Recorder) Wrap(id, service string, inner QPSTrace) QPSTrace {
+	r.header.Streams = append(r.header.Streams, StreamDef{ID: id, Service: service})
+	rs := &recStream{}
+	r.qps[id] = rs
+	r.order = append(r.order, id)
+	return &recordingQPS{inner: inner, stream: id, rs: rs}
+}
+
+// Task records one training-task submission.
+func (r *Recorder) Task(a TaskArrival) {
+	r.tasks = append(r.tasks, TaskRec{
+		ID: a.ID, T: a.At, Task: a.Task.Name, Iters: a.Iters,
+		GPUs: a.GPUsReq, Cohort: a.Cohort, Priority: a.Priority,
+	})
+}
+
+// Trace assembles the recording. Cohort metadata is derived from the
+// recorded task records' realised shares.
+func (r *Recorder) Trace() *Trace {
+	tr := &Trace{Header: r.header}
+	for _, id := range r.order {
+		tr.QPS = append(tr.QPS, r.qps[id].samples...)
+	}
+	tr.Tasks = append([]TaskRec(nil), r.tasks...)
+	counts := make(map[string]int)
+	var names []string
+	for _, rec := range tr.Tasks {
+		if rec.Cohort == "" {
+			continue
+		}
+		if counts[rec.Cohort] == 0 {
+			names = append(names, rec.Cohort)
+		}
+		counts[rec.Cohort]++
+	}
+	for _, name := range names {
+		tr.Header.Cohorts = append(tr.Header.Cohorts, CohortDef{
+			Name:   name,
+			Weight: float64(counts[name]) / float64(len(tr.Tasks)),
+		})
+	}
+	return tr
+}
+
+// recordingQPS is the pass-through wrapper.
+type recordingQPS struct {
+	inner  QPSTrace
+	stream string
+	rs     *recStream
+}
+
+// At implements QPSTrace. Samples are deduplicated into minimal step
+// form: a query is recorded only when it lands after the last recorded
+// time with a changed value (a repeat query at a recorded time with a
+// diverging value — impossible for deterministic traces — overwrites).
+func (q *recordingQPS) At(t float64) float64 {
+	v := q.inner.At(t)
+	if t < 0 {
+		t = 0
+	}
+	s := q.rs.samples
+	if n := len(s); n > 0 {
+		last := &s[n-1]
+		if t == last.T {
+			last.QPS = v
+			return v
+		}
+		if t < last.T || (last.QPS == v && !math.Signbit(last.QPS) == !math.Signbit(v)) {
+			// Backwards queries re-read already-recorded history; equal
+			// values extend the current step for free.
+			return v
+		}
+	}
+	q.rs.samples = append(q.rs.samples, QPSSample{Stream: q.stream, T: t, QPS: v})
+	return v
+}

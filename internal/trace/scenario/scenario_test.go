@@ -1,0 +1,358 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mudi/internal/atomicio"
+	"mudi/internal/model"
+	"mudi/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden scenario fixtures")
+
+// goldenSeed is the fixture seed; the fixtures pin Build(name, 1)
+// bit-for-bit.
+const goldenSeed = 1
+
+func buildGolden(t *testing.T, name string) (*trace.Trace, string) {
+	t.Helper()
+	tr, err := Build(name, goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return tr, buf.String()
+}
+
+// TestGoldenFixtures pins every scenario's generated trace byte-for-byte
+// against testdata/<name>.trace. Regenerate with -update after an
+// intentional generator change.
+func TestGoldenFixtures(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			_, got := buildGolden(t, name)
+			path := filepath.Join("testdata", name+".trace")
+			if *update {
+				if err := atomicio.WriteFile(path, func(w io.Writer) error {
+					_, err := io.WriteString(w, got)
+					return err
+				}); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("scenario %s diverged from golden fixture %s (regenerate with -update if intentional)", name, path)
+			}
+		})
+	}
+}
+
+// TestGoldenFixturesRoundTrip decodes every fixture and re-encodes it:
+// the bytes must be canonical (encode∘decode = identity on fixtures).
+func TestGoldenFixturesRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", name+".trace"))
+			if err != nil {
+				t.Skipf("fixture not generated yet: %v", err)
+			}
+			tr, err := trace.Decode(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tr.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), raw) {
+				t.Fatal("fixture is not in canonical encode form")
+			}
+		})
+	}
+}
+
+// TestBuildDeterministic: same (name, seed) → identical bytes, and a
+// different seed actually changes seeded scenarios.
+func TestBuildDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		_, a := buildGolden(t, name)
+		_, b := buildGolden(t, name)
+		if a != b {
+			t.Fatalf("scenario %s not deterministic under a fixed seed", name)
+		}
+	}
+	// Cohort arrivals are seeded in every scenario, so seed 2 must move
+	// the task records even for the unseeded-QPS scenarios.
+	tr1, err := Build("steady-baseline", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Build("steady-baseline", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr1.Tasks) > 0 && len(tr2.Tasks) > 0 && tr1.Tasks[0].T == tr2.Tasks[0].T {
+		t.Fatal("seed does not reach the cohort arrival stream")
+	}
+}
+
+func svcFor(i int) model.InferenceService {
+	services := model.Services()
+	return services[i%len(services)]
+}
+
+func streamID(i int) string { return fmt.Sprintf("gpu%04d", i) }
+
+// TestSteadyBaselineStats: the control scenario is exactly flat at the
+// catalog rate.
+func TestSteadyBaselineStats(t *testing.T) {
+	tr, _ := buildGolden(t, "steady-baseline")
+	sc, _ := ByName("steady-baseline")
+	for i := 0; i < sc.Devices; i++ {
+		mean, peak := MeanPeakQPS(tr, streamID(i), sc.HorizonSec)
+		base := svcFor(i).BaseQPS
+		if mean != base || peak != base {
+			t.Fatalf("stream %d: mean %v peak %v, want flat %v", i, mean, peak, base)
+		}
+	}
+}
+
+// TestFlashCrowdStats: device 0 spikes to ~3× and decays; the rest of
+// the fleet stays within noise of its base rate.
+func TestFlashCrowdStats(t *testing.T) {
+	tr, _ := buildGolden(t, "flash-crowd")
+	sc, _ := ByName("flash-crowd")
+	base0 := svcFor(0).BaseQPS
+	_, peak := MeanPeakQPS(tr, streamID(0), sc.HorizonSec)
+	if peak < 2.5*base0 || peak > 3.5*base0 {
+		t.Fatalf("flash peak %v, want ~3× base %v", peak, base0)
+	}
+	s0, err := tr.Stream(streamID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decay: two e-foldings after onset the amplification is ~1.27×,
+	// within noise of ~1.3×; well before the end it is gone.
+	if v := s0.At(320); v > 1.45*base0 {
+		t.Fatalf("at t=320 (2τ after onset) qps %v, want decayed below 1.45×%v", v, base0)
+	}
+	if v := s0.At(595); v > 1.15*base0 || v < 0.85*base0 {
+		t.Fatalf("at t=595 qps %v, want recovered to ~%v", v, base0)
+	}
+	for i := 1; i < sc.Devices; i++ {
+		base := svcFor(i).BaseQPS
+		mean, peak := MeanPeakQPS(tr, streamID(i), sc.HorizonSec)
+		if math.Abs(mean-base) > 0.05*base || peak > 1.2*base {
+			t.Fatalf("bystander stream %d: mean %v peak %v, want ~flat %v", i, mean, peak, base)
+		}
+	}
+}
+
+// TestDiurnalWeekStats: mean near base, amplitude near the configured
+// harmonics, and the daily period where the generator promised it.
+func TestDiurnalWeekStats(t *testing.T) {
+	tr, _ := buildGolden(t, "diurnal-week")
+	sc, _ := ByName("diurnal-week")
+	const day = 360.0
+	for i := 0; i < sc.Devices; i++ {
+		base := svcFor(i).BaseQPS
+		mean, peak := MeanPeakQPS(tr, streamID(i), sc.HorizonSec)
+		if math.Abs(mean-base) > 0.08*base {
+			t.Fatalf("stream %d mean %v, want within 8%% of %v", i, mean, base)
+		}
+		if peak < 1.3*base || peak > 1.75*base {
+			t.Fatalf("stream %d peak %v, want harmonic peak in [1.3, 1.75]×%v", i, peak, base)
+		}
+	}
+	// Period check on stream 0 (phase 0): the daily harmonic peaks at
+	// phase+90 s into each day and troughs at phase+270 s. Averaged over
+	// the seven days, peak − trough ≈ 2·0.35·base.
+	s0, err := tr.Stream(streamID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peakAvg, troughAvg float64
+	for d := 0; d < 7; d++ {
+		peakAvg += s0.At(float64(d)*day + 90)
+		troughAvg += s0.At(float64(d)*day + 270)
+	}
+	peakAvg /= 7
+	troughAvg /= 7
+	base := svcFor(0).BaseQPS
+	swing := (peakAvg - troughAvg) / base
+	if swing < 0.5 || swing > 0.9 {
+		t.Fatalf("daily swing %.3f×base, want ~0.7 (2×amp 0.35): the 360 s period is off", swing)
+	}
+}
+
+// TestRegionalFailoverStats: the failed region's rate collapses to 20%
+// inside the shift window and recovers; the receiving region absorbs
+// 1.8×.
+func TestRegionalFailoverStats(t *testing.T) {
+	tr, _ := buildGolden(t, "regional-failover")
+	sc, _ := ByName("regional-failover")
+	during := func(s *trace.StepQPS) float64 {
+		var sum float64
+		n := 0
+		for ti := 310.0; ti < 590; ti += 20 {
+			sum += s.At(ti)
+			n++
+		}
+		return sum / float64(n)
+	}
+	after := func(s *trace.StepQPS) float64 {
+		var sum float64
+		n := 0
+		for ti := 610.0; ti < 890; ti += 20 {
+			sum += s.At(ti)
+			n++
+		}
+		return sum / float64(n)
+	}
+	for i := 0; i < sc.Devices; i++ {
+		base := svcFor(i).BaseQPS
+		s, err := tr.Stream(streamID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, a := during(s), after(s)
+		if i < 2 {
+			if math.Abs(d-0.2*base) > 0.05*base {
+				t.Fatalf("failed region stream %d during-shift mean %v, want ~%v", i, d, 0.2*base)
+			}
+		} else {
+			if math.Abs(d-1.8*base) > 0.15*base {
+				t.Fatalf("receiving region stream %d during-shift mean %v, want ~%v", i, d, 1.8*base)
+			}
+		}
+		if math.Abs(a-base) > 0.08*base {
+			t.Fatalf("stream %d post-recovery mean %v, want ~%v", i, a, base)
+		}
+	}
+}
+
+// TestCorrelatedBurstsStats: burst episodes land on every stream at the
+// same instants — correlation is exact by construction.
+func TestCorrelatedBurstsStats(t *testing.T) {
+	tr, _ := buildGolden(t, "correlated-bursts")
+	sc, _ := ByName("correlated-bursts")
+	elevated := func(i int) map[float64]bool {
+		s, err := tr.Stream(streamID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := svcFor(i).BaseQPS
+		out := make(map[float64]bool)
+		for k := 0.0; k < sc.HorizonSec; k += sc.StepSec {
+			if s.At(k) > 1.2*base {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	ref := elevated(0)
+	if len(ref) < 3 {
+		t.Fatalf("only %d elevated grid points on stream 0, want a real storm", len(ref))
+	}
+	for i := 1; i < sc.Devices; i++ {
+		got := elevated(i)
+		if len(got) != len(ref) {
+			t.Fatalf("stream %d elevated at %d grid points, stream 0 at %d — bursts not correlated", i, len(got), len(ref))
+		}
+		for k := range ref {
+			if !got[k] {
+				t.Fatalf("stream %d not elevated at t=%v while stream 0 is", i, k)
+			}
+		}
+	}
+}
+
+// TestModelRolloutStats: the ramp endpoints and midpoint are exact
+// (RampQPS is analytic).
+func TestModelRolloutStats(t *testing.T) {
+	tr, _ := buildGolden(t, "model-rollout")
+	s0, err := tr.Stream(streamID(0)) // old build: 1 → 0.25
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := tr.Stream(streamID(1)) // new build: 0.25 → 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, b1 := svcFor(0).BaseQPS, svcFor(1).BaseQPS
+	approx := func(got, want float64) bool { return math.Abs(got-want) <= 0.02*want }
+	if !approx(s0.At(100), b0) || !approx(s0.At(700), 0.25*b0) {
+		t.Fatalf("old build endpoints: At(100)=%v At(700)=%v, want %v and %v", s0.At(100), s0.At(700), b0, 0.25*b0)
+	}
+	if !approx(s1.At(100), 0.25*b1) || !approx(s1.At(700), b1) {
+		t.Fatalf("new build endpoints: At(100)=%v At(700)=%v, want %v and %v", s1.At(100), s1.At(700), 0.25*b1, b1)
+	}
+	// Midpoint of the [200, 500] window: halfway between the levels.
+	if mid := s0.At(350); !approx(mid, 0.625*b0) {
+		t.Fatalf("old build midpoint %v, want %v", mid, 0.625*b0)
+	}
+}
+
+// TestCohortShares: the realised cohort mix matches the configured
+// weights — exact to one task by largest-remainder count allocation —
+// and the per-cohort priority tier reaches the task records.
+func TestCohortShares(t *testing.T) {
+	for _, sc := range All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			tr, _ := buildGolden(t, sc.Name)
+			shares := CohortShares(tr)
+			var totalW float64
+			for _, c := range sc.cohorts {
+				totalW += c.Weight
+			}
+			tol := 1.5 / float64(len(tr.Tasks))
+			for _, c := range sc.cohorts {
+				want := c.Weight / totalW
+				if got := shares[c.Name]; math.Abs(got-want) > tol {
+					t.Fatalf("cohort %s share %v, want %v ± %v", c.Name, got, want, tol)
+				}
+				if c.Priority != 0 {
+					found := false
+					for _, rec := range tr.Tasks {
+						if rec.Cohort == c.Name && rec.Priority == c.Priority {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("no task record carries cohort %s priority %d", c.Name, c.Priority)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUnknownScenario: the library rejects unknown names with the known
+// list.
+func TestUnknownScenario(t *testing.T) {
+	if _, err := Build("bogus", 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if len(Names()) != 6 {
+		t.Fatalf("scenario library has %d entries, want 6", len(Names()))
+	}
+}

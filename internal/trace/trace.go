@@ -156,6 +156,14 @@ type TaskArrival struct {
 	Task    model.TrainingTask
 	Iters   int // task length in mini-batches (scaled per run)
 	GPUsReq int // requested GPU count (always 1 in this reproduction)
+
+	// Cohort names the arrival population this submission came from
+	// (trace-v2 cohort generators); empty for legacy generators. When
+	// set, it becomes the submitting user for fair-share queueing.
+	Cohort string
+	// Priority overrides the size-class-derived queue priority when
+	// non-zero (cohort SLO mixes express urgency tiers this way).
+	Priority int
 }
 
 // PhillyConfig shapes the training arrival trace.

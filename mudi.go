@@ -220,6 +220,25 @@ type SimOptions struct {
 	// class off, leaves the simulation byte-identical to an unfaulted
 	// run.
 	Faults *FaultConfig
+	// Workload, when non-nil, replays a trace-v2 workload (recorded by
+	// RecordWorkload, generated by BuildScenario, or read from a file
+	// with ReadWorkload): every device's QPS follows the trace's
+	// recorded streams and the recorded task submissions are re-issued
+	// verbatim. Devices and MIGSlices default to the trace header's
+	// values and must match them when set. Workload conflicts with the
+	// synthesis knobs — Arrivals, Tasks, MeanGapSec, IterScale,
+	// LoadFactor, Bursts — because the trace already embeds their
+	// effect; setting any of them alongside Workload is an
+	// *OptionError. A replay under the recording run's system seed,
+	// policy, and fault config reproduces Result.Summary() byte for
+	// byte; under a different policy it answers "what would this
+	// workload have seen".
+	Workload *WorkloadTrace
+	// RecordWorkload, when true, captures the workload the run actually
+	// consumes — every effective QPS step and task submission — into
+	// Result.Workload as a replayable trace-v2 document. Recording is
+	// passive: Result.Summary() is identical with and without it.
+	RecordWorkload bool
 }
 
 // FaultConfig parameterizes deterministic fault injection; see
@@ -270,6 +289,14 @@ func (s *System) SimulateContext(ctx context.Context, opts SimOptions) (*Result,
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Workload != nil {
+		// Replay: the trace header fixes the cluster shape (Validate
+		// already rejected conflicting explicit values).
+		opts.Devices = opts.Workload.Header.Devices
+		if opts.Workload.Header.MIGSlices > 1 {
+			opts.MIGSlices = opts.Workload.Header.MIGSlices
+		}
+	}
 	if opts.Devices <= 0 {
 		opts.Devices = 12
 	}
@@ -278,7 +305,13 @@ func (s *System) SimulateContext(ctx context.Context, opts SimOptions) (*Result,
 		policy = s.policy
 	}
 	arrivals := opts.Arrivals
-	if arrivals == nil {
+	if opts.Workload != nil {
+		var err error
+		arrivals, err = opts.Workload.Arrivals()
+		if err != nil {
+			return nil, err
+		}
+	} else if arrivals == nil {
 		if opts.Tasks <= 0 {
 			opts.Tasks = 24
 		}
@@ -309,6 +342,14 @@ func (s *System) SimulateContext(ctx context.Context, opts SimOptions) (*Result,
 	}
 	services := append(model.Services(), s.cfg.ExtraServices...)
 	tracer, attr := opts.tracing()
+	var rec *trace.Recorder
+	if opts.RecordWorkload {
+		mig := opts.MIGSlices
+		if mig <= 0 {
+			mig = 1
+		}
+		rec = trace.NewRecorder(s.cfg.Seed, opts.Devices, mig)
+	}
 	sim, err := cluster.New(cluster.Options{
 		Policy:         policy,
 		Oracle:         s.oracle,
@@ -326,6 +367,8 @@ func (s *System) SimulateContext(ctx context.Context, opts SimOptions) (*Result,
 		Faults:         opts.Faults,
 		Trace:          tracer,
 		Attr:           attr,
+		Replay:         opts.Workload,
+		Record:         rec,
 		Ctx:            ctx,
 	})
 	if err != nil {
@@ -372,7 +415,7 @@ var experimentOrder = []string{
 	"background", "tab2", "fig3", "fig4", "fig5", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 	"tab4", "fig17", "fig18", "optimality",
-	"ablation-tuner", "queues", "fidelity",
+	"ablation-tuner", "queues", "fidelity", "scenarios",
 }
 
 // ExperimentConfig parameterizes the experiment harness.
@@ -491,6 +534,8 @@ func StreamExperimentsCfg(names []string, ecfg ExperimentConfig, emit func(*Tabl
 			tab, err = exp.QueuePolicies(cfg)
 		case "fidelity":
 			tab, err = exp.Fidelity(cfg)
+		case "scenarios":
+			tab, err = exp.Scenarios(cfg)
 		case "background":
 			tab, err = exp.Background(cfg)
 		default:

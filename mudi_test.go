@@ -138,7 +138,7 @@ func TestMaxThroughputFacade(t *testing.T) {
 
 func TestExperimentDispatch(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 21 {
+	if len(names) != 22 {
 		t.Fatalf("experiments %d", len(names))
 	}
 	tab, err := RunExperiment("tab2", 1, ScaleSmall)

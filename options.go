@@ -2,6 +2,7 @@ package mudi
 
 import (
 	"fmt"
+	"math"
 )
 
 // BaselineID identifies one of the paper's comparison systems. The
@@ -130,6 +131,62 @@ func (o SimOptions) Validate() error {
 			return &OptionError{
 				Field: "Bursts", Value: i,
 				Reason: "burst must have Start >= 0 and End >= Start",
+			}
+		}
+		if b.Factor <= 0 || math.IsNaN(b.Factor) || math.IsInf(b.Factor, 0) {
+			// A zero/negative factor silently zeroes the service's QPS
+			// mid-run (and NaN poisons every downstream metric); reject it
+			// here instead of letting the generator produce garbage.
+			return &OptionError{
+				Field: "Bursts", Value: i,
+				Reason: fmt.Sprintf("burst Factor must be finite and > 0, got %v", b.Factor),
+			}
+		}
+	}
+	if o.Workload != nil {
+		if err := o.Workload.Validate(); err != nil {
+			return &OptionError{Field: "Workload", Value: "(trace)", Reason: err.Error()}
+		}
+		// The trace already embeds the synthesis knobs' effect — a knob
+		// set alongside it would be silently ignored, so reject instead.
+		conflicts := []struct {
+			name string
+			set  bool
+		}{
+			{"Arrivals", o.Arrivals != nil},
+			{"Tasks", o.Tasks != 0},
+			{"MeanGapSec", o.MeanGapSec != 0},
+			{"IterScale", o.IterScale != 0},
+			{"LoadFactor", o.LoadFactor != 0 && o.LoadFactor != 1},
+			{"Bursts", len(o.Bursts) != 0},
+		}
+		for _, c := range conflicts {
+			if c.set {
+				return &OptionError{
+					Field: "Workload", Value: "(trace)",
+					Reason: fmt.Sprintf("conflicts with %s: a replayed trace already embeds the synthesized workload", c.name),
+				}
+			}
+		}
+		h := o.Workload.Header
+		if o.Devices != 0 && o.Devices != h.Devices {
+			return &OptionError{
+				Field: "Devices", Value: o.Devices,
+				Reason: fmt.Sprintf("replayed trace is for %d devices (leave Devices 0 to take the header's value)", h.Devices),
+			}
+		}
+		hm := h.MIGSlices
+		if hm <= 0 {
+			hm = 1
+		}
+		om := o.MIGSlices
+		if om <= 0 {
+			om = 1
+		}
+		if o.MIGSlices != 0 && om != hm {
+			return &OptionError{
+				Field: "MIGSlices", Value: o.MIGSlices,
+				Reason: fmt.Sprintf("replayed trace is for %d MIG slices (leave MIGSlices 0 to take the header's value)", hm),
 			}
 		}
 	}

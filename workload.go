@@ -1,0 +1,70 @@
+package mudi
+
+import (
+	"io"
+
+	"mudi/internal/trace"
+	"mudi/internal/trace/scenario"
+)
+
+// Workload surface: the trace-v2 replayable workload format and the
+// named scenario library. A WorkloadTrace captures everything a run
+// consumes — per-device QPS step functions and the training submission
+// sequence — as one versioned NDJSON document; record a run with
+// SimOptions.RecordWorkload, replay one with SimOptions.Workload, and
+// move them across processes with ReadWorkload/WriteWorkload (or
+// `mudisim -trace-out` / `-trace-in`).
+type (
+	// WorkloadTrace is one trace-v2 workload: header (schema version,
+	// seed, time base, streams, cohorts) plus QPS samples and task
+	// records. Encode→Decode→Encode is byte-identical.
+	WorkloadTrace = trace.Trace
+	// WorkloadHeader is the document's first line.
+	WorkloadHeader = trace.Header
+	// TraceFormatError reports one malformed element of a trace-v2
+	// document; errors from ReadWorkload unwrap to it.
+	TraceFormatError = trace.FormatError
+	// TraceConfigError reports one invalid generator configuration
+	// field; errors from the trace generators unwrap to it.
+	TraceConfigError = trace.ConfigError
+	// Cohort describes one training arrival population (name, share,
+	// cadence, task-size mix, priority tier).
+	Cohort = trace.Cohort
+	// CohortConfig shapes a merged multi-cohort arrival trace.
+	CohortConfig = trace.CohortConfig
+)
+
+// WorkloadSchemaVersion is the trace-v2 format version this build reads
+// and writes.
+const WorkloadSchemaVersion = trace.SchemaVersion
+
+// ReadWorkload decodes a trace-v2 document. Malformed input — unknown
+// schema version, undeclared streams, out-of-order timestamps — is
+// rejected with a *TraceFormatError naming the offending line.
+func ReadWorkload(r io.Reader) (*WorkloadTrace, error) {
+	return trace.Decode(r)
+}
+
+// WriteWorkload encodes a trace in the canonical byte form.
+func WriteWorkload(w io.Writer, tr *WorkloadTrace) error {
+	return tr.Encode(w)
+}
+
+// CohortArrivals generates a merged multi-cohort training submission
+// trace — the cohort-based alternative to PhillyArrivals.
+func CohortArrivals(cfg CohortConfig) ([]TaskArrival, error) {
+	return trace.CohortTrace(cfg)
+}
+
+// ScenarioNames lists the named workload scenarios in presentation
+// order: steady-baseline, flash-crowd, diurnal-week, regional-failover,
+// correlated-bursts, model-rollout.
+func ScenarioNames() []string { return scenario.Names() }
+
+// BuildScenario generates a named scenario's workload trace under a
+// seed. The result is bit-reproducible: same (name, seed), same trace.
+// Replay it with SimOptions{Workload: tr} or write it out for
+// `mudisim -trace-in`.
+func BuildScenario(name string, seed uint64) (*WorkloadTrace, error) {
+	return scenario.Build(name, seed)
+}

@@ -1,0 +1,171 @@
+package mudi
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRecordReplayByteIdentical is the acceptance property: record a
+// bursty, faulted run, replay the recorded workload under a fresh
+// System with the same seed, and the replayed Result.Summary matches
+// the original byte for byte. A third run re-records during replay and
+// must reproduce the canonical trace bytes too.
+func TestRecordReplayByteIdentical(t *testing.T) {
+	opts := SimOptions{
+		Devices: 4, Tasks: 8, MeanGapSec: 5, IterScale: 0.001,
+		Bursts: []Burst{{Start: 40, End: 120, Factor: 3}},
+		Faults: &FaultConfig{DeviceMTBFSec: 500, DeviceMTTRSec: 60},
+	}
+
+	sys1, err := NewSystem(SystemConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := opts
+	rec.RecordWorkload = true
+	res1, err := sys1.Simulate(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Workload == nil {
+		t.Fatal("RecordWorkload set but Result.Workload is nil")
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, res1.Workload); err != nil {
+		t.Fatal(err)
+	}
+	recorded := buf.String()
+
+	// The recording itself must not perturb the run.
+	sysPlain, err := NewSystem(SystemConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPlain, err := sysPlain.Simulate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resPlain.Summary() != res1.Summary() {
+		t.Fatal("recording perturbed the run: Summary differs with RecordWorkload")
+	}
+
+	// Replay under a fresh System (same seed): byte-identical Summary.
+	// The original's Bursts/Faults still apply — Bursts are embedded in
+	// the recorded QPS, Faults must be passed again (they are part of
+	// the run config, not the workload).
+	tr, err := ReadWorkload(strings.NewReader(recorded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := NewSystem(SystemConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sys2.Simulate(SimOptions{
+		Workload: tr, Faults: opts.Faults, RecordWorkload: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res2.Summary(), res1.Summary(); got != want {
+		t.Fatalf("replay Summary diverged from recording run\n--- recorded ---\n%s\n--- replayed ---\n%s", want, got)
+	}
+
+	// Re-recording the replay reproduces the canonical trace bytes.
+	var buf2 bytes.Buffer
+	if err := WriteWorkload(&buf2, res2.Workload); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != recorded {
+		t.Fatal("re-recorded trace bytes diverged from the original recording")
+	}
+}
+
+// TestReplayDifferentPolicy replays one workload under a baseline — the
+// cross-policy comparison use case. It must run cleanly and answer with
+// the baseline's name.
+func TestReplayDifferentPolicy(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Simulate(SimOptions{
+		Devices: 3, Tasks: 5, MeanGapSec: 5, IterScale: 0.001, RecordWorkload: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sys.BaselinePolicy(BaselineGSLICE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sys.Simulate(SimOptions{Workload: res.Workload, Policy: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Policy != "gslice" {
+		t.Fatalf("policy %q", res2.Policy)
+	}
+	if res2.Admitted == 0 {
+		t.Fatal("replayed workload admitted no tasks")
+	}
+}
+
+// TestWorkloadOptionConflicts pins the Validate() rejections for replay
+// conflicts and malformed traces.
+func TestWorkloadOptionConflicts(t *testing.T) {
+	tr, err := BuildScenario("steady-baseline", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts SimOptions
+	}{
+		{"arrivals", SimOptions{Workload: tr, Arrivals: []TaskArrival{{}}}},
+		{"tasks", SimOptions{Workload: tr, Tasks: 5}},
+		{"meangap", SimOptions{Workload: tr, MeanGapSec: 3}},
+		{"iterscale", SimOptions{Workload: tr, IterScale: 0.01}},
+		{"loadfactor", SimOptions{Workload: tr, LoadFactor: 2}},
+		{"bursts", SimOptions{Workload: tr, Bursts: []Burst{{Start: 0, End: 1, Factor: 2}}}},
+		{"devices", SimOptions{Workload: tr, Devices: tr.Header.Devices + 1}},
+		{"migslices", SimOptions{Workload: tr, MIGSlices: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("want *OptionError, got %v", err)
+			}
+		})
+	}
+	// LoadFactor 1 is the documented default and not a conflict.
+	if err := (SimOptions{Workload: tr, LoadFactor: 1}).Validate(); err != nil {
+		t.Fatalf("LoadFactor=1 rejected: %v", err)
+	}
+	// A malformed trace is rejected through Validate, not a panic deep
+	// in the cluster.
+	bad := *tr
+	bad.Header.Streams = nil
+	if err := (SimOptions{Workload: &bad}).Validate(); err == nil {
+		t.Fatal("empty stream set accepted")
+	}
+}
+
+// TestBurstFactorValidated pins the satellite fix: a zero/negative
+// burst factor is an *OptionError, not silent QPS corruption.
+func TestBurstFactorValidated(t *testing.T) {
+	for _, f := range []float64{0, -2} {
+		err := (SimOptions{Bursts: []Burst{{Start: 0, End: 10, Factor: f}}}).Validate()
+		var oe *OptionError
+		if !errors.As(err, &oe) || oe.Field != "Bursts" {
+			t.Fatalf("factor %v: want Bursts *OptionError, got %v", f, err)
+		}
+	}
+	if err := (SimOptions{Bursts: []Burst{{Start: 0, End: 10, Factor: 0.5}}}).Validate(); err != nil {
+		t.Fatalf("valid burst rejected: %v", err)
+	}
+}
