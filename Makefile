@@ -9,9 +9,9 @@ GO ?= go
 # and the observability fan-in, plus the hot-path packages whose
 # scratch/memo state must stay correctly confined (oracle caches are
 # shared across workers; gp/stats/serving scratch is per-goroutine).
-RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/obs ./internal/faults ./internal/perf ./internal/stats ./internal/gp ./internal/serving ./internal/span ./internal/telemetry ./internal/trace ./internal/trace/scenario ./telemetryhttp
+RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/obs ./internal/faults ./internal/perf ./internal/stats ./internal/gp ./internal/serving ./internal/span ./internal/telemetry ./internal/trace ./internal/trace/scenario ./internal/sched ./telemetryhttp
 
-.PHONY: tier1 build test vet race test-scenarios bench-parallel bench-obs bench-hotpath bench-trace ci
+.PHONY: tier1 build test vet race test-scenarios test-classes bench-parallel bench-obs bench-hotpath bench-trace ci
 
 tier1: build test
 
@@ -33,6 +33,13 @@ race:
 #   go test ./internal/trace/... -update
 test-scenarios:
 	$(GO) test -race -timeout 60m ./internal/trace ./internal/trace/scenario ./internal/exp -run 'Scenario|Golden|Trace|Cohort|Diurnal|Ramp|FlashCrowd|BurstStorm|Failover|StepQPS|Decode|Encode|Validate|Recorder'
+
+# The SLO-class discipline: class-steered placement, admission-control
+# shedding, per-class attribution, classless byte-identity, and the
+# classless-vs-classed experiment's 1-vs-8-worker determinism, under
+# the race detector.
+test-classes:
+	$(GO) test -race -timeout 60m ./internal/model ./internal/sched ./internal/serving ./internal/span ./internal/cluster ./internal/exp . ./cmd/mudisim ./examples/sloclasses -run 'Class|Shed|SLOClass|Classless|RunClasses'
 
 # Regenerate the numbers recorded in BENCH_parallel.json.
 bench-parallel:

@@ -1,0 +1,111 @@
+package mudi
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSLOClassSurface(t *testing.T) {
+	classes := SLOClasses()
+	if len(classes) != 5 || classes[0] != SLOCritical || classes[4] != SLOBackground {
+		t.Fatalf("SLOClasses() = %v", classes)
+	}
+	for _, c := range classes {
+		parsed, err := ParseSLOClass(c.String())
+		if err != nil || parsed != c {
+			t.Fatalf("round trip %v: %v (%v)", c, parsed, err)
+		}
+	}
+	if c, err := ParseSLOClass(""); err != nil || c != SLOUnset {
+		t.Fatalf("empty name: %v (%v)", c, err)
+	}
+	if _, err := ParseSLOClass("bogus"); err == nil {
+		t.Fatal("bogus class name accepted")
+	}
+}
+
+func TestClassMixSimulate(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := SimOptions{
+		Devices: 6, Tasks: 6, MeanGapSec: 5, IterScale: 0.001,
+		Bursts: []Burst{{Start: 20, End: 80, Factor: 4}},
+		ClassMix: []SLOClass{
+			SLOSheddable, SLOStandard, SLOCritical,
+			SLOCritical, SLOStandard, SLOBackground,
+		},
+	}
+	res, err := sys.Simulate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ClassViolation) == 0 {
+		t.Fatal("class-aware run has no per-class violation roll-up")
+	}
+	for cls := range res.ShedRequests {
+		c, err := ParseSLOClass(cls)
+		if err != nil {
+			t.Fatalf("shed class %q: %v", cls, err)
+		}
+		if c != SLOSheddable && c != SLOBackground {
+			t.Fatalf("shed load from protected class %v", c)
+		}
+	}
+}
+
+func TestServiceClassesOverride(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Simulate(SimOptions{
+		Devices: 6, Tasks: 4, MeanGapSec: 5, IterScale: 0.001,
+		ServiceClasses: map[string]SLOClass{"BERT": SLOCritical},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ClassViolation) != 1 {
+		t.Fatalf("class roll-up %v, want only critical", res.ClassViolation)
+	}
+	if _, ok := res.ClassViolation["critical"]; !ok {
+		t.Fatalf("class roll-up %v missing critical", res.ClassViolation)
+	}
+
+	_, err = sys.Simulate(SimOptions{
+		Devices:        6,
+		ServiceClasses: map[string]SLOClass{"NoSuchService": SLOCritical},
+	})
+	var oe *OptionError
+	if !errors.As(err, &oe) || oe.Field != "ServiceClasses" {
+		t.Fatalf("unknown service name: %v", err)
+	}
+}
+
+func TestClassOptionValidation(t *testing.T) {
+	bad := SimOptions{ClassMix: []SLOClass{SLOCritical, SLOClass(77)}}
+	var oe *OptionError
+	if err := bad.Validate(); !errors.As(err, &oe) || oe.Field != "ClassMix" {
+		t.Fatalf("invalid ClassMix entry: %v", err)
+	}
+	bad = SimOptions{ServiceClasses: map[string]SLOClass{"BERT": SLOClass(77)}}
+	if err := bad.Validate(); !errors.As(err, &oe) || oe.Field != "ServiceClasses" {
+		t.Fatalf("invalid ServiceClasses value: %v", err)
+	}
+}
+
+func TestBaselinePolicyOptionError(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oe *OptionError
+	if _, err := sys.BaselinePolicy("bogus"); !errors.As(err, &oe) || oe.Field != "Baseline" {
+		t.Fatalf("bogus baseline: %v", err)
+	}
+	if _, err := sys.BaselinePolicy(""); !errors.As(err, &oe) {
+		t.Fatalf("empty baseline: %v", err)
+	}
+}

@@ -6,6 +6,7 @@
 //	mudisim -policy mudi -devices 12 -tasks 50
 //	mudisim -policy gslice -load 3
 //	mudisim -policy mudi -burst 100:200:3 -trace 1
+//	mudisim -classes critical,standard,sheddable -burst 60:180:4
 //	mudisim -repeats 8 -parallel 4     # 8 seed-derived replicas, 4 workers
 package main
 
@@ -62,6 +63,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		loadFlag     = fs.Float64("load", 1, "QPS load multiplier")
 		seedFlag     = fs.Uint64("seed", 1, "random seed")
 		queueFlag    = fs.String("queue", "fcfs", "queue policy: fcfs, sjf, fair, priority")
+		classesFlag  = fs.String("classes", "", "comma-separated SLO class names (critical, standard, sheddable, batch, background) assigned round-robin over the service catalog; enables class-aware routing and admission control")
 		burstFlag    = fs.String("burst", "", "QPS burst as start:end:factor (e.g. 100:200:3)")
 		traceFlag    = fs.String("trace", "", "1-based device index for the per-window device trace, or a file path: the run's causal spans are written there as Chrome trace-event JSON (open in Perfetto or chrome://tracing)")
 		moreFlag     = fs.Int("maxtrain", 1, "max training tasks per GPU (3 = Mudi-more)")
@@ -135,6 +137,20 @@ func run(args []string, stdout io.Writer) (err error) {
 		return err
 	}
 
+	var classMix []mudi.SLOClass
+	if *classesFlag != "" {
+		for _, name := range strings.Split(*classesFlag, ",") {
+			c, cerr := mudi.ParseSLOClass(strings.TrimSpace(name))
+			if cerr != nil {
+				return fmt.Errorf("bad -classes: %w", cerr)
+			}
+			if c == mudi.SLOUnset {
+				return fmt.Errorf("bad -classes %q: empty class name", *classesFlag)
+			}
+			classMix = append(classMix, c)
+		}
+	}
+
 	// Replay source: a recorded trace-v2 file or a named scenario. The
 	// workload carries its own device count, QPS streams, and arrivals,
 	// so the generator knobs don't apply.
@@ -192,6 +208,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 		opts := mudi.SimOptions{
 			Queue:          mudi.QueuePolicyID(*queueFlag),
+			ClassMix:       classMix,
 			TraceDeviceIdx: traceDevIdx,
 			Observe:        *eventsFlag || *metricsFlag || *eventsOut != "" || *metricsOut != "",
 			Trace:          tracePath != "",
@@ -328,6 +345,25 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 	if err := svcTab.WriteASCII(stdout); err != nil {
 		return err
+	}
+
+	if len(res.ClassViolation) > 0 || len(res.ShedRequests) > 0 {
+		clsTab := report.NewTable("per-class SLO (class-aware routing + admission control)",
+			"class", "violation", "shed requests")
+		for _, c := range mudi.SLOClasses() {
+			key := c.String()
+			_, hasViol := res.ClassViolation[key]
+			_, hasShed := res.ShedRequests[key]
+			if !hasViol && !hasShed {
+				continue
+			}
+			clsTab.AddRow(key, report.Pct(res.ClassViolation[key]),
+				fmt.Sprintf("%.0f", res.ShedRequests[key]))
+		}
+		clsTab.AddNote("admission control shed load in %d device-windows", res.ShedWindows)
+		if err := clsTab.WriteASCII(stdout); err != nil {
+			return err
+		}
 	}
 
 	if res.SLOReport != nil && res.SLOReport.Total > 0 {

@@ -211,3 +211,35 @@ func TestRunTraceFlagErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunClasses drives the -classes flag end to end: the per-class
+// table appears with shed load confined to shed-eligible classes, a
+// classless run never prints it, and malformed class lists are
+// rejected.
+func TestRunClasses(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-devices", "6", "-tasks", "6", "-seed", "9",
+		"-burst", "20:80:4",
+		"-classes", "sheddable,standard,critical,critical,standard,background"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"per-class SLO", "critical", "sheddable", "device-windows"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("classed output missing %q:\n%s", want, out)
+		}
+	}
+	var plain strings.Builder
+	if err := run([]string{"-devices", "6", "-tasks", "6", "-seed", "9", "-burst", "20:80:4"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "per-class SLO") {
+		t.Error("classless run printed the per-class table")
+	}
+	for _, bad := range []string{"bogus", "critical,,standard", ","} {
+		if err := run([]string{"-devices", "2", "-tasks", "2", "-classes", bad}, &b); err == nil {
+			t.Errorf("bad -classes %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// SLO classes case study: the same flash crowd hits the catalog twice.
+// The first run is classless — every service competes equally and the
+// burst spreads violations across all of them. The second assigns an
+// SLO class per service (GPT2/BERT critical, Inception/RoBERTa
+// standard, ResNet50 sheddable, YOLOS background): placement steers
+// bursty services away from critical co-residents, batch formation
+// serves stricter classes first, and admission control sheds the burst
+// excess of sheddable/background services instead of letting it drown
+// the critical path. The per-class SLOReport table shows the trade —
+// the critical class's violation rate drops strictly below the
+// classless baseline, paid for entirely with shed-eligible load.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+
+	"mudi"
+)
+
+// flashMix assigns one class per catalog service, in deploy order
+// (ResNet50, Inception, GPT2, BERT, RoBERTa, YOLOS).
+var flashMix = []mudi.SLOClass{
+	mudi.SLOSheddable, mudi.SLOStandard, mudi.SLOCritical,
+	mudi.SLOCritical, mudi.SLOStandard, mudi.SLOBackground,
+}
+
+func main() {
+	if err := run(os.Stdout, 24); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run compares a classless and a class-aware flash-crowd run; factored
+// out of main so tests can drive a smaller task count.
+func run(w io.Writer, tasks int) error {
+	simulate := func(mix []mudi.SLOClass) (*mudi.Result, error) {
+		sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 7})
+		if err != nil {
+			return nil, fmt.Errorf("offline pipeline: %w", err)
+		}
+		return sys.Simulate(mudi.SimOptions{
+			Devices:    6,
+			Tasks:      tasks,
+			MeanGapSec: 5,
+			IterScale:  0.001,
+			Bursts:     []mudi.Burst{{Start: 30, End: 150, Factor: 4}},
+			ClassMix:   mix,
+			Trace:      true,
+		})
+	}
+
+	classless, err := simulate(nil)
+	if err != nil {
+		return fmt.Errorf("classless run: %w", err)
+	}
+	classed, err := simulate(flashMix)
+	if err != nil {
+		return fmt.Errorf("classed run: %w", err)
+	}
+
+	// Re-aggregate the classless run's per-service violation rates under
+	// the class mix: the "what each class would have suffered" baseline.
+	services := mudi.Services()
+	baseSum, baseN := make(map[string]float64), make(map[string]float64)
+	for i, svc := range services {
+		cls := flashMix[i%len(flashMix)].String()
+		baseSum[cls] += classless.SLOViolation[svc.Name]
+		baseN[cls]++
+	}
+
+	fmt.Fprintf(w, "flash crowd 4x over t=30..150 s, %d GPUs, %d training arrivals, seed 7\n\n", 6, tasks)
+	fmt.Fprintln(w, "per-class SLO (classless baseline vs class-aware run)")
+	fmt.Fprintln(w, "class        classless  classed  shed requests")
+	for _, cls := range mudi.SLOClasses() {
+		key := cls.String()
+		if baseN[key] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %9.4f  %7.4f  %13.0f\n",
+			key, baseSum[key]/baseN[key], classed.ClassViolation[key], classed.ShedRequests[key])
+	}
+	fmt.Fprintf(w, "\nadmission control shed load in %d device-windows\n", classed.ShedWindows)
+
+	if rep := classed.SLOReport; rep != nil && len(rep.Classes) > 0 {
+		fmt.Fprintln(w, "\nper-class attribution (from the classed run's SLOReport)")
+		fmt.Fprintln(w, "class        violations  violated(min)  shed requests  causes")
+		for _, c := range rep.Classes {
+			causes := make([]string, 0, len(c.Causes))
+			for name, n := range c.Causes {
+				causes = append(causes, fmt.Sprintf("%s=%d", name, n))
+			}
+			sort.Strings(causes)
+			fmt.Fprintf(w, "%-12s %10d  %13.2f  %13.0f  %v\n",
+				c.Class, c.Violations, c.ViolatedMinutes, c.ShedRequests, causes)
+		}
+	}
+
+	critBase := baseSum["critical"] / baseN["critical"]
+	critClassed := classed.ClassViolation["critical"]
+	fmt.Fprintf(w, "\ncritical-class violation rate: %.4f classless -> %.4f class-aware\n", critBase, critClassed)
+	if critClassed < critBase {
+		fmt.Fprintln(w, "class-aware routing + admission control protected the critical class")
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mudi"
+)
+
+// TestRunSmoke pins the example's headline claim: the class-aware run's
+// critical violation rate is strictly below the classless baseline, and
+// every shed request comes from a shed-eligible class.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 12); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"per-class SLO", "critical", "sheddable", "background",
+		"device-windows", "per-class attribution",
+		"class-aware routing + admission control protected the critical class",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Shed lines only ever name shed-eligible classes: the protected
+	// classes must report zero shed requests in both tables.
+	for _, protected := range []mudi.SLOClass{mudi.SLOCritical, mudi.SLOStandard} {
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(line, protected.String()+" ") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[3] != "0" && !strings.Contains(line, "violated") {
+				t.Errorf("protected class line sheds load: %q", line)
+			}
+		}
+	}
+}
+
+// TestRunDeterministic pins byte-identical output across invocations —
+// the example's comparison is meaningless if either run drifts.
+func TestRunDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		if err := run(&buf, 12); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("example output drifts between runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestShedConfinedToEligibleClasses checks the invariant directly on
+// the Result rather than the rendered text.
+func TestShedConfinedToEligibleClasses(t *testing.T) {
+	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Simulate(mudi.SimOptions{
+		Devices: 6, Tasks: 12, MeanGapSec: 5, IterScale: 0.001,
+		Bursts:   []mudi.Burst{{Start: 30, End: 150, Factor: 4}},
+		ClassMix: flashMix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cls, n := range res.ShedRequests {
+		if cls != mudi.SLOSheddable.String() && cls != mudi.SLOBackground.String() {
+			t.Errorf("class %q shed %s requests", cls, fmt.Sprintf("%.0f", n))
+		}
+	}
+}

@@ -184,6 +184,18 @@ type Result struct {
 	FailedSpinUps    int // shadow instances that failed to spin up
 	MeasureRetries   int // transient measurement errors retried
 
+	// SLO-class accounting. All empty/zero (and absent from Summary())
+	// unless some service declares a class — a classless run is
+	// byte-identical to a build without classes.
+	//
+	// ShedRequests counts the requests admission control dropped, per
+	// class wire name; ShedWindows counts device-windows that shed;
+	// ClassViolation is SLOViolation re-aggregated per class (violated
+	// windows / windows over every device in the class).
+	ShedRequests   map[string]float64
+	ShedWindows    int
+	ClassViolation map[string]float64
+
 	// Trace is the per-window record of the traced device (Fig. 16).
 	Trace []TracePoint
 
@@ -272,6 +284,14 @@ type Sim struct {
 	tracer *span.Tracer
 	attr   *span.Attributor
 
+	// classAware is set when any service declares an SLO class; it
+	// gates every class code path so a classless run takes the exact
+	// pre-class branches.
+	classAware bool
+	// classFW scores devices for class-steered placement (budget veto +
+	// criticality preference); nil when classAware is false.
+	classFW *sched.Framework
+
 	// measMap is the policy-facing view of meas, built once at
 	// construction (meas never changes afterward) so trySchedule does
 	// not rebuild it per placement attempt.
@@ -284,6 +304,10 @@ type Sim struct {
 	// can rebuild the live slice (evictions, completions). The snapshot
 	// call chains never take a second snapshot, so one buffer suffices.
 	snapBuf []*taskState
+	// tierBuf/scoreBuf back the class-steered selection's per-tier view
+	// slice and per-candidate score slice (class-aware runs only).
+	tierBuf  []core.DeviceView
+	scoreBuf []float64
 
 	res *Result
 }
@@ -312,6 +336,9 @@ type simObs struct {
 	// injector is enabled so an unfaulted run's metrics snapshot stays
 	// byte-identical to a build without fault injection.
 	faults *faultObs
+	// sheds counts admission-control load sheds. Created only in
+	// class-aware runs, same byte-identity contract as faults.
+	sheds *obs.Counter
 }
 
 // faultObs caches the fault-injection counters.
@@ -370,6 +397,17 @@ func New(opts Options) (*Sim, error) {
 			MemUtil:      stats.NewTimeSeries(),
 		},
 	}
+	for _, svc := range opts.Services {
+		if !svc.Class.Valid() {
+			return nil, fmt.Errorf("cluster: service %q has invalid SLO class %d", svc.Name, uint8(svc.Class))
+		}
+		if svc.Class != model.ClassUnset {
+			s.classAware = true
+		}
+	}
+	if s.classAware {
+		s.classFW = sched.NewFramework(sched.ClassBudgetPlugin{}, sched.ClassPriorityPlugin{})
+	}
 	if opts.Faults != nil {
 		inj, err := faults.New(*opts.Faults, opts.Seed, opts.MaxHorizonSec)
 		if err != nil {
@@ -381,6 +419,9 @@ func New(opts Options) (*Sim, error) {
 		s.obsv = newSimObs(opts.Obs)
 		if s.inj != nil {
 			s.obsv.faults = newFaultObs(opts.Obs)
+		}
+		if s.classAware {
+			s.obsv.sheds = opts.Obs.Counter("cluster_load_sheds_total")
 		}
 		s.queue.SetObs(opts.Obs)
 	}
@@ -623,7 +664,13 @@ func (s *Sim) trySchedule(now float64) {
 		}
 		s.viewsBuf = views // keep the grown capacity for the next attempt
 		start := time.Now()
-		devID, ok := s.opts.Policy.SelectDevice(qj.arrival.Task, views, s.measMap)
+		var devID string
+		var ok bool
+		if s.classAware {
+			devID, ok = s.classSelect(qj, views)
+		} else {
+			devID, ok = s.opts.Policy.SelectDevice(qj.arrival.Task, views, s.measMap)
+		}
 		s.res.PlacementOverheadMs = append(s.res.PlacementOverheadMs, float64(time.Since(start).Microseconds())/1000)
 		if !ok {
 			return // head-of-line blocks until a completion frees capacity
@@ -635,6 +682,55 @@ func (s *Sim) trySchedule(now float64) {
 		s.queue.Pop()
 		s.place(now, dev, qj)
 	}
+}
+
+// classSelect is the class-aware placement path: the class framework
+// scores every candidate (budget-exhausted devices are vetoed
+// outright), then the configured policy picks within score tiers from
+// the most preferred (least critical residents) down. The policy keeps
+// full authority inside a tier — class steering only decides which
+// devices it may consider first — so a classless fleet degenerates to
+// one tier and the exact policy decision.
+func (s *Sim) classSelect(qj *queueJob, views []core.DeviceView) (string, bool) {
+	scores := s.scoreBuf[:0]
+	kept := 0
+	for _, v := range views {
+		d := s.deviceByID(v.ID)
+		sc, ok := s.classFW.Score(qj.job, d.schedInfo())
+		if !ok {
+			continue
+		}
+		views[kept] = v
+		scores = append(scores, sc)
+		kept++
+	}
+	views = views[:kept]
+	s.scoreBuf = scores
+	for len(views) > 0 {
+		best := scores[0]
+		for _, sc := range scores[1:] {
+			if sc > best {
+				best = sc
+			}
+		}
+		tier := s.tierBuf[:0]
+		rest := 0
+		for i, v := range views {
+			if scores[i] == best {
+				tier = append(tier, v)
+			} else {
+				views[rest] = v
+				scores[rest] = scores[i]
+				rest++
+			}
+		}
+		views, scores = views[:rest], scores[:rest]
+		s.tierBuf = tier
+		if devID, ok := s.opts.Policy.SelectDevice(qj.arrival.Task, tier, s.measMap); ok {
+			return devID, true
+		}
+	}
+	return "", false
 }
 
 // serviceByName resolves a replay stream's service against the run's
@@ -1007,6 +1103,37 @@ func (s *Sim) window(now float64) {
 		svc := d.svc
 		qps := svc.qpsTrace.At(now)
 
+		// Admission control (class-aware runs only): a shed-eligible
+		// service's offered load is capped at the burst threshold —
+		// BurstFactor × nominal QPS — and the excess is dropped at the
+		// door instead of driving the window budget (and the co-located
+		// critical services' retunes) into the ground. Critical/standard
+		// load is never shed; batch defers but keeps every request.
+		var shedQPS float64
+		if s.classAware && svc.info.Class.SheddableLoad() {
+			admitCap := span.BurstFactor * svc.info.BaseQPS * s.opts.LoadFactor
+			if admitCap > 0 && qps > admitCap {
+				shedQPS = qps - admitCap
+				qps = admitCap
+				cls := svc.info.Class.String()
+				if s.res.ShedRequests == nil {
+					s.res.ShedRequests = make(map[string]float64)
+				}
+				s.res.ShedRequests[cls] += shedQPS * w
+				s.res.ShedWindows++
+				if s.attr != nil {
+					s.attr.ObserveShed(cls, shedQPS*w)
+				}
+				if s.obsv != nil {
+					s.obsv.sheds.Inc()
+					s.obsv.sink.Emit(obs.Event{
+						Time: now, Type: obs.EventLoadShed, Device: d.dev.ID,
+						Service: svc.info.Name, Value: shedQPS, Cause: cls,
+					})
+				}
+			}
+		}
+
 		// Monitor: retune on a large QPS change (§5.3.2 case 2).
 		if !s.opts.DisableRetune && relChange(svc.curQPS, qps) >= s.opts.QPSChangeThreshold {
 			svc.curQPS = qps
@@ -1063,6 +1190,8 @@ func (s *Sim) window(now float64) {
 						LatencyMs: lat, BudgetMs: budget, QPS: qps,
 						BaseQPS:   svc.info.BaseQPS * s.opts.LoadFactor,
 						Residents: residents,
+						Class:     svc.info.Class.String(),
+						ShedQPS:   shedQPS,
 					})
 				}
 				if s.obsv != nil {
@@ -1386,6 +1515,13 @@ func (s *Sim) measureFault(d *deviceState) error {
 
 // finalize converts accumulators into rates.
 func (s *Sim) finalize(now float64) {
+	// Class roll-up accumulators (class-aware runs only): violated and
+	// total windows per class wire name, over every device in the class.
+	var classViol, classWin map[string]float64
+	if s.classAware {
+		classViol = make(map[string]float64)
+		classWin = make(map[string]float64)
+	}
 	for _, d := range s.devices {
 		svc := d.svc
 		name := svc.info.Name
@@ -1397,6 +1533,11 @@ func (s *Sim) finalize(now float64) {
 			totalWin := prevWin + float64(svc.totalWin)
 			s.res.SLOViolation[name] = (prevRate*prevWin + float64(svc.violWin)) / totalWin
 			s.res.MeanP99[name+"/windows"] = totalWin
+			if s.classAware && svc.info.Class != model.ClassUnset {
+				cls := svc.info.Class.String()
+				classViol[cls] += float64(svc.violWin)
+				classWin[cls] += float64(svc.totalWin)
+			}
 		}
 		frac := d.pool.SwapFraction(now)
 		if frac > s.res.SwapFraction[name] {
@@ -1409,6 +1550,14 @@ func (s *Sim) finalize(now float64) {
 	}
 	if s.res.SwapEvents > 0 {
 		s.res.AvgTransferMs /= float64(s.res.SwapEvents)
+	}
+	for cls, wins := range classWin {
+		if wins > 0 {
+			if s.res.ClassViolation == nil {
+				s.res.ClassViolation = make(map[string]float64)
+			}
+			s.res.ClassViolation[cls] = classViol[cls] / wins
+		}
 	}
 	// Simulation-end observability roll-up: the event stream and the
 	// final metrics snapshot ride on the Result (Summary() excludes

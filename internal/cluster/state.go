@@ -205,6 +205,27 @@ func (d *deviceState) view() core.DeviceView {
 	}
 }
 
+// schedInfo builds the class framework's view of the device — the
+// scheduling-relevant subset of view() plus the resident service's SLO
+// class. Allocation-free (class-aware placement runs it per candidate
+// per attempt).
+func (d *deviceState) schedInfo() sched.DeviceInfo {
+	free := 1 - d.svc.delta
+	if free < 0 {
+		free = 0
+	}
+	return sched.DeviceInfo{
+		ID:            d.dev.ID,
+		FreeShare:     free,
+		TrainingCount: d.residentCount(),
+		ServiceName:   d.svc.info.Name,
+		ServiceQPS:    d.svc.curQPS,
+		MemoryFreeMB:  d.pool.CapacityMB() - d.pool.DeviceUsedMB(),
+		SMUtil:        d.smUtil,
+		ServiceClass:  d.svc.info.Class,
+	}
+}
+
 // deviceMeasurer adapts the oracle as the policy's live feedback for
 // one device: measurements reflect the device's actual co-location.
 type deviceMeasurer struct {

@@ -91,6 +91,15 @@ func (r *Result) Summary() string {
 			",spinup_failed:" + strconv.Itoa(r.FailedSpinUps) +
 			",measure_retries:" + strconv.Itoa(r.MeasureRetries) + "\n")
 	}
+	// SLO-class accounting appears only when a run is class-aware, so
+	// classless runs stay byte-identical to pre-class summaries.
+	if len(r.ClassViolation) > 0 {
+		sortedMap("class_slo_violation", r.ClassViolation)
+	}
+	if len(r.ShedRequests) > 0 {
+		sortedMap("shed_requests", r.ShedRequests)
+		b.WriteString("shed_windows=" + strconv.Itoa(r.ShedWindows) + "\n")
+	}
 	for _, pt := range r.Trace {
 		b.WriteString("trace=" + f(pt.Time) + "," + f(pt.QPS) + "," + strconv.Itoa(pt.Batch) + "," +
 			f(pt.Delta) + "," + f(pt.LatencyMs) + "," + f(pt.BudgetMs) + "," +
@@ -127,6 +136,9 @@ type resultJSON struct {
 	Failovers         int                `json:"failovers,omitempty"`
 	FailedSpinUps     int                `json:"failed_spinups,omitempty"`
 	MeasureRetries    int                `json:"measure_retries,omitempty"`
+	ClassViolation    map[string]float64 `json:"class_slo_violation,omitempty"`
+	ShedRequests      map[string]float64 `json:"shed_requests,omitempty"`
+	ShedWindows       int                `json:"shed_windows,omitempty"`
 	PlacementP50Ms    float64            `json:"placement_p50_ms"`
 	PlacementP99Ms    float64            `json:"placement_p99_ms"`
 	Trace             []TracePoint       `json:"trace,omitempty"`
@@ -165,6 +177,9 @@ func (r *Result) WriteJSON(w io.Writer, seriesPoints int) error {
 		Failovers:        r.Failovers,
 		FailedSpinUps:    r.FailedSpinUps,
 		MeasureRetries:   r.MeasureRetries,
+		ClassViolation:   r.ClassViolation,
+		ShedRequests:     r.ShedRequests,
+		ShedWindows:      r.ShedWindows,
 		PlacementP50Ms:   stats.PercentileSorted(placement, 50),
 		PlacementP99Ms:   stats.PercentileSorted(placement, 99),
 		Trace:            r.Trace,

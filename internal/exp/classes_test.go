@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"mudi/internal/model"
+)
+
+// TestClassesParallelDeterminism pins the class experiment to PR 1's
+// discipline: both cells (classless and classed) produce byte-identical
+// Result summaries whether they run on one worker or eight.
+func TestClassesParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full comparison sets in -short")
+	}
+	summaries := func(parallel int) map[string]string {
+		results, err := ClassesResults(Config{Seed: 3, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(results))
+		for name, res := range results {
+			out[name] = res.Summary()
+		}
+		return out
+	}
+	seq := summaries(1)
+	par := summaries(8)
+	if len(seq) != 2 || len(par) != 2 {
+		t.Fatalf("cell counts: sequential %d, parallel %d, want 2", len(seq), len(par))
+	}
+	for name, want := range seq {
+		if got := par[name]; got != want {
+			t.Errorf("cell %q: -parallel 8 summary differs from -parallel 1 (len %d vs %d)",
+				name, len(got), len(want))
+		}
+	}
+}
+
+// TestClassesExperiment checks the headline claim the experiment
+// exists to demonstrate: under the shared flash crowd, class-aware
+// routing plus admission control strictly lowers the critical class's
+// violation rate versus the classless baseline, and every shed request
+// comes from a shed-eligible class.
+func TestClassesExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full cluster runs in -short")
+	}
+	results, err := ClassesResults(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classless, classed := results["classless"], results["classed"]
+	if len(classless.ClassViolation) != 0 || len(classless.ShedRequests) != 0 {
+		t.Fatalf("classless cell has class fields: %v / %v",
+			classless.ClassViolation, classless.ShedRequests)
+	}
+	base := classlessRateByClass(classless)
+	crit := classed.ClassViolation["critical"]
+	if crit >= base["critical"] {
+		t.Errorf("critical violation rate %.4f not below classless %.4f", crit, base["critical"])
+	}
+	for cls := range classed.ShedRequests {
+		c, err := model.ParseSLOClass(cls)
+		if err != nil {
+			t.Fatalf("shed class %q: %v", cls, err)
+		}
+		if !c.SheddableLoad() {
+			t.Errorf("shed load charged to protected class %q", cls)
+		}
+	}
+	if classed.ShedWindows == 0 {
+		t.Error("flash crowd shed no windows")
+	}
+
+	tab, err := Classes(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := renderTable(t, tab)
+	for _, want := range []string{"critical", "sheddable", "background", "BERT+GPT2"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("table missing %q:\n%s", want, rendered)
+		}
+	}
+	found := false
+	for _, note := range tab.Notes {
+		if strings.Contains(note, strconv.Itoa(classed.ShedWindows)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("table notes %q missing shed window count %d", tab.Notes, classed.ShedWindows)
+	}
+}

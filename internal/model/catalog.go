@@ -22,6 +22,13 @@ type InferenceService struct {
 	// trace generators; the paper drives each service with Poisson
 	// arrivals at a 5 ms mean inter-arrival (≈200 req/s).
 	BaseQPS float64
+
+	// Class tiers the service for priority routing and admission
+	// control. The catalog ships every service ClassUnset (the paper
+	// treats all SLOs alike); callers opt into mixed-SLO fleets by
+	// assigning classes, and a fleet of ClassUnset services behaves
+	// byte-identically to a build without classes.
+	Class SLOClass
 }
 
 // MemoryMB returns the service's GPU-resident footprint for a batch.

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSLOClassNamesRoundTrip(t *testing.T) {
+	for c := ClassUnset; c < numSLOClasses; c++ {
+		got, err := ParseSLOClass(c.String())
+		if err != nil {
+			t.Fatalf("ParseSLOClass(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Fatalf("round trip %v -> %q -> %v", c, c.String(), got)
+		}
+	}
+	if _, err := ParseSLOClass("bogus"); err == nil {
+		t.Fatal("ParseSLOClass(bogus) should fail")
+	}
+}
+
+func TestSLOClassJSON(t *testing.T) {
+	b, err := json.Marshal(ClassSheddable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"sheddable"` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var c SLOClass
+	if err := json.Unmarshal([]byte(`"critical"`), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c != ClassCritical {
+		t.Fatalf("unmarshal = %v", c)
+	}
+	// Unset encodes as the empty string so omitempty-tagged wire
+	// records stay byte-identical to the classless format.
+	b, err = json.Marshal(ClassUnset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `""` {
+		t.Fatalf("marshal unset = %s", b)
+	}
+	if _, err := SLOClass(200).MarshalJSON(); err == nil {
+		t.Fatal("marshal of invalid class should fail")
+	}
+}
+
+func TestSLOClassRankOrder(t *testing.T) {
+	classes := SLOClasses()
+	if len(classes) != 5 {
+		t.Fatalf("SLOClasses len = %d", len(classes))
+	}
+	for i := 1; i < len(classes); i++ {
+		if classes[i-1].Rank() <= classes[i].Rank() {
+			t.Fatalf("ranks not strictly decreasing at %v vs %v", classes[i-1], classes[i])
+		}
+	}
+	if classes[0].Rank() != MaxClassRank {
+		t.Fatalf("top rank = %d want %d", classes[0].Rank(), MaxClassRank)
+	}
+	if ClassUnset.Rank() != 0 {
+		t.Fatalf("unset rank = %d", ClassUnset.Rank())
+	}
+}
+
+func TestSLOClassSheddableLoad(t *testing.T) {
+	want := map[SLOClass]bool{
+		ClassUnset:      false,
+		ClassCritical:   false,
+		ClassStandard:   false,
+		ClassSheddable:  true,
+		ClassBatch:      false,
+		ClassBackground: true,
+	}
+	for c, w := range want {
+		if got := c.SheddableLoad(); got != w {
+			t.Fatalf("%v.SheddableLoad() = %v want %v", c, got, w)
+		}
+	}
+}

@@ -54,6 +54,10 @@ const (
 	// ("device-failed") from a failed shadow spin-up
 	// ("shadow-spinup-failed", where the old instance keeps serving).
 	EventFailover
+	// EventLoadShed: admission control dropped part of a shed-eligible
+	// service's offered load during a burst (Value = shed QPS, Cause =
+	// the service's SLO class).
+	EventLoadShed
 
 	numEventTypes // keep last
 )
@@ -72,6 +76,7 @@ var eventTypeNames = [numEventTypes]string{
 	EventDeviceRecovered: "device_recovered",
 	EventMeasureRetry:    "measure_retry",
 	EventFailover:        "failover",
+	EventLoadShed:        "load_shed",
 }
 
 // String returns the wire name of the event type.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mudi/internal/model"
 	"mudi/internal/obs"
 )
 
@@ -34,6 +35,31 @@ type Policy interface {
 	Pick(pending []*Job, usage map[string]float64) int
 }
 
+// pickBest returns the index of the minimum pending job under less.
+// Every policy's Pick is this scan with a policy-specific comparator;
+// each comparator is a strict total order ending in the
+// submission-order tie-break (SubmitTime, then unique ID), so the
+// choice is independent of queue insertion order — the property that
+// keeps results bit-identical at any worker count.
+func pickBest(pending []*Job, less func(a, b *Job) bool) int {
+	best := 0
+	for i := 1; i < len(pending); i++ {
+		if less(pending[i], pending[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// submitOrderLess is the shared final tie-break: earlier submission
+// wins, then the unique job ID makes the order total.
+func submitOrderLess(a, b *Job) bool {
+	if a.SubmitTime != b.SubmitTime {
+		return a.SubmitTime < b.SubmitTime
+	}
+	return a.ID < b.ID
+}
+
 // FCFS schedules in submission order — the paper's default (§6).
 type FCFS struct{}
 
@@ -42,17 +68,10 @@ func (FCFS) Name() string { return "fcfs" }
 
 // Pick implements Policy.
 func (FCFS) Pick(pending []*Job, _ map[string]float64) int {
-	best := 0
-	for i, j := range pending {
-		if j.SubmitTime < pending[best].SubmitTime ||
-			(j.SubmitTime == pending[best].SubmitTime && j.ID < pending[best].ID) {
-			best = i
-		}
-	}
-	return best
+	return pickBest(pending, submitOrderLess)
 }
 
-// SJF schedules the shortest estimated job first.
+// SJF schedules the shortest estimated job first, ties by job ID.
 type SJF struct{}
 
 // Name implements Policy.
@@ -60,19 +79,16 @@ func (SJF) Name() string { return "sjf" }
 
 // Pick implements Policy.
 func (SJF) Pick(pending []*Job, _ map[string]float64) int {
-	best := 0
-	for i, j := range pending {
-		b := pending[best]
-		if j.EstDurationSec < b.EstDurationSec ||
-			(j.EstDurationSec == b.EstDurationSec && j.ID < b.ID) {
-			best = i
+	return pickBest(pending, func(a, b *Job) bool {
+		if a.EstDurationSec != b.EstDurationSec {
+			return a.EstDurationSec < b.EstDurationSec
 		}
-	}
-	return best
+		return a.ID < b.ID
+	})
 }
 
-// PriorityPolicy schedules the highest priority first, FCFS within a
-// priority level.
+// PriorityPolicy schedules the highest priority first, submission
+// order (SubmitTime, then ID) within a priority level.
 type PriorityPolicy struct{}
 
 // Name implements Policy.
@@ -80,20 +96,16 @@ func (PriorityPolicy) Name() string { return "priority" }
 
 // Pick implements Policy.
 func (PriorityPolicy) Pick(pending []*Job, _ map[string]float64) int {
-	best := 0
-	for i, j := range pending {
-		b := pending[best]
-		if j.Priority > b.Priority ||
-			(j.Priority == b.Priority && (j.SubmitTime < b.SubmitTime ||
-				(j.SubmitTime == b.SubmitTime && j.ID < b.ID))) {
-			best = i
+	return pickBest(pending, func(a, b *Job) bool {
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
 		}
-	}
-	return best
+		return submitOrderLess(a, b)
+	})
 }
 
 // FairShare schedules the job whose user has the least accumulated
-// usage (max-min fairness over GPU-seconds).
+// usage (max-min fairness over GPU-seconds), ties in submission order.
 type FairShare struct{}
 
 // Name implements Policy.
@@ -101,16 +113,13 @@ func (FairShare) Name() string { return "fair" }
 
 // Pick implements Policy.
 func (FairShare) Pick(pending []*Job, usage map[string]float64) int {
-	best := 0
-	for i, j := range pending {
-		b := pending[best]
-		ju, bu := usage[j.User], usage[b.User]
-		if ju < bu || (ju == bu && (j.SubmitTime < b.SubmitTime ||
-			(j.SubmitTime == b.SubmitTime && j.ID < b.ID))) {
-			best = i
+	return pickBest(pending, func(a, b *Job) bool {
+		au, bu := usage[a.User], usage[b.User]
+		if au != bu {
+			return au < bu
 		}
-	}
-	return best
+		return submitOrderLess(a, b)
+	})
 }
 
 // PolicyByName resolves a policy from its flag name.
@@ -234,6 +243,9 @@ type DeviceInfo struct {
 	ServiceQPS    float64
 	MemoryFreeMB  float64
 	SMUtil        float64
+	// ServiceClass is the resident service's SLO class
+	// (model.ClassUnset when the service is unclassed or absent).
+	ServiceClass model.SLOClass
 }
 
 // ScorePlugin scores a device for a job; higher is better. A negative
@@ -256,6 +268,22 @@ func NewFramework(plugins ...ScorePlugin) *Framework {
 // ErrNoDevice reports that every device was vetoed.
 var ErrNoDevice = errors.New("sched: no eligible device")
 
+// Score runs the full pipeline for a single device and returns the
+// total score plus whether the device survived (false when any plugin
+// vetoed it). Callers that need the per-device scores — e.g. tiered
+// class steering in the cluster — use this instead of Select.
+func (f *Framework) Score(job *Job, dev DeviceInfo) (float64, bool) {
+	total := 0.0
+	for _, p := range f.plugins {
+		s := p.Score(job, dev)
+		if s < 0 {
+			return 0, false
+		}
+		total += s
+	}
+	return total, true
+}
+
 // Select returns the device with the highest total score; any plugin
 // returning a negative score vetoes that device. Ties break by device
 // ID for determinism.
@@ -263,17 +291,8 @@ func (f *Framework) Select(job *Job, devices []DeviceInfo) (DeviceInfo, error) {
 	bestIdx := -1
 	bestScore := 0.0
 	for i, dev := range devices {
-		total := 0.0
-		vetoed := false
-		for _, p := range f.plugins {
-			s := p.Score(job, dev)
-			if s < 0 {
-				vetoed = true
-				break
-			}
-			total += s
-		}
-		if vetoed {
+		total, ok := f.Score(job, dev)
+		if !ok {
 			continue
 		}
 		if bestIdx < 0 || total > bestScore ||

@@ -1,0 +1,259 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"mudi/internal/model"
+	"mudi/internal/span"
+	"mudi/internal/stats"
+)
+
+// runClassed is the class-aware serving loop behind Run when
+// Config.Classes is set. It differs from the classless loop in two
+// moves:
+//
+//   - Batch formation is by class rank: when the device frees, the
+//     batch takes the highest-ranked queued requests first (arrival
+//     order within a class), so critical requests preempt batch slots
+//     that sheddable/batch/background work would otherwise fill.
+//   - Queue overflow sheds instead of tail-dropping: when the backlog
+//     is full, the lowest-ranked shed-eligible request (newest among
+//     equals — it has waited least) is dropped to make room. Only when
+//     nothing in the backlog is shed-eligible does the newcomer get a
+//     plain rejection.
+//
+// Every arrival therefore ends in exactly one of served/rejected/shed,
+// per class — the conservation law the property test pins.
+func runClassed(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
+	if len(cfg.Classes) != len(arrivals) {
+		return Result{}, fmt.Errorf("serving: %d classes for %d arrivals", len(cfg.Classes), len(arrivals))
+	}
+	for i, c := range cfg.Classes {
+		if !c.Valid() {
+			return Result{}, fmt.Errorf("serving: invalid SLO class %d at arrival %d", uint8(c), i)
+		}
+	}
+	var res Result
+	res.ClassStats = make(map[model.SLOClass]ClassStat)
+	n := len(arrivals)
+	if n == 0 {
+		return res, nil
+	}
+	for _, c := range cfg.Classes {
+		st := res.ClassStats[c]
+		st.Offered++
+		res.ClassStats[c] = st
+	}
+	maxWait := cfg.MaxWaitMs
+	if maxWait <= 0 {
+		maxWait = cfg.SLOms / 2
+	}
+
+	const (
+		stPending uint8 = iota
+		stServed
+		stRejected
+		stShed
+	)
+	status := make([]uint8, n)
+	latByIdx := make([]float64, n)
+	queue := make([]int, 0, cfg.BatchCap) // arrival indices, unordered
+	shed := func(idx int) { status[idx] = stShed }
+	reject := func(idx int) { status[idx] = stRejected }
+
+	// admit enqueues arrival idx, shedding a victim on overflow. The
+	// victim is the lowest-ranked shed-eligible entry among the backlog
+	// plus the newcomer; rank ties drop the newest (largest index —
+	// it has the least invested waiting). The newcomer is always the
+	// newest, so a newcomer tying the minimum sheds itself.
+	admit := func(idx int) {
+		if cfg.MaxQueue <= 0 || len(queue) < cfg.MaxQueue {
+			queue = append(queue, idx)
+			return
+		}
+		victim, victimPos, victimRank := -1, -1, 0
+		for pos, qi := range queue {
+			c := cfg.Classes[qi]
+			if !c.SheddableLoad() {
+				continue
+			}
+			if r := c.Rank(); victim < 0 || r < victimRank || (r == victimRank && qi > victim) {
+				victim, victimPos, victimRank = qi, pos, r
+			}
+		}
+		if c := cfg.Classes[idx]; c.SheddableLoad() && (victim < 0 || c.Rank() <= victimRank) {
+			victim, victimPos = idx, -1
+		}
+		if victim < 0 {
+			reject(idx)
+			return
+		}
+		shed(victim)
+		if victimPos >= 0 {
+			queue = append(queue[:victimPos], queue[victimPos+1:]...)
+			queue = append(queue, idx)
+		}
+	}
+
+	freeAt := arrivals[0]
+	var busy float64
+	i := 0
+	for i < n || len(queue) > 0 {
+		for i < n && arrivals[i] <= freeAt {
+			admit(i)
+			i++
+		}
+		if len(queue) == 0 {
+			if i < n {
+				freeAt = arrivals[i]
+				continue
+			}
+			break
+		}
+		if cfg.FormBatches && len(queue) < cfg.BatchCap && maxWait > 0 {
+			oldest := queue[0]
+			for _, qi := range queue {
+				if qi < oldest {
+					oldest = qi
+				}
+			}
+			deadline := arrivals[oldest] + maxWait/1000
+			for len(queue) < cfg.BatchCap && i < n && arrivals[i] <= deadline {
+				admit(i)
+				i++
+			}
+			if len(queue) < cfg.BatchCap {
+				if deadline > freeAt {
+					freeAt = deadline
+				}
+			} else {
+				// Filled while holding: launch when the last member
+				// arrived (the largest index is the latest arrival).
+				last := queue[0]
+				for _, qi := range queue {
+					if qi > last {
+						last = qi
+					}
+				}
+				if at := arrivals[last]; at > freeAt {
+					freeAt = at
+				}
+			}
+		}
+		// Priority batch formation: rank desc, arrival order within a
+		// rank. Indices are unique, so the order is total and the pick
+		// is deterministic under any backlog permutation.
+		sort.Slice(queue, func(a, b int) bool {
+			ra, rb := cfg.Classes[queue[a]].Rank(), cfg.Classes[queue[b]].Rank()
+			if ra != rb {
+				return ra > rb
+			}
+			return queue[a] < queue[b]
+		})
+		take := len(queue)
+		if take > cfg.BatchCap {
+			take = cfg.BatchCap
+		}
+		batch := queue[:take]
+		procMs := lat(take)
+		if procMs < 0 {
+			return Result{}, fmt.Errorf("serving: negative latency %v for batch %d", procMs, take)
+		}
+		start := freeAt
+		end := start + procMs/1000
+		if cfg.Trace != nil {
+			earliest := batch[0]
+			for _, idx := range batch {
+				if idx < earliest {
+					earliest = idx
+				}
+			}
+			bf := cfg.Trace.Add(span.Span{
+				Kind: span.KindBatchForm, Start: arrivals[earliest], End: start,
+				Device: cfg.Device, Service: cfg.Service, Batch: take,
+			})
+			cfg.Trace.Add(span.Span{
+				Kind: span.KindGPUExec, Parent: bf, Start: start, End: end,
+				Device: cfg.Device, Service: cfg.Service, Batch: take, Value: procMs,
+			})
+			for _, idx := range batch {
+				rq := cfg.Trace.Add(span.Span{
+					Kind: span.KindRequest, Start: arrivals[idx], End: end,
+					Device: cfg.Device, Service: cfg.Service,
+					Value: (end - arrivals[idx]) * 1000,
+				})
+				cfg.Trace.Add(span.Span{
+					Kind: span.KindQueueWait, Parent: rq, Start: arrivals[idx], End: start,
+					Device: cfg.Device, Service: cfg.Service,
+				})
+			}
+		}
+		for _, idx := range batch {
+			status[idx] = stServed
+			latByIdx[idx] = (end - arrivals[idx]) * 1000
+		}
+		res.Batches++
+		res.MeanBatch += float64(take)
+		busy += procMs / 1000
+		queue = append(queue[:0], queue[take:]...)
+		freeAt = end
+	}
+
+	// Rebuild the arrival-ordered views so the Latencies↔arrival
+	// pairing contract (k-th latency = k-th non-rejected, non-shed
+	// arrival) holds even though batches launched out of arrival order.
+	res.Latencies = make([]float64, 0, n)
+	for idx, st := range status {
+		cls := cfg.Classes[idx]
+		cs := res.ClassStats[cls]
+		switch st {
+		case stServed:
+			res.Latencies = append(res.Latencies, latByIdx[idx])
+			cs.Served++
+		case stRejected:
+			res.Rejections = append(res.Rejections, idx)
+			res.Rejected++
+			cs.Rejected++
+		case stShed:
+			res.Sheds = append(res.Sheds, idx)
+			res.Shed++
+			cs.Shed++
+		default:
+			return Result{}, fmt.Errorf("serving: arrival %d left pending", idx)
+		}
+		res.ClassStats[cls] = cs
+	}
+	res.Served = len(res.Latencies)
+	if res.Batches > 0 {
+		res.MeanBatch /= float64(res.Batches)
+	}
+	if cfg.Obs != nil {
+		latHist := cfg.Obs.Histogram("serving_latency_ms", nil)
+		for _, l := range res.Latencies {
+			latHist.Observe(l)
+		}
+		cfg.Obs.Counter("serving_served_total").Add(float64(res.Served))
+		cfg.Obs.Counter("serving_rejected_total").Add(float64(res.Rejected))
+		cfg.Obs.Counter("serving_shed_total").Add(float64(res.Shed))
+		cfg.Obs.Counter("serving_batches_total").Add(float64(res.Batches))
+	}
+	var sc stats.Scratch
+	res.P99 = sc.P99(res.Latencies)
+	res.Mean = stats.Mean(res.Latencies)
+	if cfg.SLOms > 0 {
+		viol := res.Rejected // sheds are intentional, not violations
+		for _, l := range res.Latencies {
+			if l > cfg.SLOms {
+				viol++
+			}
+		}
+		if total := res.Served + res.Rejected + res.Shed; total > 0 {
+			res.ViolationRate = float64(viol) / float64(total)
+		}
+	}
+	if simSpan := freeAt - arrivals[0]; simSpan > 0 {
+		res.BusyFraction = busy / simSpan
+	}
+	return res, nil
+}

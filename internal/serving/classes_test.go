@@ -1,0 +1,135 @@
+package serving
+
+import (
+	"math"
+	"testing"
+
+	"mudi/internal/model"
+)
+
+// TestClassedUniformMatchesClassless: with every arrival in the same
+// non-shed-eligible class and no overflow pressure differences, the
+// class-aware loop degenerates to FIFO and must reproduce the
+// classless results exactly.
+func TestClassedUniformMatchesClassless(t *testing.T) {
+	arrivals := []float64{0, 0.001, 0.002, 0.05, 0.051, 0.1, 0.3, 0.31}
+	lat := func(b int) float64 { return 10 + 2*float64(b) }
+	base := Config{BatchCap: 4, SLOms: 50, MaxQueue: 3}
+	classless, err := Run(arrivals, lat, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classed := base
+	classed.Classes = make([]model.SLOClass, len(arrivals))
+	for i := range classed.Classes {
+		classed.Classes[i] = model.ClassStandard
+	}
+	got, err := Run(arrivals, lat, classed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Served != classless.Served || got.Rejected != classless.Rejected || got.Shed != 0 {
+		t.Fatalf("uniform classed run diverged: %+v vs %+v", got, classless)
+	}
+	for i, l := range got.Latencies {
+		if math.Abs(l-classless.Latencies[i]) > 1e-12 {
+			t.Fatalf("latency %d: %v vs %v", i, l, classless.Latencies[i])
+		}
+	}
+	if got.P99 != classless.P99 || got.ViolationRate != classless.ViolationRate {
+		t.Fatalf("stats diverged: %+v vs %+v", got, classless)
+	}
+}
+
+// TestCriticalPreemptsBatchSlots: with more backlog than batch
+// capacity, the first batch must be filled by the critical requests
+// even though sheddable ones arrived first.
+func TestCriticalPreemptsBatchSlots(t *testing.T) {
+	// Six near-simultaneous arrivals: 4 sheddable then 2 critical.
+	arrivals := []float64{0, 1e-4, 2e-4, 3e-4, 4e-4, 5e-4}
+	classes := []model.SLOClass{
+		model.ClassSheddable, model.ClassSheddable, model.ClassSheddable,
+		model.ClassSheddable, model.ClassCritical, model.ClassCritical,
+	}
+	// First batch launches at t=0 with only arrival 0 queued (greedy).
+	// While it runs (100 ms), the rest arrive; the second batch has 5
+	// queued and 2 slots — they must go to the criticals (indices 4, 5).
+	cfg := Config{BatchCap: 2, SLOms: 1000, Classes: classes}
+	// Batch 1 = {0}. Batch 2 picks from {1,2,3,4,5}.
+	cfg.BatchCap = 2
+	res, err := Run(arrivals, func(b int) float64 { return 100 }, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != len(arrivals) || res.Shed != 0 || res.Rejected != 0 {
+		t.Fatalf("unexpected drops: %+v", res)
+	}
+	// Served latencies are reported in arrival order; the criticals
+	// (indices 4, 5) finished in the second batch (end ≈ 0.2 s) while
+	// sheddable 1..3 waited for later batches — so every sheddable
+	// latency after index 0 must exceed both critical latencies.
+	crit := math.Max(res.Latencies[4], res.Latencies[5])
+	for i := 1; i <= 3; i++ {
+		if res.Latencies[i] <= crit {
+			t.Fatalf("sheddable %d (%.1f ms) served before critical (%.1f ms)",
+				i, res.Latencies[i], crit)
+		}
+	}
+}
+
+// TestOverflowShedsLowestClass: a full queue sheds the lowest-ranked
+// shed-eligible request to admit a critical newcomer, and rejects the
+// newcomer only when nothing in the backlog may be shed.
+func TestOverflowShedsLowestClass(t *testing.T) {
+	// Queue of 2. Arrivals 0 (in service), then background + sheddable
+	// fill the queue, then a critical arrives → background (lowest
+	// rank) is shed, critical admitted.
+	arrivals := []float64{0, 1e-4, 2e-4, 3e-4}
+	classes := []model.SLOClass{
+		model.ClassStandard, model.ClassBackground, model.ClassSheddable, model.ClassCritical,
+	}
+	cfg := Config{BatchCap: 1, SLOms: 1000, MaxQueue: 2, Classes: classes}
+	res, err := Run(arrivals, func(b int) float64 { return 50 }, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed != 1 || res.Rejected != 0 {
+		t.Fatalf("shed=%d rejected=%d, want 1/0", res.Shed, res.Rejected)
+	}
+	if len(res.Sheds) != 1 || res.Sheds[0] != 1 {
+		t.Fatalf("shed indices %v, want [1] (the background request)", res.Sheds)
+	}
+	st := res.ClassStats[model.ClassBackground]
+	if st.Offered != 1 || st.Shed != 1 {
+		t.Fatalf("background ledger %+v", st)
+	}
+	if cs := res.ClassStats[model.ClassCritical]; cs.Served != 1 {
+		t.Fatalf("critical ledger %+v", cs)
+	}
+
+	// Same shape but nothing shed-eligible queued: the newcomer is
+	// rejected instead.
+	classes = []model.SLOClass{
+		model.ClassStandard, model.ClassCritical, model.ClassStandard, model.ClassBatch,
+	}
+	cfg.Classes = classes
+	res, err = Run(arrivals, func(b int) float64 { return 50 }, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed != 0 || res.Rejected != 1 || res.Rejections[0] != 3 {
+		t.Fatalf("shed=%d rejected=%d rejections=%v, want 0/1/[3]", res.Shed, res.Rejected, res.Rejections)
+	}
+}
+
+// TestClassedConfigValidation pins the error paths.
+func TestClassedConfigValidation(t *testing.T) {
+	arrivals := []float64{0, 1}
+	lat := func(int) float64 { return 1 }
+	if _, err := Run(arrivals, lat, Config{BatchCap: 2, Classes: []model.SLOClass{model.ClassCritical}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Run(arrivals, lat, Config{BatchCap: 2, Classes: []model.SLOClass{model.ClassCritical, model.SLOClass(99)}}); err == nil {
+		t.Fatal("invalid class accepted")
+	}
+}

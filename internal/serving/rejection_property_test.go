@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mudi/internal/model"
 	"mudi/internal/xrand"
 )
 
@@ -110,5 +111,106 @@ func TestRunWindowsWithRejections(t *testing.T) {
 	if served != res.Served || rejected != res.Rejected {
 		t.Fatalf("windows cover %d served / %d rejected, want %d / %d",
 			served, rejected, res.Served, res.Rejected)
+	}
+}
+
+// TestAdmissionConservationPerClass is the class-aware counterpart:
+// random bursty streams with a random class per arrival must satisfy
+// the admission-control conservation law — admitted (served) + shed +
+// rejected == offered — for every class overall AND per window, with
+// shed work confined to shed-eligible classes.
+func TestAdmissionConservationPerClass(t *testing.T) {
+	classPool := []model.SLOClass{
+		model.ClassCritical, model.ClassStandard, model.ClassSheddable,
+		model.ClassBatch, model.ClassBackground,
+	}
+	f := func(seed uint64, formRaw bool) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(300)
+		arrivals := make([]float64, n)
+		classes := make([]model.SLOClass, n)
+		ts := 0.0
+		for i := range arrivals {
+			ts += rng.Exp(rng.Range(20, 400))
+			arrivals[i] = ts
+			classes[i] = classPool[rng.Intn(len(classPool))]
+		}
+		sort.Float64s(arrivals)
+		batchCap := 2 + rng.Intn(31)
+		maxQueue := 1 + rng.Intn(batchCap-1)
+		cfg := Config{
+			BatchCap:    batchCap,
+			SLOms:       rng.Range(20, 200),
+			MaxQueue:    maxQueue,
+			FormBatches: formRaw,
+			MaxWaitMs:   rng.Range(10, 300),
+			Classes:     classes,
+		}
+		winSec := rng.Range(0.5, 5)
+		res, wins, err := RunWindows(arrivals, func(b int) float64 {
+			return rng.Range(1, 30) + 0.5*float64(b)
+		}, cfg, winSec)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.Served+res.Rejected+res.Shed != n {
+			t.Logf("seed %d: served %d + rejected %d + shed %d != %d",
+				seed, res.Served, res.Rejected, res.Shed, n)
+			return false
+		}
+		// Per-class ledger: offered == served + rejected + shed, shed
+		// only from shed-eligible classes, and the ledger covers every
+		// arrival.
+		offered := 0
+		for cls, st := range res.ClassStats {
+			if st.Served+st.Rejected+st.Shed != st.Offered {
+				t.Logf("seed %d: class %v ledger %+v unbalanced", seed, cls, st)
+				return false
+			}
+			if st.Shed > 0 && !cls.SheddableLoad() {
+				t.Logf("seed %d: class %v shed %d requests", seed, cls, st.Shed)
+				return false
+			}
+			offered += st.Offered
+		}
+		if offered != n {
+			t.Logf("seed %d: ledgers cover %d of %d arrivals", seed, offered, n)
+			return false
+		}
+		// Shed indices: sorted ascending, shed-eligible classes only.
+		prev := -1
+		for _, idx := range res.Sheds {
+			if idx <= prev || idx < 0 || idx >= n {
+				t.Logf("seed %d: bad shed index %d after %d", seed, idx, prev)
+				return false
+			}
+			if !classes[idx].SheddableLoad() {
+				t.Logf("seed %d: shed index %d has class %v", seed, idx, classes[idx])
+				return false
+			}
+			prev = idx
+		}
+		// Per-window conservation: every window's served + rejected +
+		// shed requests sum back to the run totals.
+		var served, rejected, shed int
+		for _, w := range wins {
+			served += w.Requests
+			rejected += w.Rejected
+			shed += w.Shed
+			if w.ViolationRate < 0 || w.ViolationRate > 1 {
+				t.Logf("seed %d: window violation rate %v", seed, w.ViolationRate)
+				return false
+			}
+		}
+		if served != res.Served || rejected != res.Rejected || shed != res.Shed {
+			t.Logf("seed %d: windows cover %d/%d served, %d/%d rejected, %d/%d shed",
+				seed, served, res.Served, rejected, res.Rejected, shed, res.Shed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mudi/internal/model"
 	"mudi/internal/obs"
 	"mudi/internal/span"
 	"mudi/internal/stats"
@@ -46,6 +47,14 @@ type Config struct {
 	// Device and Service label the emitted spans (trace-only).
 	Device  string
 	Service string
+	// Classes, when non-empty, assigns arrival i the SLO class
+	// Classes[i] (lengths must match) and switches Run to class-aware
+	// mode: batch slots fill by class rank (critical preempts batch
+	// slots, sheddable/batch/background queue behind), and queue
+	// overflow sheds the lowest-ranked shed-eligible request instead of
+	// blindly rejecting the newcomer. Empty keeps the classless path
+	// byte-identical to previous behavior.
+	Classes []model.SLOClass
 }
 
 // Result summarizes one run.
@@ -64,6 +73,28 @@ type Result struct {
 	BusyFraction  float64 // device-busy share of the simulated span
 	Batches       int
 	MeanBatch     float64
+
+	// Class-aware mode only (Config.Classes set); zero otherwise.
+	//
+	// Shed counts requests dropped by admission control; Sheds lists
+	// their arrival indices sorted ascending (like Rejections, but shed
+	// order is a policy decision, not arrival order). Every arrival
+	// lands in exactly one of served/rejected/shed, and shed requests
+	// are intentional drops: they join ViolationRate's denominator but
+	// never its numerator.
+	Shed  int
+	Sheds []int
+	// ClassStats is the per-class conservation ledger:
+	// Offered == Served + Rejected + Shed for every class.
+	ClassStats map[model.SLOClass]ClassStat
+}
+
+// ClassStat is one SLO class's accounting in a class-aware run.
+type ClassStat struct {
+	Offered  int
+	Served   int
+	Rejected int
+	Shed     int
 }
 
 // Run simulates serving the given arrival times (seconds, sorted
@@ -82,6 +113,9 @@ func Run(arrivals []float64, lat LatencyFn, cfg Config) (Result, error) {
 		if arrivals[i] < arrivals[i-1] {
 			return Result{}, fmt.Errorf("serving: arrivals not sorted at %d", i)
 		}
+	}
+	if len(cfg.Classes) > 0 {
+		return runClassed(arrivals, lat, cfg)
 	}
 	var res Result
 	if len(arrivals) == 0 {
@@ -244,6 +278,7 @@ type WindowStat struct {
 	ViolationRate float64
 	Requests      int // served requests arriving in the window
 	Rejected      int // rejected requests arriving in the window
+	Shed          int // shed requests arriving in the window (class-aware mode)
 }
 
 // RunWindows is like Run but additionally buckets requests into
@@ -264,13 +299,19 @@ func RunWindows(arrivals []float64, lat LatencyFn, cfg Config, windowSec float64
 		at       float64
 		lat      float64
 		rejected bool
+		shed     bool
 	}
 	recs := make([]rec, 0, len(arrivals))
-	rej, served := 0, 0
+	rej, shed, served := 0, 0, 0
 	for i, at := range arrivals {
 		if rej < len(res.Rejections) && res.Rejections[rej] == i {
 			recs = append(recs, rec{at: at, rejected: true})
 			rej++
+			continue
+		}
+		if shed < len(res.Sheds) && res.Sheds[shed] == i {
+			recs = append(recs, rec{at: at, shed: true})
+			shed++
 			continue
 		}
 		if served >= len(res.Latencies) {
@@ -284,9 +325,9 @@ func RunWindows(arrivals []float64, lat LatencyFn, cfg Config, windowSec float64
 	var out []WindowStat
 	var bucket []float64
 	var sc stats.Scratch // shared across windows; Run is single-goroutine
-	rejected := 0
+	rejected, shedCnt := 0, 0
 	flush := func(ws float64) {
-		if len(bucket) == 0 && rejected == 0 {
+		if len(bucket) == 0 && rejected == 0 && shedCnt == 0 {
 			return
 		}
 		viol := rejected
@@ -298,12 +339,14 @@ func RunWindows(arrivals []float64, lat LatencyFn, cfg Config, windowSec float64
 		out = append(out, WindowStat{
 			Start:         ws,
 			P99:           sc.P99(bucket),
-			ViolationRate: float64(viol) / float64(len(bucket)+rejected),
+			ViolationRate: float64(viol) / float64(len(bucket)+rejected+shedCnt),
 			Requests:      len(bucket),
 			Rejected:      rejected,
+			Shed:          shedCnt,
 		})
 		bucket = bucket[:0]
 		rejected = 0
+		shedCnt = 0
 	}
 	winStart := recs[0].at
 	for _, r := range recs {
@@ -311,9 +354,12 @@ func RunWindows(arrivals []float64, lat LatencyFn, cfg Config, windowSec float64
 			flush(winStart)
 			winStart += windowSec
 		}
-		if r.rejected {
+		switch {
+		case r.rejected:
 			rejected++
-		} else {
+		case r.shed:
+			shedCnt++
+		default:
 			bucket = append(bucket, r.lat)
 		}
 	}

@@ -10,8 +10,8 @@ import (
 // Cause classifies why an SLO window was violated. Classification is
 // total and prioritised — exactly one cause per violation — ordered
 // from the most structural explanation to the catch-all:
-// device_fault > rescale_in_progress > burst_overload > interference
-// > queueing.
+// device_fault > rescale_in_progress > shed > burst_overload >
+// interference > queueing.
 type Cause uint8
 
 const (
@@ -31,6 +31,13 @@ const (
 	// CauseQueueing: none of the above — the latency budget was simply
 	// exceeded by queueing/batching delay at the configured capacity.
 	CauseQueueing
+	// CauseShed: admission control was shedding this service's overload
+	// during the window, and the admitted load still violated — the
+	// violation belongs to the shed regime, not to raw burst overload.
+	// (Appended after CauseQueueing to keep existing wire values
+	// stable; classification priority slots it between rescale and
+	// burst.)
+	CauseShed
 
 	numCauses // keep last
 )
@@ -41,6 +48,7 @@ var causeNames = [numCauses]string{
 	CauseBurstOverload: "burst_overload",
 	CauseInterference:  "interference",
 	CauseQueueing:      "queueing",
+	CauseShed:          "shed",
 }
 
 // String returns the wire name of the cause.
@@ -93,6 +101,13 @@ type Sample struct {
 	QPS       float64  `json:"qps"`
 	BaseQPS   float64  `json:"base_qps"` // burst-free baseline
 	Residents []string `json:"residents,omitempty"`
+	// Class is the service's SLO class wire name ("" when unclassed —
+	// omitted so classless reports stay byte-identical).
+	Class string `json:"class,omitempty"`
+	// ShedQPS is the arrival rate admission control was dropping during
+	// the window (0 when not shedding). QPS above holds the admitted
+	// rate, so QPS+ShedQPS is the offered rate.
+	ShedQPS float64 `json:"shed_qps,omitempty"`
 }
 
 // AttributedViolation is one classified violation in the report.
@@ -113,12 +128,25 @@ type ServiceSLO struct {
 	TopOffenderHits int            `json:"top_offender_hits,omitempty"`
 }
 
+// ClassSLO is the per-SLO-class roll-up: violation counts and causes
+// aggregated over every service in the class, plus the requests
+// admission control shed from the class. Only populated in class-aware
+// runs — classless reports carry no Classes entries.
+type ClassSLO struct {
+	Class           string         `json:"class"`
+	Violations      int            `json:"violations"`
+	ViolatedMinutes float64        `json:"violated_minutes"`
+	Causes          map[string]int `json:"causes,omitempty"`
+	ShedRequests    float64        `json:"shed_requests,omitempty"`
+}
+
 // SLOReport is the attribution pass's output, carried on
 // cluster.Result and served live at /slo.
 type SLOReport struct {
 	WindowSec  float64               `json:"window_sec"`
 	Total      int                   `json:"total_violations"`
 	Services   []ServiceSLO          `json:"services"`
+	Classes    []ClassSLO            `json:"classes,omitempty"`
 	Violations []AttributedViolation `json:"violations,omitempty"`
 }
 
@@ -131,6 +159,7 @@ type Attributor struct {
 	cap     int
 	samples []Sample
 	dropped uint64
+	sheds   map[string]float64 // class wire name → requests shed
 }
 
 // DefSampleCap bounds the default sample store.
@@ -157,6 +186,22 @@ func (a *Attributor) Observe(s Sample) {
 	} else {
 		a.samples = append(a.samples, s)
 	}
+	a.mu.Unlock()
+}
+
+// ObserveShed accumulates requests dropped by admission control
+// against an SLO class. Shedding is accounted separately from Observe
+// because a shed window need not be a violated window — shedding is
+// precisely what keeps it from violating.
+func (a *Attributor) ObserveShed(class string, requests float64) {
+	if a == nil || class == "" || requests <= 0 {
+		return
+	}
+	a.mu.Lock()
+	if a.sheds == nil {
+		a.sheds = make(map[string]float64)
+	}
+	a.sheds[class] += requests
 	a.mu.Unlock()
 }
 
@@ -191,6 +236,9 @@ func classify(s Sample, outages, rescales []Span) Cause {
 			return CauseRescale
 		}
 	}
+	if s.ShedQPS > 0 {
+		return CauseShed
+	}
 	if s.BaseQPS > 0 && s.QPS > BurstFactor*s.BaseQPS {
 		return CauseBurstOverload
 	}
@@ -211,6 +259,10 @@ func (a *Attributor) Report(spans []Span, windowSec float64) *SLOReport {
 	}
 	a.mu.Lock()
 	samples := append([]Sample(nil), a.samples...)
+	sheds := make(map[string]float64, len(a.sheds))
+	for cls, req := range a.sheds {
+		sheds[cls] = req
+	}
 	a.mu.Unlock()
 	if windowSec <= 0 {
 		windowSec = 1
@@ -229,6 +281,7 @@ func (a *Attributor) Report(spans []Span, windowSec float64) *SLOReport {
 
 	rep := &SLOReport{WindowSec: windowSec, Total: len(samples)}
 	perSvc := make(map[string]*ServiceSLO)
+	perClass := make(map[string]*ClassSLO)
 	offenders := make(map[string]map[string]int) // service → task → hits
 	for _, s := range samples {
 		cause := classify(s, outages[s.Device], rescales[s.Device])
@@ -244,6 +297,25 @@ func (a *Attributor) Report(spans []Span, windowSec float64) *SLOReport {
 		for _, task := range s.Residents {
 			offenders[s.Service][task]++
 		}
+		if s.Class != "" {
+			cls := perClass[s.Class]
+			if cls == nil {
+				cls = &ClassSLO{Class: s.Class, Causes: make(map[string]int)}
+				perClass[s.Class] = cls
+			}
+			cls.Violations++
+			cls.Causes[cause.String()]++
+		}
+	}
+	// Classes that shed without ever violating still appear in the
+	// per-class roll-up: the shed volume is the point.
+	for cls, req := range sheds {
+		c := perClass[cls]
+		if c == nil {
+			c = &ClassSLO{Class: cls}
+			perClass[cls] = c
+		}
+		c.ShedRequests = req
 	}
 	names := make([]string, 0, len(perSvc))
 	for name := range perSvc {
@@ -262,6 +334,16 @@ func (a *Attributor) Report(spans []Span, windowSec float64) *SLOReport {
 			}
 		}
 		rep.Services = append(rep.Services, *svc)
+	}
+	classNames := make([]string, 0, len(perClass))
+	for name := range perClass {
+		classNames = append(classNames, name)
+	}
+	sort.Strings(classNames)
+	for _, name := range classNames {
+		cls := perClass[name]
+		cls.ViolatedMinutes = float64(cls.Violations) * windowSec / 60
+		rep.Classes = append(rep.Classes, *cls)
 	}
 	return rep
 }

@@ -299,3 +299,84 @@ func TestNilAttributorSafe(t *testing.T) {
 		t.Fatal("nil attributor leaked state")
 	}
 }
+
+func TestShedClassification(t *testing.T) {
+	outage := Span{Kind: KindOutage, Device: "gpu-0", Start: 100, End: 150}
+	rescale := Span{Kind: KindRescale, Device: "gpu-0", Start: 200, End: 220}
+	spans := []Span{outage, rescale}
+
+	cases := []struct {
+		name string
+		s    Sample
+		want Cause
+	}{
+		// Shed slots between rescale and burst: admission control was
+		// actively dropping load, so the window belongs to the shed
+		// regime even though the offered rate was way past the burst bar.
+		{"shed beats burst", Sample{Time: 300, Device: "gpu-0", QPS: 300, BaseQPS: 100, ShedQPS: 250}, CauseShed},
+		{"fault beats shed", Sample{Time: 120, Device: "gpu-0", ShedQPS: 50}, CauseDeviceFault},
+		{"rescale beats shed", Sample{Time: 210, Device: "gpu-0", ShedQPS: 50}, CauseRescale},
+		{"no shed falls through", Sample{Time: 300, Device: "gpu-0", QPS: 300, BaseQPS: 100}, CauseBurstOverload},
+	}
+	a := NewAttributor(0)
+	for _, c := range cases {
+		a.Observe(c.s)
+	}
+	rep := a.Report(spans, 1)
+	for i, c := range cases {
+		if got := rep.Violations[i].Cause; got != c.want {
+			t.Errorf("%s: cause = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestReportClassRollup(t *testing.T) {
+	a := NewAttributor(0)
+	a.Observe(Sample{Time: 1, Device: "gpu-0", Service: "gpt2", Class: "critical", Residents: []string{"bert"}})
+	a.Observe(Sample{Time: 2, Device: "gpu-1", Service: "bert", Class: "critical"})
+	a.Observe(Sample{Time: 3, Device: "gpu-2", Service: "resnet50", Class: "sheddable", QPS: 150, ShedQPS: 50, BaseQPS: 100})
+	a.ObserveShed("sheddable", 500)
+	// A class that sheds but never violates still shows up.
+	a.ObserveShed("background", 120)
+	rep := a.Report(nil, 30)
+	if len(rep.Classes) != 3 {
+		t.Fatalf("classes = %+v, want 3 entries", rep.Classes)
+	}
+	// Sorted by class name: background, critical, sheddable.
+	bg, cr, sh := rep.Classes[0], rep.Classes[1], rep.Classes[2]
+	if bg.Class != "background" || bg.Violations != 0 || bg.ShedRequests != 120 {
+		t.Fatalf("background rollup = %+v", bg)
+	}
+	if cr.Class != "critical" || cr.Violations != 2 || cr.ShedRequests != 0 ||
+		cr.Causes["interference"] != 1 || cr.Causes["queueing"] != 1 {
+		t.Fatalf("critical rollup = %+v", cr)
+	}
+	if sh.Class != "sheddable" || sh.Violations != 1 || sh.ShedRequests != 500 ||
+		sh.Causes["shed"] != 1 {
+		t.Fatalf("sheddable rollup = %+v", sh)
+	}
+	if cr.ViolatedMinutes != 2*30.0/60 {
+		t.Fatalf("critical violated minutes = %v", cr.ViolatedMinutes)
+	}
+}
+
+func TestClasslessReportHasNoClasses(t *testing.T) {
+	a := NewAttributor(0)
+	a.Observe(Sample{Time: 1, Device: "gpu-0", Service: "resnet50"})
+	rep := a.Report(nil, 1)
+	if rep.Classes != nil {
+		t.Fatalf("classless report grew Classes: %+v", rep.Classes)
+	}
+}
+
+func TestObserveShedNilAndNoop(t *testing.T) {
+	var nilA *Attributor
+	nilA.ObserveShed("sheddable", 10) // must not panic
+	a := NewAttributor(0)
+	a.ObserveShed("", 10)          // unclassed: ignored
+	a.ObserveShed("sheddable", 0)  // zero volume: ignored
+	a.ObserveShed("sheddable", -1) // negative: ignored
+	if rep := a.Report(nil, 1); rep.Classes != nil {
+		t.Fatalf("no-op sheds leaked into report: %+v", rep.Classes)
+	}
+}

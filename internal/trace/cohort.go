@@ -22,6 +22,10 @@ type Cohort struct {
 	SizeMix    map[model.SizeClass]float64 // task-size preference; nil = catalog Frac
 	Priority   int                 // queue priority override; 0 = size-class default
 	BurstProb  float64             // chance a submission clumps (gap × 0.1)
+	// Class tags every submission from this cohort with an SLO class.
+	// When set and Priority is zero, the queue priority is derived from
+	// the class rank (critical outranks standard outranks batch...).
+	Class model.SLOClass
 }
 
 func (c Cohort) validate(idx int) error {
@@ -42,6 +46,9 @@ func (c Cohort) validate(idx int) error {
 	}
 	if c.BurstProb < 0 || c.BurstProb > 1 || !isFinite(c.BurstProb) {
 		return &ConfigError{Field: field("BurstProb"), Value: c.BurstProb, Reason: "must be in [0, 1]"}
+	}
+	if !c.Class.Valid() {
+		return &ConfigError{Field: field("Class"), Value: int(c.Class), Reason: "unknown SLO class"}
 	}
 	return nil
 }
@@ -164,9 +171,13 @@ func CohortTrace(cfg CohortConfig) ([]TaskArrival, error) {
 			if iters < 1 {
 				iters = 1
 			}
+			prio := cohort.Priority
+			if prio == 0 && cohort.Class != model.ClassUnset {
+				prio = cohort.Class.Rank()
+			}
 			merged = append(merged, TaskArrival{
 				At: t, Task: task, Iters: iters, GPUsReq: 1,
-				Cohort: cohort.Name, Priority: cohort.Priority,
+				Cohort: cohort.Name, Priority: prio, Class: cohort.Class,
 			})
 		}
 	}

@@ -50,10 +50,14 @@ func (r *Recorder) Wrap(id, service string, inner QPSTrace) QPSTrace {
 
 // Task records one training-task submission.
 func (r *Recorder) Task(a TaskArrival) {
-	r.tasks = append(r.tasks, TaskRec{
+	rec := TaskRec{
 		ID: a.ID, T: a.At, Task: a.Task.Name, Iters: a.Iters,
 		GPUs: a.GPUsReq, Cohort: a.Cohort, Priority: a.Priority,
-	})
+	}
+	if a.Class != 0 {
+		rec.Class = a.Class.String()
+	}
+	r.tasks = append(r.tasks, rec)
 }
 
 // Trace assembles the recording. Cohort metadata is derived from the
@@ -65,6 +69,7 @@ func (r *Recorder) Trace() *Trace {
 	}
 	tr.Tasks = append([]TaskRec(nil), r.tasks...)
 	counts := make(map[string]int)
+	classes := make(map[string]string)
 	var names []string
 	for _, rec := range tr.Tasks {
 		if rec.Cohort == "" {
@@ -72,6 +77,7 @@ func (r *Recorder) Trace() *Trace {
 		}
 		if counts[rec.Cohort] == 0 {
 			names = append(names, rec.Cohort)
+			classes[rec.Cohort] = rec.Class
 		}
 		counts[rec.Cohort]++
 	}
@@ -79,6 +85,7 @@ func (r *Recorder) Trace() *Trace {
 		tr.Header.Cohorts = append(tr.Header.Cohorts, CohortDef{
 			Name:   name,
 			Weight: float64(counts[name]) / float64(len(tr.Tasks)),
+			Class:  classes[name],
 		})
 	}
 	return tr

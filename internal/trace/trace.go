@@ -164,6 +164,11 @@ type TaskArrival struct {
 	// Priority overrides the size-class-derived queue priority when
 	// non-zero (cohort SLO mixes express urgency tiers this way).
 	Priority int
+	// Class is the submission's SLO class (cohort-assigned); ClassUnset
+	// for legacy generators. When set and Priority is zero, generators
+	// derive Priority from the class rank so classed cohorts order
+	// correctly under the priority queue policy without extra wiring.
+	Class model.SLOClass
 }
 
 // PhillyConfig shapes the training arrival trace.

@@ -67,6 +67,10 @@ type StreamDef struct {
 type CohortDef struct {
 	Name   string  `json:"name"`
 	Weight float64 `json:"weight"`
+	// Class is the cohort's SLO class wire name ("critical", "batch",
+	// ...); empty for unclassed cohorts, so pre-class traces round-trip
+	// byte-identically.
+	Class string `json:"class,omitempty"`
 }
 
 // Header is the first line of a trace-v2 document.
@@ -100,6 +104,9 @@ type TaskRec struct {
 	GPUs     int     `json:"gpus"`
 	Cohort   string  `json:"cohort,omitempty"`
 	Priority int     `json:"priority,omitempty"`
+	// Class is the submission's SLO class wire name; empty (and absent
+	// on the wire) for unclassed records.
+	Class string `json:"class,omitempty"`
 }
 
 // Trace is one decoded (or generated) trace-v2 workload.
@@ -157,6 +164,11 @@ func (tr *Trace) Validate() error {
 	for _, c := range h.Cohorts {
 		if c.Name == "" || c.Weight < 0 || !isFinite(c.Weight) {
 			return &FormatError{Field: "cohorts", Reason: fmt.Sprintf("cohort %+v: name must be non-empty and weight finite and >= 0", c)}
+		}
+		if c.Class != "" {
+			if _, err := model.ParseSLOClass(c.Class); err != nil {
+				return &FormatError{Field: "cohorts", Reason: fmt.Sprintf("cohort %q: %v", c.Name, err)}
+			}
 		}
 	}
 	lastT := make(map[string]float64, len(h.Streams))
@@ -251,9 +263,18 @@ func (tr *Trace) Arrivals() ([]TaskArrival, error) {
 		if !ok {
 			return nil, &FormatError{Field: "task.task", Reason: fmt.Sprintf("unknown training task %q (not in the Tab. 3 catalog)", rec.Task)}
 		}
+		var class model.SLOClass
+		if rec.Class != "" {
+			c, err := model.ParseSLOClass(rec.Class)
+			if err != nil {
+				return nil, &FormatError{Field: "task.class", Reason: err.Error()}
+			}
+			class = c
+		}
 		out = append(out, TaskArrival{
 			ID: rec.ID, At: rec.T, Task: task, Iters: rec.Iters,
 			GPUsReq: rec.GPUs, Cohort: rec.Cohort, Priority: rec.Priority,
+			Class: class,
 		})
 	}
 	return out, nil

@@ -128,9 +128,26 @@ func (s *System) Policy() Policy { return s.policy }
 
 // BaselinePolicy instantiates one of the paper's comparison systems by
 // its typed ID (BaselineGSLICE, BaselineGpulets, BaselineMuxFlow,
-// BaselineRandom, or BaselineOptimal).
+// BaselineRandom, or BaselineOptimal). Unknown IDs unwrap to
+// *OptionError with Field "Baseline" (the shared resolveID shape).
 func (s *System) BaselinePolicy(id BaselineID) (Policy, error) {
-	switch id {
+	known := make([]string, 0, len(Baselines()))
+	for _, b := range Baselines() {
+		known = append(known, string(b))
+	}
+	resolved, oe := resolveID("Baseline", "", string(id), "", known)
+	if oe == nil && resolved == "" {
+		// There is no default baseline — an empty ID is as unknown as a
+		// bogus one.
+		oe = &OptionError{
+			Field: "Baseline", Value: id,
+			Reason: fmt.Sprintf("unknown Baseline (known: %v)", known),
+		}
+	}
+	if oe != nil {
+		return nil, oe
+	}
+	switch BaselineID(resolved) {
 	case BaselineGSLICE:
 		return baselines.NewGSLICE(), nil
 	case BaselineGpulets:
@@ -141,9 +158,8 @@ func (s *System) BaselinePolicy(id BaselineID) (Policy, error) {
 		return baselines.NewRandom(xrand.New(s.cfg.Seed+11), s.cfg.MaxTrainPerGPU), nil
 	case BaselineOptimal:
 		return baselines.NewOptimal(s.oracle, s.cfg.MaxTrainPerGPU), nil
-	default:
-		return nil, fmt.Errorf("mudi: unknown baseline %q (known: %v)", id, Baselines())
 	}
+	return nil, fmt.Errorf("mudi: unknown baseline %q (known: %v)", id, Baselines())
 }
 
 // Baseline instantiates a comparison system from its string name.
@@ -239,6 +255,20 @@ type SimOptions struct {
 	// Result.Workload as a replayable trace-v2 document. Recording is
 	// passive: Result.Summary() is identical with and without it.
 	RecordWorkload bool
+	// ClassMix assigns SLO classes to the service catalog in deploy
+	// order, cycling when shorter than the catalog (including any
+	// ExtraServices). A non-empty mix makes the run class-aware:
+	// placement steers training off critical devices, batch formation
+	// preempts by class, and admission control sheds
+	// sheddable/background burst excess. Per-class roll-ups land in
+	// Result.ClassViolation / Result.ShedRequests (and, with Trace set,
+	// Result.SLOReport.Classes). Empty keeps the classless legacy path,
+	// byte-identical to a build without classes.
+	ClassMix []SLOClass
+	// ServiceClasses overrides the class of individual services by
+	// catalog name, applied after ClassMix. Unknown service names are an
+	// *OptionError.
+	ServiceClasses map[string]SLOClass
 }
 
 // FaultConfig parameterizes deterministic fault injection; see
@@ -341,6 +371,33 @@ func (s *System) SimulateContext(ctx context.Context, opts SimOptions) (*Result,
 		return nil, err
 	}
 	services := append(model.Services(), s.cfg.ExtraServices...)
+	if len(opts.ClassMix) > 0 {
+		for i := range services {
+			services[i].Class = opts.ClassMix[i%len(opts.ClassMix)]
+		}
+	}
+	if len(opts.ServiceClasses) > 0 {
+		byName := make(map[string]int, len(services))
+		for i, svc := range services {
+			byName[svc.Name] = i
+		}
+		// Sorted iteration so the first-unknown-name error is stable.
+		names := make([]string, 0, len(opts.ServiceClasses))
+		for name := range opts.ServiceClasses {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			i, ok := byName[name]
+			if !ok {
+				return nil, &OptionError{
+					Field: "ServiceClasses", Value: name,
+					Reason: "unknown service (known: catalog services plus ExtraServices)",
+				}
+			}
+			services[i].Class = opts.ServiceClasses[name]
+		}
+	}
 	tracer, attr := opts.tracing()
 	var rec *trace.Recorder
 	if opts.RecordWorkload {
@@ -415,7 +472,7 @@ var experimentOrder = []string{
 	"background", "tab2", "fig3", "fig4", "fig5", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 	"tab4", "fig17", "fig18", "optimality",
-	"ablation-tuner", "queues", "fidelity", "scenarios",
+	"ablation-tuner", "queues", "fidelity", "scenarios", "classes",
 }
 
 // ExperimentConfig parameterizes the experiment harness.
@@ -536,6 +593,8 @@ func StreamExperimentsCfg(names []string, ecfg ExperimentConfig, emit func(*Tabl
 			tab, err = exp.Fidelity(cfg)
 		case "scenarios":
 			tab, err = exp.Scenarios(cfg)
+		case "classes":
+			tab, err = exp.Classes(cfg)
 		case "background":
 			tab, err = exp.Background(cfg)
 		default:

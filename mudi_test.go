@@ -138,7 +138,7 @@ func TestMaxThroughputFacade(t *testing.T) {
 
 func TestExperimentDispatch(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 22 {
+	if len(names) != 23 {
 		t.Fatalf("experiments %d", len(names))
 	}
 	tab, err := RunExperiment("tab2", 1, ScaleSmall)

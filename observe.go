@@ -64,6 +64,9 @@ const (
 	// EventFailover: the service left its primary instance (device
 	// failure) or kept the old one after a failed shadow spin-up.
 	EventFailover = obs.EventFailover
+	// EventLoadShed: admission control dropped part of a shed-eligible
+	// service's burst excess (Value = shed QPS, Cause = the SLO class).
+	EventLoadShed = obs.EventLoadShed
 )
 
 // WriteEventsNDJSON writes one JSON object per event — the format

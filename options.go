@@ -3,7 +3,46 @@ package mudi
 import (
 	"fmt"
 	"math"
+
+	"mudi/internal/model"
 )
+
+// SLOClass is a service's (or cohort's) criticality tier. Classes drive
+// priority-aware placement, per-class interference budgets, and burst
+// admission control: critical load is protected first, sheddable and
+// background load may be dropped under overload, batch work defers but
+// never drops. The zero value (SLOUnset) selects the classless legacy
+// behavior — a run where no service declares a class is byte-identical
+// to one on a build without classes.
+type SLOClass = model.SLOClass
+
+// The SLO classes, most critical first.
+const (
+	// SLOUnset is the zero value: classless legacy behavior.
+	SLOUnset SLOClass = model.ClassUnset
+	// SLOCritical load must meet its SLO even under bursts; it is
+	// never shed and preempts batch capacity.
+	SLOCritical SLOClass = model.ClassCritical
+	// SLOStandard is ordinary production load: protected, never shed.
+	SLOStandard SLOClass = model.ClassStandard
+	// SLOSheddable load tolerates drops: admission control sheds its
+	// burst excess to protect the critical tiers.
+	SLOSheddable SLOClass = model.ClassSheddable
+	// SLOBatch is throughput-oriented work: it defers behind
+	// latency-critical load but every request is eventually served.
+	SLOBatch SLOClass = model.ClassBatch
+	// SLOBackground is best-effort load: first to be shed, last to be
+	// placed.
+	SLOBackground SLOClass = model.ClassBackground
+)
+
+// SLOClasses lists the five classes in criticality order (SLOUnset is
+// the absence of a class, not a class, and is excluded).
+func SLOClasses() []SLOClass { return model.SLOClasses() }
+
+// ParseSLOClass resolves a class wire name ("critical", "standard",
+// "sheddable", "batch", "background"). The empty string is SLOUnset.
+func ParseSLOClass(s string) (SLOClass, error) { return model.ParseSLOClass(s) }
 
 // BaselineID identifies one of the paper's comparison systems. The
 // typed constants below replace the stringly-typed System.Baseline
@@ -72,28 +111,50 @@ func (e *OptionError) Error() string {
 	return fmt.Sprintf("mudi: invalid option %s=%v: %s", e.Field, e.Value, e.Reason)
 }
 
+// resolveID folds a typed ID field and its deprecated stringly-typed
+// twin into the effective value — the one conflict/unknown error shape
+// behind every such pair (Queue/QueuePolicy, BaselinePolicy/Baseline).
+// The deprecated twin may restate the typed value but not contradict
+// it; the result must be one of the known IDs, with "" selecting the
+// caller's default.
+func resolveID(field, depField, typed, deprecated string, known []string) (string, *OptionError) {
+	v := typed
+	if deprecated != "" {
+		if v != "" && v != deprecated {
+			return "", &OptionError{
+				Field: field, Value: typed,
+				Reason: fmt.Sprintf("conflicts with deprecated %s=%q", depField, deprecated),
+			}
+		}
+		v = deprecated
+	}
+	if v == "" {
+		return "", nil
+	}
+	for _, k := range known {
+		if v == k {
+			return v, nil
+		}
+	}
+	return "", &OptionError{
+		Field: field, Value: v,
+		Reason: fmt.Sprintf("unknown %s (known: %v)", field, known),
+	}
+}
+
 // queueID resolves the effective queue policy from the typed Queue
 // field and the deprecated QueuePolicy string, rejecting conflicting
 // settings.
 func (o SimOptions) queueID() (QueuePolicyID, *OptionError) {
-	q := o.Queue
-	if o.QueuePolicy != "" {
-		if q != "" && string(q) != o.QueuePolicy {
-			return "", &OptionError{
-				Field: "Queue", Value: o.Queue,
-				Reason: fmt.Sprintf("conflicts with deprecated QueuePolicy=%q", o.QueuePolicy),
-			}
-		}
-		q = QueuePolicyID(o.QueuePolicy)
+	known := make([]string, 0, len(QueuePolicies()))
+	for _, q := range QueuePolicies() {
+		known = append(known, string(q))
 	}
-	switch q {
-	case "", QueueFCFS, QueueSJF, QueueFair, QueuePriority:
-		return q, nil
+	id, oe := resolveID("Queue", "QueuePolicy", string(o.Queue), o.QueuePolicy, known)
+	if oe != nil {
+		return "", oe
 	}
-	return "", &OptionError{
-		Field: "Queue", Value: q,
-		Reason: fmt.Sprintf("unknown queue policy (known: %v)", QueuePolicies()),
-	}
+	return QueuePolicyID(id), nil
 }
 
 // Validate checks every SimOptions field and returns the first
@@ -193,6 +254,22 @@ func (o SimOptions) Validate() error {
 	if o.Faults != nil {
 		if err := o.Faults.Validate(); err != nil {
 			return &OptionError{Field: "Faults", Value: *o.Faults, Reason: err.Error()}
+		}
+	}
+	for i, c := range o.ClassMix {
+		if !c.Valid() {
+			return &OptionError{
+				Field: "ClassMix", Value: i,
+				Reason: fmt.Sprintf("unknown SLO class %d (known: %v)", uint8(c), SLOClasses()),
+			}
+		}
+	}
+	for name, c := range o.ServiceClasses {
+		if !c.Valid() {
+			return &OptionError{
+				Field: "ServiceClasses", Value: name,
+				Reason: fmt.Sprintf("unknown SLO class %d (known: %v)", uint8(c), SLOClasses()),
+			}
 		}
 	}
 	if _, oe := o.queueID(); oe != nil {

@@ -37,8 +37,12 @@ type (
 	AttributedViolation = span.AttributedViolation
 	// ViolationCause enumerates the attribution classes; wire names are
 	// "device_fault", "rescale_in_progress", "burst_overload",
-	// "interference", "queueing".
+	// "interference", "queueing", "shed".
 	ViolationCause = span.Cause
+	// ClassSLO is one SLO class's attribution roll-up (violations,
+	// violated-minutes, cause breakdown, shed requests) — present in
+	// SLOReport.Classes only for class-aware runs.
+	ClassSLO = span.ClassSLO
 )
 
 // The span taxonomy.
@@ -58,11 +62,13 @@ const (
 )
 
 // The attribution classes, in priority order: an overlapping device
-// outage beats an in-flight rescale beats a QPS burst beats training
-// interference; queueing is the fallback.
+// outage beats an in-flight rescale beats admission-control shedding
+// beats a QPS burst beats training interference; queueing is the
+// fallback.
 const (
 	CauseDeviceFault   = span.CauseDeviceFault
 	CauseRescale       = span.CauseRescale
+	CauseShed          = span.CauseShed
 	CauseBurstOverload = span.CauseBurstOverload
 	CauseInterference  = span.CauseInterference
 	CauseQueueing      = span.CauseQueueing
