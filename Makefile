@@ -9,9 +9,9 @@ GO ?= go
 # and the observability fan-in, plus the hot-path packages whose
 # scratch/memo state must stay correctly confined (oracle caches are
 # shared across workers; gp/stats/serving scratch is per-goroutine).
-RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/obs ./internal/faults ./internal/perf ./internal/stats ./internal/gp ./internal/serving ./internal/span ./internal/telemetry ./internal/trace ./internal/trace/scenario ./internal/sched ./telemetryhttp
+RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/shard ./internal/obs ./internal/faults ./internal/perf ./internal/stats ./internal/gp ./internal/serving ./internal/span ./internal/telemetry ./internal/trace ./internal/trace/scenario ./internal/sched ./telemetryhttp
 
-.PHONY: tier1 build test vet race test-scenarios test-classes bench-parallel bench-obs bench-hotpath bench-trace ci
+.PHONY: tier1 build test vet race test-scenarios test-classes bench-parallel bench-obs bench-hotpath bench-trace bench-scale ci
 
 tier1: build test
 
@@ -63,5 +63,12 @@ bench-hotpath:
 # disabled.
 bench-trace:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimTrace(Off|On)$$' -benchtime 3x -short -benchmem -count=1 .
+
+# Regenerate the numbers recorded in BENCH_scale.json: the sharded
+# event engine's fleet-size series (1k/2k/5k/10k devices; -short stops
+# at 2k). The heapB/device metric must fall or stay flat as the fleet
+# grows — that's the sub-linear-memory acceptance for 10k-device runs.
+bench-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkScale' -benchtime 1x -timeout 120m -count=1 .
 
 ci: tier1 vet race

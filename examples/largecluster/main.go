@@ -1,7 +1,14 @@
 // Large-cluster comparison: run Mudi against the baseline systems on a
 // bigger simulated fleet (default 100 GPUs / 200 tasks; pass -paper for
-// the full 1000-GPU/5000-task configuration of §7.1, which takes
-// considerably longer) and print the Fig. 8/9-style comparison.
+// the full 1000-GPU/5000-task configuration of §7.1) and print the
+// Fig. 8/9-style comparison.
+//
+// The fleet size is free-form: -devices 10000 -tasks 20000 -shards -1
+// runs a ten-thousand-device cluster on the sharded event engine,
+// where per-device calendars drain in parallel lanes and merge at
+// control-plane barriers (see DESIGN.md §13). At that scale restrict
+// the sweep with -policies mudi, or compare two with
+// -policies mudi,gslice.
 package main
 
 import (
@@ -10,26 +17,36 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"mudi"
 )
 
 func main() {
-	paper := flag.Bool("paper", false, "use the paper's 1000-GPU / 5000-task scale")
+	paper := flag.Bool("paper", false, "use the paper's 1000-GPU / 5000-task scale (overrides -devices/-tasks/-gap)")
+	devices := flag.Int("devices", 100, "GPU count")
+	tasks := flag.Int("tasks", 200, "training-task arrivals")
+	gap := flag.Float64("gap", 2.0, "mean arrival gap in seconds")
+	shards := flag.Int("shards", 0, "event-engine shard lanes: 0 = legacy calendar, -1 = auto, N = that many lanes")
+	policies := flag.String("policies", "mudi,gslice,gpulets,muxflow", "comma-separated policies to compare (first is the comparison base)")
 	flag.Parse()
 
-	devices, tasks, gap := 100, 200, 2.0
+	d, n, g := *devices, *tasks, *gap
 	if *paper {
-		devices, tasks, gap = 1000, 5000, 0.8
+		d, n, g = 1000, 5000, 0.8
 	}
-	if err := run(os.Stdout, devices, tasks, gap); err != nil {
+	names := strings.Split(*policies, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	if err := run(os.Stdout, d, n, g, *shards, names); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// run compares Mudi against the baselines on a fleet of the given size;
+// run compares the named policies on a fleet of the given size;
 // factored out of main so tests can drive a smaller cluster.
-func run(w io.Writer, devices, tasks int, gap float64) error {
+func run(w io.Writer, devices, tasks int, gap float64, shards int, names []string) error {
 	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 11})
 	if err != nil {
 		return fmt.Errorf("offline pipeline: %w", err)
@@ -44,7 +61,7 @@ func run(w io.Writer, devices, tasks int, gap float64) error {
 		res  *mudi.Result
 	}
 	var rows []row
-	for _, name := range []string{"mudi", "gslice", "gpulets", "muxflow"} {
+	for _, name := range names {
 		var policy mudi.Policy
 		if name != "mudi" {
 			policy, err = sys.Baseline(name)
@@ -56,6 +73,7 @@ func run(w io.Writer, devices, tasks int, gap float64) error {
 			Policy:   policy,
 			Devices:  devices,
 			Arrivals: arrivals,
+			Shards:   shards,
 		})
 		if err != nil {
 			return fmt.Errorf("simulate %s: %w", name, err)
@@ -64,16 +82,23 @@ func run(w io.Writer, devices, tasks int, gap float64) error {
 		fmt.Fprintf(w, "finished %-8s  violation %.2f%%  meanCT %.0fs  makespan %.0fs  completed %d/%d\n",
 			name, res.MeanSLOViolation()*100, res.MeanCT(), res.Makespan, res.Completed, res.Admitted)
 	}
+	if len(rows) < 2 {
+		return nil
+	}
 
-	mudiRes := rows[0].res
-	fmt.Fprintln(w, "\nrelative to Mudi (paper: CT up to 2.27x vs GSLICE, violations up to 6x lower):")
+	base := rows[0]
+	label := base.name
+	if label == "mudi" {
+		label = "Mudi"
+	}
+	fmt.Fprintf(w, "\nrelative to %s (paper: CT up to 2.27x vs GSLICE, violations up to 6x lower):\n", label)
 	for _, r := range rows[1:] {
 		violRatio := 0.0
-		if mudiRes.MeanSLOViolation() > 0 {
-			violRatio = r.res.MeanSLOViolation() / mudiRes.MeanSLOViolation()
+		if base.res.MeanSLOViolation() > 0 {
+			violRatio = r.res.MeanSLOViolation() / base.res.MeanSLOViolation()
 		}
 		fmt.Fprintf(w, "  %-8s violations %.2fx, mean CT %.2fx, makespan %.2fx\n",
-			r.name, violRatio, r.res.MeanCT()/mudiRes.MeanCT(), r.res.Makespan/mudiRes.Makespan)
+			r.name, violRatio, r.res.MeanCT()/base.res.MeanCT(), r.res.Makespan/base.res.Makespan)
 	}
 	return nil
 }

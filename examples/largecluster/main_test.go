@@ -13,7 +13,7 @@ func TestRunSmoke(t *testing.T) {
 		t.Skip("four end-to-end simulations in -short")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, 8, 10, 4); err != nil {
+	if err := run(&buf, 8, 10, 4, 0, []string{"mudi", "gslice", "gpulets", "muxflow"}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,5 +21,20 @@ func TestRunSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunShardedSmoke drives the sharded engine the way the 10k-device
+// invocation does — auto lane count, single policy.
+func TestRunShardedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation in -short")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 128, 40, 1, -1, []string{"mudi"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "finished mudi") {
+		t.Errorf("output missing finished line:\n%s", buf.String())
 	}
 }

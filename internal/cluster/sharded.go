@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"mudi/internal/gpu"
+	"mudi/internal/memmgr"
+	"mudi/internal/obs"
+	"mudi/internal/span"
+)
+
+// This file is the sharded run path (Options.Shards > 0): devices are
+// partitioned into contiguous lanes, each lane drains its own calendar
+// of per-device window ticks, and everything that crosses a lane
+// boundary — retunes, completions, evictions, placement, faults,
+// arrivals — happens at a barrier, either as a sequenced mailbox
+// message or as a global calendar event.
+//
+// The determinism contract is lane-count and worker-count invariance,
+// not equivalence with the legacy path. Three differences from the
+// legacy window are deliberate:
+//
+//   - measurement noise draws from per-device streams (d.winRNG), not
+//     the shared cluster stream, so a device's draw sequence does not
+//     depend on which other devices happen to share its engine;
+//   - control-plane reactions (qps-change / resume-probe / slo-risk
+//     retunes, pause evictions, completions) defer to the barrier and
+//     apply in (time, device, emission) order instead of firing inline
+//     mid-window;
+//   - cluster float sums (MeanP99, shed totals, utilization) aggregate
+//     per device first and merge in global device order.
+//
+// Inside a lane, handlers touch only lane-owned state: the device, its
+// pool, its service (including the qps trace's per-device walk), and
+// its winRNG. Shared sinks (obs/trace/attr/record) force workers=1 at
+// construction, in which case lanes drain inline in index order and
+// every emission lands in global device order anyway.
+
+// runSharded mirrors Run for the sharded engine.
+func (s *Sim) runSharded() (*Result, error) {
+	// Initial per-device configuration and memory placement — global
+	// phase, identical to the legacy sequence.
+	for _, d := range s.devices {
+		d.svc.curQPS = d.svc.qpsTrace.At(0)
+		if err := s.configure(0, d, true, "initial"); err != nil {
+			return nil, err
+		}
+		if err := d.pool.Alloc(0, "svc", memmgr.PriorityInference, d.svc.info.MemoryMB(d.svc.batch)); err != nil {
+			return nil, err
+		}
+		if err := d.dev.Place(gpu.Resident{ID: "svc", Kind: gpu.KindInference, Share: d.svc.delta, MemoryMB: d.svc.info.MemoryMB(d.svc.batch)}); err != nil {
+			return nil, err
+		}
+		d.svc.deployed = true
+	}
+	g := s.sh.Global()
+	// Faults and arrivals are control-plane events: they mutate the
+	// queue, the task set, and device residency, so they live on the
+	// global calendar and run with every lane quiescent at the barrier.
+	if s.inj != nil {
+		for _, d := range s.devices {
+			d := d
+			for _, w := range s.inj.DeviceWindows(d.dev.ID, s.opts.MaxHorizonSec) {
+				if _, err := g.At(w.Start, func(now float64) { s.failDevice(now, d) }); err != nil {
+					return nil, err
+				}
+				if _, err := g.At(w.End, func(now float64) { s.recoverDevice(now, d) }); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, a := range s.opts.Arrivals {
+		arr := a
+		if s.opts.Record != nil {
+			s.opts.Record.Task(arr)
+		}
+		if _, err := g.At(arr.At, func(now float64) { s.onArrival(now, arr) }); err != nil {
+			return nil, err
+		}
+	}
+	// Per-device window ticks on the owning lane's calendar, scheduled
+	// in global device order so ties within a lane fire device-major.
+	stops := make([]func(), 0, len(s.devices)+1)
+	for _, d := range s.devices {
+		d := d
+		stop, err := s.sh.Lane(d.lane).Sim.EveryUntil(s.opts.WindowSec, func(now float64) {
+			s.deviceWindow(now, d)
+		})
+		if err != nil {
+			return nil, err
+		}
+		stops = append(stops, stop)
+	}
+	// The global barrier tick: cluster sums in device order, the
+	// cancellation check, and the all-done stop. Scheduled after faults
+	// and arrivals so ties at a window boundary keep the legacy
+	// fault/arrival-before-accounting order.
+	stop, err := g.EveryUntil(s.opts.WindowSec, func(now float64) { s.barrierTick(now) })
+	if err != nil {
+		return nil, err
+	}
+	stops = append(stops, stop)
+	s.sh.Run(s.opts.MaxHorizonSec)
+	for _, st := range stops {
+		st()
+	}
+	if s.opts.Ctx != nil {
+		if err := s.opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	s.finalize(s.sh.Now())
+	return s.res, nil
+}
+
+// deviceWindow is one device's control window on the sharded path: the
+// lane-local part of the legacy window loop body, with every
+// cross-lane reaction posted to the mailbox instead of firing inline.
+func (s *Sim) deviceWindow(now float64, d *deviceState) {
+	w := s.opts.WindowSec
+	if d.down {
+		// A failed device serves nothing and burns nothing: it publishes
+		// zero utilization for the barrier sums and accrues no SLO
+		// windows during the outage.
+		d.smUtil = 0
+		d.memFrac = 0
+		return
+	}
+	svc := d.svc
+	lane := s.sh.Lane(d.lane)
+	qps := svc.qpsTrace.At(now)
+
+	// Admission control (class-aware runs only); see the legacy window
+	// for the policy. Shed totals accumulate per device and merge at
+	// finalize in device order.
+	var shedQPS float64
+	if s.classAware && svc.info.Class.SheddableLoad() {
+		admitCap := s.opts.AdmitFactor * svc.info.BaseQPS * s.opts.LoadFactor
+		if admitCap > 0 && qps > admitCap {
+			shedQPS = qps - admitCap
+			qps = admitCap
+			svc.shedReq += shedQPS * w
+			svc.shedWins++
+			if s.attr != nil {
+				s.attr.ObserveShed(svc.info.Class.String(), shedQPS*w)
+			}
+			if s.obsv != nil {
+				s.obsv.sheds.Inc()
+				s.obsv.sink.Emit(obs.Event{
+					Time: now, Type: obs.EventLoadShed, Device: d.dev.ID,
+					Service: svc.info.Name, Value: shedQPS, Cause: svc.info.Class.String(),
+				})
+			}
+		}
+	}
+
+	// Monitor: retune triggers update curQPS inline (device-local) and
+	// post the configure to the barrier — Configure walks the policy's
+	// shared learner state, which only the global phase may touch.
+	if !s.opts.DisableRetune && relChange(svc.curQPS, qps) >= s.opts.QPSChangeThreshold {
+		svc.curQPS = qps
+		lane.Post(now, d.gidx, func(at float64) {
+			if !d.down {
+				_ = s.configure(at, d, false, "qps-change")
+			}
+		})
+	} else if d.hasPaused() && now-d.lastResumeTry >= resumeRetrySec {
+		d.lastResumeTry = now
+		svc.curQPS = qps
+		lane.Post(now, d.gidx, func(at float64) {
+			if !d.down {
+				_ = s.configure(at, d, false, "resume-probe")
+			}
+		})
+	}
+	// Pause evictions requeue through the scheduler — barrier work. The
+	// message revalidates: an earlier message at the same barrier (a
+	// resume-probe retune) may have unpaused the task.
+	for _, t := range d.training {
+		t := t
+		if !t.done && t.paused && now-t.pausedAt >= pauseEvictSec {
+			lane.Post(now, d.gidx, func(at float64) {
+				if !d.down && !t.done && t.paused {
+					s.requeue(at, d, t)
+				}
+			})
+		}
+	}
+
+	// SLO accounting with the true co-located latency plus noise drawn
+	// from this device's own stream.
+	coloc := d.activeScratch()
+	lat, err := s.opts.Oracle.MeasureLatency(svc.info.Name, svc.batch, svc.delta, coloc, d.winRNG)
+	if err == nil {
+		budget := svc.info.SLOms * float64(svc.batch) / qps
+		svc.totalWin++
+		if d.gidx == s.opts.TraceDeviceIdx-1 {
+			var swapped float64
+			for _, t := range d.training {
+				if out, err := d.pool.SwappedOutMB(t.allocID); err == nil {
+					swapped += out
+				}
+			}
+			s.res.Trace = append(s.res.Trace, TracePoint{
+				Time: now, QPS: qps, Batch: svc.batch, Delta: svc.delta,
+				LatencyMs: lat, BudgetMs: budget, Violated: lat > budget,
+				SwappedMB: swapped, Paused: d.hasPaused(),
+			})
+		}
+		if s.obsv != nil {
+			d.obsv.latency.Observe(lat)
+		}
+		if lat > budget {
+			svc.violWin++
+			if s.attr != nil {
+				residents := make([]string, len(coloc))
+				for ri, ct := range coloc {
+					residents[ri] = ct.Name
+				}
+				s.attr.Observe(span.Sample{
+					Time: now, Device: d.dev.ID, Service: svc.info.Name,
+					LatencyMs: lat, BudgetMs: budget, QPS: qps,
+					BaseQPS:   svc.info.BaseQPS * s.opts.LoadFactor,
+					Residents: residents,
+					Class:     svc.info.Class.String(),
+					ShedQPS:   shedQPS,
+				})
+			}
+			if s.obsv != nil {
+				s.obsv.violations.Inc()
+				d.obsv.violations.Inc()
+				s.obsv.sink.Emit(obs.Event{
+					Time: now, Type: obs.EventSLOViolation, Device: d.dev.ID,
+					Service: svc.info.Name, Value: lat, Cause: "window-budget",
+				})
+			}
+			if !s.opts.DisableRetune {
+				svc.curQPS = qps
+				lane.Post(now, d.gidx, func(at float64) {
+					if !d.down {
+						_ = s.configure(at, d, false, "slo-risk")
+					}
+				})
+			}
+		}
+		svc.latSum += lat
+	}
+
+	// Training progress. Completion flags flip inline (device-local),
+	// the completion itself — result appends, queue usage, the
+	// follow-up retune and placement — lands at the barrier in device
+	// order. No snapshot needed: nothing mutates d.training inline.
+	share := d.trainShare()
+	for _, t := range d.training {
+		t := t
+		if t.done || t.paused || share <= 0 {
+			continue
+		}
+		iter, err := s.opts.Oracle.TrueIteration(t.task, share, svc.info.Name, svc.batch, svc.delta)
+		if err != nil {
+			continue
+		}
+		if out, err := d.pool.SwappedOutMB(t.allocID); err == nil && t.task.MemoryMB() > 0 {
+			frac := out / t.task.MemoryMB()
+			iter *= 1 + 0.5*frac
+		}
+		t.itersDone += w * 1000 / iter
+		if t.itersDone >= float64(t.iters) {
+			t.done = true
+			t.finishAt = now + w
+			lane.Post(now, d.gidx, func(float64) { s.complete(t.finishAt, d, t) })
+		}
+	}
+
+	// Memory reclamation: pool state is lane-owned, so this stays
+	// inline exactly as on the legacy path.
+	if d.pool.CapacityMB()-d.pool.DeviceUsedMB() > 1024 {
+		for _, t := range d.training {
+			if t.done {
+				continue
+			}
+			if out, err := d.pool.SwappedOutMB(t.allocID); err == nil && out > 0 {
+				_, _ = d.pool.Touch(now, t.allocID)
+				break
+			}
+		}
+	}
+
+	// Utilization: publish per device; the barrier sums in device order.
+	busy := (qps / float64(svc.batch)) * (latOrZero(s.opts.Oracle, svc, coloc) / 1000)
+	if busy > 1 {
+		busy = 1
+	}
+	trainBusy := 0.0
+	for _, t := range d.training {
+		if !t.done && !t.paused {
+			trainBusy += share
+		}
+	}
+	d.smUtil = svc.delta*busy + trainBusy
+	if d.smUtil > 1 {
+		d.smUtil = 1
+	}
+	d.memFrac = minf(d.pool.DeviceUsedMB(), d.pool.CapacityMB()) / d.pool.CapacityMB()
+}
+
+// barrierTick is the global control-plane window: cancellation check,
+// cluster utilization sums over the values the lanes just published,
+// and the all-done stop. It runs after the mailbox applied, so
+// completions at this window are already visible to allDone.
+func (s *Sim) barrierTick(now float64) {
+	if s.opts.Ctx != nil && s.opts.Ctx.Err() != nil {
+		s.sh.Stop()
+		return
+	}
+	var smSum, memSum float64
+	for _, d := range s.devices {
+		smSum += d.smUtil
+		memSum += d.memFrac
+	}
+	_ = s.res.SMUtil.Add(now, smSum/float64(len(s.devices)))
+	_ = s.res.MemUtil.Add(now, memSum/float64(len(s.devices)))
+	if s.obsv != nil {
+		s.obsv.windows.Inc()
+		s.obsv.smUtil.Set(smSum / float64(len(s.devices)))
+		s.obsv.memUtil.Set(memSum / float64(len(s.devices)))
+		s.obsv.queueDepth.Set(float64(s.queue.Len()))
+	}
+	if s.allDone() && s.queue.Len() == 0 {
+		s.sh.Stop()
+	}
+}

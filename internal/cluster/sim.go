@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -16,6 +18,7 @@ import (
 	"mudi/internal/obs"
 	"mudi/internal/perf"
 	"mudi/internal/sched"
+	"mudi/internal/shard"
 	"mudi/internal/span"
 	"mudi/internal/stats"
 	"mudi/internal/trace"
@@ -40,6 +43,24 @@ type Options struct {
 	MaxHorizonSec float64
 
 	QueuePolicy sched.Policy // default FCFS (§6)
+
+	// Shards selects the event engine. 0 (the default) is the legacy
+	// single-calendar engine — bit-for-bit the pre-shard behavior. A
+	// positive count partitions devices into that many contiguous lanes
+	// (clamped to the device count), each draining its own calendar
+	// between control-plane barriers; a negative count picks the
+	// default, min(GOMAXPROCS, devices/64). Any lane count N >= 1
+	// produces a byte-identical Result.Summary() — the sharded engine
+	// is its own determinism universe, distinct from the legacy one,
+	// because window measurements draw per-device noise streams and
+	// cross-lane effects land at barriers instead of mid-window.
+	Shards int
+	// AdmitFactor scales the admission-control cap for shed-eligible
+	// classes: offered load above AdmitFactor × BaseQPS × LoadFactor is
+	// dropped at the door. Defaults to span.BurstFactor (the burst
+	// attribution threshold, historically the hard-coded coupling);
+	// must be finite and positive.
+	AdmitFactor float64
 
 	// DisableRetune turns off the Monitor→Tuner trigger (the Fig. 13a
 	// "cluster-level only" ablation).
@@ -131,6 +152,15 @@ func (o Options) defaults() (Options, error) {
 	}
 	if o.MIGSlices < 1 || o.MIGSlices > 7 {
 		return o, fmt.Errorf("cluster: MIG slice count %d outside 1..7", o.MIGSlices)
+	}
+	if o.Shards < 0 {
+		o.Shards = shard.Default(o.Devices * o.MIGSlices)
+	}
+	if o.AdmitFactor == 0 {
+		o.AdmitFactor = span.BurstFactor
+	}
+	if math.IsNaN(o.AdmitFactor) || math.IsInf(o.AdmitFactor, 0) || o.AdmitFactor <= 0 {
+		return o, fmt.Errorf("cluster: admit factor %v must be finite and positive", o.AdmitFactor)
 	}
 	if o.MaxHorizonSec <= 0 {
 		last := 0.0
@@ -261,9 +291,13 @@ func (r *Result) MeanWaiting() float64 { return stats.Mean(r.WaitingT) }
 
 // Sim is one configured simulation.
 type Sim struct {
-	opts    Options
-	rng     *xrand.Rand
-	engine  *eventq.Sim
+	opts   Options
+	rng    *xrand.Rand
+	engine *eventq.Sim
+	// sh is the sharded engine (nil on the legacy single-calendar
+	// path). When set, engine aliases sh.Global() so shared helpers
+	// (measureFault's clock read) work in both modes.
+	sh      *shard.Engine
 	devices []*deviceState
 	meas    map[string]*deviceMeasurer
 	queue   *sched.Queue
@@ -382,10 +416,9 @@ func New(opts Options) (*Sim, error) {
 		return nil, err
 	}
 	s := &Sim{
-		opts:   opts,
-		rng:    xrand.New(opts.Seed).ForkString("cluster"),
-		engine: eventq.New(),
-		meas:   make(map[string]*deviceMeasurer),
+		opts: opts,
+		rng:  xrand.New(opts.Seed).ForkString("cluster"),
+		meas: make(map[string]*deviceMeasurer),
 		queue:  sched.NewQueue(opts.QueuePolicy),
 		jobs:   make(map[int]*queueJob),
 		res: &Result{
@@ -451,10 +484,36 @@ func New(opts Options) (*Sim, error) {
 	// setting — every GPU serves inference and hosts training
 	// opportunistically).
 	schedulable := opts.Devices * opts.MIGSlices
+	// Engine selection: legacy single calendar, or the sharded engine
+	// with devices partitioned into contiguous lanes. Lanes drain in
+	// parallel only when every shared sink is off — observation,
+	// tracing, attribution, and recording all emit from inside the
+	// per-device window, so any of them forces the inline sequential
+	// drain (still sharded, still lane-count invariant).
+	var split [][2]int
+	if opts.Shards > 0 {
+		split = shard.Split(schedulable, opts.Shards)
+		workers := len(split)
+		if g := runtime.GOMAXPROCS(0); workers > g {
+			workers = g
+		}
+		if opts.Obs != nil || opts.Trace != nil || opts.Attr != nil || opts.Record != nil {
+			workers = 1
+		}
+		sh, err := shard.New(len(split), workers)
+		if err != nil {
+			return nil, err
+		}
+		s.sh = sh
+		s.engine = sh.Global()
+	} else {
+		s.engine = eventq.New()
+	}
 	memMB := float64(0)
 	if opts.MIGSlices > 1 {
 		memMB = gpu.A100MemoryMB / float64(opts.MIGSlices)
 	}
+	laneIdx := 0
 	for i := 0; i < schedulable; i++ {
 		info := opts.Services[i%len(opts.Services)]
 		devID := fmt.Sprintf("gpu%04d", i/opts.MIGSlices)
@@ -511,6 +570,17 @@ func New(opts Options) (*Sim, error) {
 			// degradation windows (factor 1 outside them).
 			ds.pool.SetTransferScale(s.inj.PCIeScale)
 		}
+		// Sharded-mode wiring. The per-device noise stream is forked
+		// unconditionally: ForkString never advances the parent, so the
+		// legacy path (which keeps drawing from s.rng) is untouched.
+		ds.gidx = i
+		ds.winRNG = s.rng.ForkString("win:" + devID)
+		if split != nil {
+			for i >= split[laneIdx][1] {
+				laneIdx++
+			}
+			ds.lane = laneIdx
+		}
 		s.devices = append(s.devices, ds)
 		s.meas[devID] = &deviceMeasurer{oracle: opts.Oracle, dev: ds, rng: s.rng.ForkString("meas:" + devID), sim: s}
 	}
@@ -524,6 +594,9 @@ func New(opts Options) (*Sim, error) {
 // Run executes the simulation to completion (all admitted tasks done)
 // or to the safety horizon, and returns the metrics.
 func (s *Sim) Run() (*Result, error) {
+	if s.sh != nil {
+		return s.runSharded()
+	}
 	// Initial per-device configuration and memory placement.
 	for _, d := range s.devices {
 		d.svc.curQPS = d.svc.qpsTrace.At(0)
@@ -1104,14 +1177,15 @@ func (s *Sim) window(now float64) {
 		qps := svc.qpsTrace.At(now)
 
 		// Admission control (class-aware runs only): a shed-eligible
-		// service's offered load is capped at the burst threshold —
-		// BurstFactor × nominal QPS — and the excess is dropped at the
-		// door instead of driving the window budget (and the co-located
-		// critical services' retunes) into the ground. Critical/standard
-		// load is never shed; batch defers but keeps every request.
+		// service's offered load is capped at the admission threshold —
+		// AdmitFactor × nominal QPS (span.BurstFactor by default) — and
+		// the excess is dropped at the door instead of driving the
+		// window budget (and the co-located critical services' retunes)
+		// into the ground. Critical/standard load is never shed; batch
+		// defers but keeps every request.
 		var shedQPS float64
 		if s.classAware && svc.info.Class.SheddableLoad() {
-			admitCap := span.BurstFactor * svc.info.BaseQPS * s.opts.LoadFactor
+			admitCap := s.opts.AdmitFactor * svc.info.BaseQPS * s.opts.LoadFactor
 			if admitCap > 0 && qps > admitCap {
 				shedQPS = qps - admitCap
 				qps = admitCap
@@ -1525,6 +1599,19 @@ func (s *Sim) finalize(now float64) {
 	for _, d := range s.devices {
 		svc := d.svc
 		name := svc.info.Name
+		if s.sh != nil {
+			// Sharded runs accumulate per device inside the lanes; merge
+			// here in global device order so every float sum has a fixed
+			// order regardless of lane count.
+			s.res.MeanP99[name] += svc.latSum
+			if svc.shedWins > 0 {
+				if s.res.ShedRequests == nil {
+					s.res.ShedRequests = make(map[string]float64)
+				}
+				s.res.ShedRequests[svc.info.Class.String()] += svc.shedReq
+				s.res.ShedWindows += svc.shedWins
+			}
+		}
 		if svc.totalWin > 0 {
 			// Aggregate violation rate over all devices hosting the
 			// same service: accumulate weighted by windows.

@@ -41,6 +41,13 @@ type serviceState struct {
 	// swaps, so only rescales of a deployed instance can lose their
 	// shadow to an injected spin-up failure.
 	deployed bool
+
+	// Sharded-mode accumulators (unused on the legacy single-calendar
+	// path): lane windows accumulate per device, finalize merges in
+	// global device order so float sums are invariant to lane count.
+	latSum   float64 // measured window latencies, summed
+	shedReq  float64 // requests shed by admission control
+	shedWins int     // device-windows that shed
 }
 
 // taskState is one admitted training task.
@@ -84,6 +91,17 @@ type deviceState struct {
 	// consumed within a single call (oracle measurements) reuse it, while
 	// view() keeps allocating because policies retain its slices.
 	taskScratch []model.TrainingTask
+
+	// Sharded-mode fields (idle on the legacy path). gidx is the global
+	// device index and lane its owning shard; winRNG is the per-device
+	// measurement-noise stream (the legacy path draws from the shared
+	// cluster stream, which would couple devices across lanes); memFrac
+	// is the last window's memory utilization, published for the
+	// barrier's device-order cluster sums.
+	gidx    int
+	lane    int
+	winRNG  *xrand.Rand
+	memFrac float64
 }
 
 // devObs is the per-device instrument cache, resolved once at

@@ -14,11 +14,10 @@ import (
 type Handler func(now float64)
 
 type event struct {
-	at   float64
-	seq  uint64 // tie-break: FIFO among equal timestamps
-	fn   Handler
-	dead bool
-	idx  int
+	at  float64
+	seq uint64 // tie-break: FIFO among equal timestamps
+	fn  Handler
+	idx int // heap position; -1 once fired or cancelled
 }
 
 type eventHeap []*event
@@ -46,6 +45,7 @@ func (h *eventHeap) Pop() any {
 	e := old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
+	e.idx = -1
 	return e
 }
 
@@ -90,12 +90,16 @@ func (s *Sim) After(delay float64, fn Handler) (Timer, error) {
 	return s.At(s.now+delay, fn)
 }
 
-// Cancel prevents a scheduled event from firing. Cancelling a fired or
-// already-cancelled timer is a no-op.
+// Cancel prevents a scheduled event from firing. The event is removed
+// from the calendar immediately — O(log n) — and its handler closure
+// released, so cancelled events never pin memory until their fire
+// time. Cancelling a fired or already-cancelled timer is a no-op.
 func (s *Sim) Cancel(t Timer) {
-	if t.e != nil {
-		t.e.dead = true
+	if t.e == nil || t.e.idx < 0 {
+		return
 	}
+	heap.Remove(&s.heap, t.e.idx)
+	t.e.fn = nil
 }
 
 // Stop halts Run after the current event returns.
@@ -113,11 +117,10 @@ func (s *Sim) Run(horizon float64) int {
 			break
 		}
 		heap.Pop(&s.heap)
-		if e.dead {
-			continue
-		}
 		s.now = e.at
-		e.fn(s.now)
+		fn := e.fn
+		e.fn = nil // release the closure before the handler reschedules
+		fn(s.now)
 		executed++
 	}
 	// Advance the clock to the horizon even if the calendar drained
@@ -128,25 +131,43 @@ func (s *Sim) Run(horizon float64) int {
 	return executed
 }
 
-// Pending returns the number of scheduled (non-cancelled) events.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, e := range s.heap {
-		if !e.dead {
-			n++
-		}
+// AdvanceTo moves the clock forward to t without firing anything. It
+// is a no-op if t <= now. The caller must ensure no pending event is
+// earlier than t (the shard engine advances to the earliest global
+// event time, which satisfies this by construction); otherwise a later
+// Run would move the clock backwards when it fires the skipped event.
+func (s *Sim) AdvanceTo(t float64) {
+	if t > s.now {
+		s.now = t
 	}
-	return n
+}
+
+// Pending returns the number of scheduled events. Cancelled events are
+// removed eagerly, so this is simply the heap length — O(1).
+func (s *Sim) Pending() int { return len(s.heap) }
+
+// Len is Pending under the name the shard engine uses.
+func (s *Sim) Len() int { return len(s.heap) }
+
+// NextAt returns the timestamp of the earliest pending event, or false
+// if the calendar is empty.
+func (s *Sim) NextAt() (float64, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
 }
 
 // EveryUntil schedules fn at now+period, then every period seconds,
-// until the predicate returns false or the event is cancelled via the
-// returned stop function.
+// until the simulation stops or the returned stop function is called.
+// Stopping cancels the in-flight timer, so the calendar holds no
+// residue from a stopped ticker.
 func (s *Sim) EveryUntil(period float64, fn Handler) (stop func(), err error) {
 	if period <= 0 {
 		return nil, fmt.Errorf("eventq: non-positive period %v", period)
 	}
 	stopped := false
+	var pending Timer
 	var schedule func(now float64)
 	schedule = func(now float64) {
 		if stopped {
@@ -156,13 +177,22 @@ func (s *Sim) EveryUntil(period float64, fn Handler) (stop func(), err error) {
 		if stopped {
 			return
 		}
-		if _, err := s.After(period, schedule); err != nil {
+		t, err := s.After(period, schedule)
+		if err != nil {
 			// Unreachable: After with positive delay cannot fail.
 			panic(err)
 		}
+		pending = t
 	}
-	if _, err := s.After(period, schedule); err != nil {
+	pending, err = s.After(period, schedule)
+	if err != nil {
 		return nil, err
 	}
-	return func() { stopped = true }, nil
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		s.Cancel(pending)
+	}, nil
 }

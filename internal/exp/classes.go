@@ -82,6 +82,7 @@ func ClassesResults(cfg Config) (map[string]*cluster.Result, error) {
 				Services: v.services,
 				Arrivals: arrivals,
 				Bursts:   flashCrowdBursts(),
+				Shards:   cfg.Shards,
 				Obs:      cfg.sink(),
 				Trace:    tracer,
 				Attr:     attr,

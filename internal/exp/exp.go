@@ -51,6 +51,12 @@ type Config struct {
 	// and draws from an RNG stream derived from (Seed, cell index), and
 	// results merge in cell-key order, never completion order.
 	Parallel int
+	// Shards selects each cell's event engine (cluster.Options.Shards):
+	// 0 keeps the legacy single calendar, a positive count runs the
+	// sharded engine with that many lanes, negative picks the default.
+	// Within the sharded engine, results are identical for every lane
+	// count — the shard determinism tests pin that.
+	Shards int
 	// Ctx, when non-nil, cancels in-flight harness runs: no new cells
 	// start after it is done and the run returns Ctx.Err().
 	Ctx context.Context

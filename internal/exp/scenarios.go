@@ -43,6 +43,7 @@ func ScenarioResults(cfg Config) (map[string]*cluster.Result, error) {
 				Devices:  tr.Header.Devices,
 				Arrivals: arrivals,
 				Replay:   tr,
+				Shards:   cfg.Shards,
 				Obs:      cfg.sink(),
 				Trace:    tracer,
 				Attr:     attr,

@@ -1,0 +1,63 @@
+package exp
+
+import "testing"
+
+// TestScenarioShardDeterminism pins the ISSUE acceptance criterion at
+// the experiment layer: every scenario in the library produces a
+// byte-identical Result summary at one lane and at many.
+func TestScenarioShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two scenario sweeps in -short")
+	}
+	summaries := func(shards int) map[string]string {
+		results, err := ScenarioResults(Config{Seed: 3, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(results))
+		for name, res := range results {
+			out[name] = res.Summary()
+		}
+		return out
+	}
+	one := summaries(1)
+	many := summaries(4)
+	if len(one) != len(many) {
+		t.Fatalf("scenario count differs: %d vs %d", len(one), len(many))
+	}
+	for name, want := range one {
+		if got := many[name]; got != want {
+			t.Errorf("scenario %q: Shards=4 summary differs from Shards=1 (len %d vs %d)",
+				name, len(got), len(want))
+		}
+	}
+}
+
+// TestClassesShardDeterminism does the same for the class-aware
+// flash-crowd experiment — the sheddiest workload in the suite.
+func TestClassesShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two classed sweeps in -short")
+	}
+	summaries := func(shards int) map[string]string {
+		results, err := ClassesResults(Config{Seed: 3, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(results))
+		for name, res := range results {
+			out[name] = res.Summary()
+		}
+		return out
+	}
+	one := summaries(1)
+	many := summaries(3)
+	for name, want := range one {
+		if got := many[name]; got != want {
+			t.Errorf("cell %q: Shards=3 summary differs from Shards=1", name)
+		}
+	}
+	if one["classed"] == one["classless"] {
+		t.Error("classed and classless cells identical — class mix not applied")
+	}
+}

@@ -1,0 +1,257 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSplit(t *testing.T) {
+	cases := []struct {
+		n, lanes int
+		want     [][2]int
+	}{
+		{10, 1, [][2]int{{0, 10}}},
+		{10, 3, [][2]int{{0, 4}, {4, 7}, {7, 10}}},
+		{4, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		{3, 8, [][2]int{{0, 1}, {1, 2}, {2, 3}}}, // clamped to n
+		{5, 0, [][2]int{{0, 5}}},                 // clamped to 1
+	}
+	for _, c := range cases {
+		got := Split(c.n, c.lanes)
+		if len(got) != len(c.want) {
+			t.Fatalf("Split(%d,%d) = %v, want %v", c.n, c.lanes, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Split(%d,%d) = %v, want %v", c.n, c.lanes, got, c.want)
+			}
+		}
+	}
+}
+
+func TestDefault(t *testing.T) {
+	if got := Default(1); got != 1 {
+		t.Fatalf("Default(1) = %d", got)
+	}
+	if got := Default(63); got != 1 {
+		t.Fatalf("Default(63) = %d", got)
+	}
+	if got := Default(128); got < 1 || got > 2 {
+		t.Fatalf("Default(128) = %d, want 1..2 (min(GOMAXPROCS, 2))", got)
+	}
+}
+
+// owner returns the lane owning global device d under the given split.
+func owner(split [][2]int, d int) int {
+	for i, r := range split {
+		if d >= r[0] && d < r[1] {
+			return i
+		}
+	}
+	panic("unowned device")
+}
+
+// buildToy wires a toy cluster onto an engine: each of n devices ticks
+// every second on its owner lane, bumping a lane-local counter and
+// posting a mailbox message that appends to the shared log; the global
+// calendar runs a barrier ticker plus two "arrival" one-shots that
+// also append. The log is the observable whose byte-identity across
+// lane/worker counts is the engine's whole contract.
+func buildToy(t *testing.T, n, lanes, workers int) (*Engine, *[]string) {
+	t.Helper()
+	e, err := New(lanes, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &[]string{}
+	split := Split(n, lanes)
+	counters := make([]int, n)
+	for d := 0; d < n; d++ {
+		d := d
+		lane := e.Lane(owner(split, d))
+		if _, err := lane.Sim.EveryUntil(1, func(now float64) {
+			counters[d]++ // lane-local state: safe under parallel drain
+			v := counters[d]
+			lane.Post(now, d, func(at float64) {
+				*log = append(*log, fmt.Sprintf("tick d%d c%d @%g", d, v, at))
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Global().EveryUntil(1, func(now float64) {
+		*log = append(*log, fmt.Sprintf("barrier @%g", now))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []float64{1.5, 3} {
+		at := at
+		if _, err := e.Global().At(at, func(now float64) {
+			*log = append(*log, fmt.Sprintf("arrival @%g", now))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, log
+}
+
+// TestLaneCountInvariance is the engine-level determinism golden: the
+// same toy workload produces a byte-identical log at every lane and
+// worker count.
+func TestLaneCountInvariance(t *testing.T) {
+	const n, horizon = 8, 5.0
+	run := func(lanes, workers int) []string {
+		e, log := buildToy(t, n, lanes, workers)
+		e.Run(horizon)
+		return *log
+	}
+	want := run(1, 1)
+	if len(want) == 0 {
+		t.Fatal("toy run produced no log")
+	}
+	for _, c := range []struct{ lanes, workers int }{{2, 1}, {4, 1}, {4, 4}, {8, 3}} {
+		got := run(c.lanes, c.workers)
+		if len(got) != len(want) {
+			t.Fatalf("lanes=%d workers=%d: %d entries, want %d\n%v", c.lanes, c.workers, len(got), len(want), got)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("lanes=%d workers=%d entry %d: %q, want %q", c.lanes, c.workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMailboxOrdering: messages at one barrier apply in (At, Dev,
+// emission) order regardless of which lane posted them or in what
+// drain order.
+func TestMailboxOrdering(t *testing.T) {
+	e, err := New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	post := func(lane *Lane, at float64, dev int, tag string) {
+		lane.Post(at, dev, func(float64) { got = append(got, tag) })
+	}
+	// Lane 1 (higher devices) fires first on its calendar; lane 0
+	// posts later in wall order. Dev order must still win.
+	e.Lane(1).Sim.At(1, func(now float64) {
+		post(e.Lane(1), now, 3, "d3#0")
+		post(e.Lane(1), now, 2, "d2#0")
+		post(e.Lane(1), 0.5, 2, "d2@earlier") // earlier At sorts first
+	})
+	e.Lane(0).Sim.At(1, func(now float64) {
+		post(e.Lane(0), now, 0, "d0#0")
+		post(e.Lane(0), now, 0, "d0#1") // same dev: emission order
+		post(e.Lane(0), now, 1, "d1#0")
+	})
+	e.Global().At(1, func(float64) {})
+	e.Run(2)
+	want := []string{"d2@earlier", "d0#0", "d0#1", "d1#0", "d2#0", "d3#0"}
+	if len(got) != len(want) {
+		t.Fatalf("applied %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("applied %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBarrierPhaseOrder: at one barrier time, lane events run first,
+// then mailbox messages, then global events.
+func TestBarrierPhaseOrder(t *testing.T) {
+	e, err := New(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	e.Lane(0).Sim.At(5, func(now float64) {
+		got = append(got, "lane")
+		e.Lane(0).Post(now, 0, func(float64) { got = append(got, "mail") })
+	})
+	e.Global().At(5, func(float64) { got = append(got, "global") })
+	e.Run(10)
+	want := []string{"lane", "mail", "global"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("phase order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestStopAndResume: Stop from a global handler halts the run at that
+// barrier with clocks aligned; a further Run resumes.
+func TestStopAndResume(t *testing.T) {
+	e, err := New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := 0
+	for i := 0; i < 2; i++ {
+		e.Lane(i).Sim.EveryUntil(1, func(float64) { ticks++ })
+	}
+	e.Global().At(3, func(float64) { e.Stop() })
+	e.Run(10)
+	if ticks != 6 { // 2 lanes × ticks at 1, 2, 3
+		t.Fatalf("ticks at stop %d, want 6", ticks)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("global clock %v, want 3", e.Now())
+	}
+	e.Run(5)
+	if ticks != 10 { // + 2 lanes × ticks at 4, 5
+		t.Fatalf("ticks after resume %d, want 10", ticks)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("global clock %v, want 5", e.Now())
+	}
+}
+
+// TestClocksAligned: after a horizon run, the global and every lane
+// clock sit exactly at the horizon even when calendars drained early.
+func TestClocksAligned(t *testing.T) {
+	e, err := New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Lane(1).Sim.At(2, func(float64) {})
+	e.Global().At(1, func(float64) {})
+	e.Run(7)
+	if e.Now() != 7 {
+		t.Fatalf("global clock %v, want 7", e.Now())
+	}
+	for i := 0; i < e.Lanes(); i++ {
+		if now := e.Lane(i).Sim.Now(); now != 7 {
+			t.Fatalf("lane %d clock %v, want 7", i, now)
+		}
+	}
+}
+
+// TestMailFromMail: a message whose Fn posts another message sees that
+// second message applied at the next barrier, not recursively.
+func TestMailFromMail(t *testing.T) {
+	e, err := New(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	e.Lane(0).Sim.At(1, func(now float64) {
+		e.Lane(0).Post(now, 0, func(at float64) {
+			got = append(got, fmt.Sprintf("first@%g", at))
+			e.Lane(0).Post(at, 0, func(at2 float64) {
+				got = append(got, fmt.Sprintf("second@%g", at2))
+			})
+		})
+	})
+	e.Global().At(1, func(float64) {})
+	e.Global().At(2, func(float64) {})
+	e.Run(3)
+	want := []string{"first@1", "second@2"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("applied %v, want %v", got, want)
+		}
+	}
+}

@@ -269,6 +269,21 @@ type SimOptions struct {
 	// catalog name, applied after ClassMix. Unknown service names are an
 	// *OptionError.
 	ServiceClasses map[string]SLOClass
+	// Shards selects the event-engine sharding. 0 (the default) runs the
+	// single-calendar legacy engine, byte-identical to earlier releases.
+	// A negative value picks min(GOMAXPROCS, devices/64) lanes — the
+	// right setting for large clusters (see examples/largecluster).
+	// A positive value pins that many lanes (clamped to the device
+	// count). Sharded runs form their own determinism universe: the
+	// summary is byte-identical across every lane count and worker
+	// count, but intentionally differs from the legacy engine's.
+	Shards int
+	// AdmitFactor scales the per-service burst admission cap: windows
+	// whose demand exceeds AdmitFactor × nominal QPS shed the excess
+	// (sheddable/background classes only). 0 selects the default, the
+	// burst headroom the attribution layer assumes (span.BurstFactor,
+	// 1.5). Must otherwise be finite and positive.
+	AdmitFactor float64
 }
 
 // FaultConfig parameterizes deterministic fault injection; see
@@ -426,6 +441,8 @@ func (s *System) SimulateContext(ctx context.Context, opts SimOptions) (*Result,
 		Attr:           attr,
 		Replay:         opts.Workload,
 		Record:         rec,
+		Shards:         opts.Shards,
+		AdmitFactor:    opts.AdmitFactor,
 		Ctx:            ctx,
 	})
 	if err != nil {

@@ -164,7 +164,8 @@ func (o SimOptions) queueID() (QueuePolicyID, *OptionError) {
 // Validate accepts them: Policy (system's Mudi), Devices (12),
 // Tasks (24), MeanGapSec (10 s), IterScale (0.002), LoadFactor (1.0),
 // Queue (QueueFCFS), TraceDeviceIdx (no trace), MIGSlices (no MIG
-// splitting; 1 is equivalently off).
+// splitting; 1 is equivalently off), Shards (legacy single-calendar
+// engine), AdmitFactor (1.5× burst headroom).
 func (o SimOptions) Validate() error {
 	if o.Devices < 0 {
 		return &OptionError{Field: "Devices", Value: o.Devices, Reason: "must be >= 0 (0 selects the default of 12)"}
@@ -186,6 +187,9 @@ func (o SimOptions) Validate() error {
 	}
 	if o.MIGSlices < 0 || o.MIGSlices > 7 {
 		return &OptionError{Field: "MIGSlices", Value: o.MIGSlices, Reason: "must be in [0, 7] (A100 MIG supports at most 7 instances; 0 or 1 disables splitting)"}
+	}
+	if math.IsNaN(o.AdmitFactor) || math.IsInf(o.AdmitFactor, 0) || o.AdmitFactor < 0 {
+		return &OptionError{Field: "AdmitFactor", Value: o.AdmitFactor, Reason: "must be finite and >= 0 (0 selects the default burst headroom of 1.5)"}
 	}
 	for i, b := range o.Bursts {
 		if b.Start < 0 || b.End < b.Start {
