@@ -9,9 +9,9 @@ GO ?= go
 # and the observability fan-in, plus the hot-path packages whose
 # scratch/memo state must stay correctly confined (oracle caches are
 # shared across workers; gp/stats/serving scratch is per-goroutine).
-RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/shard ./internal/obs ./internal/faults ./internal/perf ./internal/stats ./internal/gp ./internal/serving ./internal/span ./internal/telemetry ./internal/trace ./internal/trace/scenario ./internal/sched ./telemetryhttp
+RACE_PKGS = ./internal/runner ./internal/exp ./internal/cluster ./internal/eventq ./internal/shard ./internal/obs ./internal/faults ./internal/perf ./internal/stats ./internal/gp ./internal/serving ./internal/span ./internal/telemetry ./internal/timeline ./internal/trace ./internal/trace/scenario ./internal/sched ./telemetryhttp
 
-.PHONY: tier1 build test vet race test-scenarios test-classes bench-parallel bench-obs bench-hotpath bench-trace bench-scale ci
+.PHONY: tier1 build test vet race test-scenarios test-classes bench-parallel bench-obs bench-hotpath bench-trace bench-timeline bench-scale ci
 
 tier1: build test
 
@@ -63,6 +63,13 @@ bench-hotpath:
 # disabled.
 bench-trace:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimTrace(Off|On)$$' -benchtime 3x -short -benchmem -count=1 .
+
+# Regenerate the numbers recorded in BENCH_timeline.json: the
+# timelines-off run must match BenchmarkSimObsOff's alloc budget
+# (BENCH_obs.json) — timeline recording disabled is the same
+# zero-overhead path as observation disabled.
+bench-timeline:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimTimelines(Off|On)$$' -benchtime 3x -short -benchmem -count=1 .
 
 # Regenerate the numbers recorded in BENCH_scale.json: the sharded
 # event engine's fleet-size series (1k/2k/5k/10k devices; -short stops

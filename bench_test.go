@@ -403,10 +403,17 @@ func benchRunAllObs(b *testing.B, parallel int, observer obs.Observer) {
 // benchRunAllTrace additionally switches per-cell span tracing — the
 // harness behind BenchmarkSimTraceOn/Off.
 func benchRunAllTrace(b *testing.B, parallel int, observer obs.Observer, trace bool) {
+	benchRunAllTL(b, parallel, observer, trace, false)
+}
+
+// benchRunAllTL additionally switches per-cell timeline recording — the
+// harness behind BenchmarkSimTimelinesOn/Off.
+func benchRunAllTL(b *testing.B, parallel int, observer obs.Observer, trace, timelines bool) {
 	cfg := benchCfg(b)
 	cfg.Parallel = parallel
 	cfg.Observer = observer
 	cfg.Trace = trace
+	cfg.Timelines = timelines
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		s, err := exp.NewSuite(cfg)
@@ -457,6 +464,19 @@ func BenchmarkSimTraceOff(b *testing.B) { benchRunAllTrace(b, 1, nil, false) }
 // tracer and violation attributor, measuring the full cost of causal
 // span capture plus attribution on the simulation hot path.
 func BenchmarkSimTraceOn(b *testing.B) { benchRunAllTrace(b, 1, nil, true) }
+
+// BenchmarkSimTimelinesOff pins the timeline store's
+// zero-overhead-when-disabled contract: the exact BenchmarkSimObsOff
+// workload with timeline recording compiled in but off, so every
+// recording site costs one nil check. Its allocs/op must match
+// BenchmarkSimObsOff (compare BENCH_timeline.json against
+// BENCH_obs.json).
+func BenchmarkSimTimelinesOff(b *testing.B) { benchRunAllTL(b, 1, nil, false, false) }
+
+// BenchmarkSimTimelinesOn runs the same workload with a per-cell
+// timeline store, measuring the full cost of per-window series capture
+// (service, class, fleet, and engine self-profile) on the hot path.
+func BenchmarkSimTimelinesOn(b *testing.B) { benchRunAllTL(b, 1, nil, false, true) }
 
 func BenchmarkFidelity(b *testing.B) {
 	cfg := benchCfg(b)

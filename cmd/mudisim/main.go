@@ -77,6 +77,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		metricsFlag  = fs.Bool("metrics", false, "stream the run's metrics snapshot as NDJSON before the tables")
 		eventsOut    = fs.String("events-out", "", "write the structured event log as NDJSON to this file (atomic: temp file in the destination directory, then rename)")
 		metricsOut   = fs.String("metrics-out", "", "write the metrics snapshot as NDJSON to this file (atomic)")
+		tlFlag       = fs.Bool("timelines", false, "record multi-resolution timeline series (per-service QPS/P99/violation, class roll-ups, fleet signals, engine self-profile) and stream them as NDJSON before the tables")
+		tlOut        = fs.String("timelines-out", "", "write the timeline series as NDJSON to this file (atomic); implies -timelines recording")
 		httpFlag     = fs.String("http", "", "serve live telemetry on this address while the run is in flight: /metrics (Prometheus text), /slo (attribution JSON), /healthz, /debug/vars, /debug/pprof/")
 		faultsFlag   = fs.String("faults", "", "deterministic fault injection: \"default\" or comma-separated key=value pairs (mtbf, mttr, meas, retries, spin, pciex, pcie-mtbf, pcie-mttr, seed), e.g. \"mtbf=300,mttr=45,meas=0.1\"")
 		traceInFlag  = fs.String("trace-in", "", "replay a recorded trace-v2 workload from this file (-tasks/-gap/-load/-burst do not apply; -devices must match the trace header if given)")
@@ -196,7 +198,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 		sink, tracer, attr := tel.Instruments()
 		srv := &http.Server{Handler: telemetry.Handler(telemetry.Options{
-			Sink: sink, Trace: tracer, Attr: attr, WindowSec: 1,
+			Sink: sink, Trace: tracer, Attr: attr,
+			Timeline: tel.TimelineStore(), WindowSec: 1,
 		})}
 		go func() { _ = srv.Serve(ln) }()
 		defer srv.Close()
@@ -216,6 +219,7 @@ func run(args []string, stdout io.Writer) (err error) {
 			AdmitFactor:    *admitFlag,
 			Observe:        *eventsFlag || *metricsFlag || *eventsOut != "" || *metricsOut != "",
 			Trace:          tracePath != "",
+			Timelines:      *tlFlag || *tlOut != "",
 			Telemetry:      tel,
 			Faults:         faultCfg,
 			RecordWorkload: *traceOutFlag != "",
@@ -247,8 +251,8 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 
 	if *repeatsFlag > 1 {
-		if *jsonFlag || *eventsFlag || *metricsFlag || *eventsOut != "" || *metricsOut != "" || tracePath != "" || *httpFlag != "" || *traceInFlag != "" || *traceOutFlag != "" || *scenarioFlag != "" {
-			return fmt.Errorf("-json/-events/-metrics/-events-out/-metrics-out/-trace <path>/-http/-trace-in/-trace-out/-scenario support a single run; drop them or use -repeats 1")
+		if *jsonFlag || *eventsFlag || *metricsFlag || *eventsOut != "" || *metricsOut != "" || *tlFlag || *tlOut != "" || tracePath != "" || *httpFlag != "" || *traceInFlag != "" || *traceOutFlag != "" || *scenarioFlag != "" {
+			return fmt.Errorf("-json/-events/-metrics/-events-out/-metrics-out/-timelines/-timelines-out/-trace <path>/-http/-trace-in/-trace-out/-scenario support a single run; drop them or use -repeats 1")
 		}
 		return runRepeats(*repeatsFlag, *parallelFlag, *seedFlag, *policyFlag, simulate, stdout)
 	}
@@ -289,6 +293,17 @@ func run(args []string, stdout io.Writer) (err error) {
 		}); err != nil {
 			return err
 		}
+	}
+	if *tlFlag {
+		if err := mudi.WriteTimelines(stdout, res.Timelines); err != nil {
+			return err
+		}
+	}
+	if *tlOut != "" {
+		if err := mudi.WriteTimelinesFile(*tlOut, res.Timelines); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mudisim: wrote %d timeline series to %s\n", len(res.Timelines), *tlOut)
 	}
 	if tracePath != "" {
 		if err := atomicio.WriteFile(tracePath, func(w io.Writer) error {

@@ -29,6 +29,7 @@ func main() {
 	gap := flag.Float64("gap", 2.0, "mean arrival gap in seconds")
 	shards := flag.Int("shards", 0, "event-engine shard lanes: 0 = legacy calendar, -1 = auto, N = that many lanes")
 	policies := flag.String("policies", "mudi,gslice,gpulets,muxflow", "comma-separated policies to compare (first is the comparison base)")
+	profile := flag.Bool("profile", false, "record engine self-profiling timelines and print the per-phase wall-clock breakdown (drain/merge/apply; most useful with -shards)")
 	flag.Parse()
 
 	d, n, g := *devices, *tasks, *gap
@@ -39,14 +40,14 @@ func main() {
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 	}
-	if err := run(os.Stdout, d, n, g, *shards, names); err != nil {
+	if err := run(os.Stdout, d, n, g, *shards, names, *profile); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run compares the named policies on a fleet of the given size;
 // factored out of main so tests can drive a smaller cluster.
-func run(w io.Writer, devices, tasks int, gap float64, shards int, names []string) error {
+func run(w io.Writer, devices, tasks int, gap float64, shards int, names []string, profile bool) error {
 	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 11})
 	if err != nil {
 		return fmt.Errorf("offline pipeline: %w", err)
@@ -70,10 +71,11 @@ func run(w io.Writer, devices, tasks int, gap float64, shards int, names []strin
 			}
 		}
 		res, err := sys.Simulate(mudi.SimOptions{
-			Policy:   policy,
-			Devices:  devices,
-			Arrivals: arrivals,
-			Shards:   shards,
+			Policy:    policy,
+			Devices:   devices,
+			Arrivals:  arrivals,
+			Shards:    shards,
+			Timelines: profile,
 		})
 		if err != nil {
 			return fmt.Errorf("simulate %s: %w", name, err)
@@ -81,6 +83,9 @@ func run(w io.Writer, devices, tasks int, gap float64, shards int, names []strin
 		rows = append(rows, row{name, res})
 		fmt.Fprintf(w, "finished %-8s  violation %.2f%%  meanCT %.0fs  makespan %.0fs  completed %d/%d\n",
 			name, res.MeanSLOViolation()*100, res.MeanCT(), res.Makespan, res.Completed, res.Admitted)
+		if profile {
+			printProfile(w, name, res.Timelines)
+		}
 	}
 	if len(rows) < 2 {
 		return nil
@@ -101,4 +106,57 @@ func run(w io.Writer, devices, tasks int, gap float64, shards int, names []strin
 			r.name, violRatio, r.res.MeanCT()/base.res.MeanCT(), r.res.Makespan/base.res.Makespan)
 	}
 	return nil
+}
+
+// printProfile summarizes the engine self-profiling series: total
+// wall-clock per barrier phase (the dominant one is where engine time
+// goes as the fleet scales), mail volume, and peak lane imbalance. The
+// sums come from each series' coarsest level, which retains the longest
+// history.
+func printProfile(w io.Writer, name string, tls []mudi.Timeline) {
+	type agg struct {
+		sum, max float64
+		count    int64
+	}
+	totals := map[string]agg{}
+	for _, tl := range tls {
+		kind, err := mudi.ParseTimelineKind(tl.Kind)
+		if err != nil || !kind.Profile() || len(tl.Levels) == 0 {
+			continue
+		}
+		var a agg
+		for _, b := range tl.Levels[len(tl.Levels)-1].Buckets {
+			a.sum += b.Sum
+			a.count += b.Count
+			if b.Max > a.max {
+				a.max = b.Max
+			}
+		}
+		totals[tl.Kind] = a
+	}
+	if len(totals) == 0 {
+		fmt.Fprintf(w, "  %s: no engine profile series (use -shards for the per-phase breakdown)\n", name)
+		return
+	}
+	phases := []string{"engine_drain_ms", "engine_merge_ms", "engine_apply_ms"}
+	var engine float64
+	for _, ph := range phases {
+		engine += totals[ph].sum
+	}
+	fmt.Fprintf(w, "  %s engine profile over %d windows: %.0f ms total\n",
+		name, totals["engine_window_ms"].count, totals["engine_window_ms"].sum)
+	for _, ph := range phases {
+		a, share := totals[ph], 0.0
+		if engine > 0 {
+			share = a.sum / engine * 100
+		}
+		fmt.Fprintf(w, "    %-16s %8.0f ms  (%5.1f%% of phases, peak %.2f ms/window)\n",
+			strings.TrimSuffix(strings.TrimPrefix(ph, "engine_"), "_ms"), a.sum, share, a.max)
+	}
+	if a, ok := totals["engine_mail"]; ok {
+		fmt.Fprintf(w, "    %-16s %8.0f events (peak %.0f/window)\n", "mail", a.sum, a.max)
+	}
+	if a, ok := totals["engine_lane_imbalance"]; ok {
+		fmt.Fprintf(w, "    %-16s peak %.0f events between busiest and idlest lane\n", "imbalance", a.max)
+	}
 }

@@ -13,7 +13,7 @@ func TestRunSmoke(t *testing.T) {
 		t.Skip("four end-to-end simulations in -short")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, 8, 10, 4, 0, []string{"mudi", "gslice", "gpulets", "muxflow"}); err != nil {
+	if err := run(&buf, 8, 10, 4, 0, []string{"mudi", "gslice", "gpulets", "muxflow"}, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -31,10 +31,28 @@ func TestRunShardedSmoke(t *testing.T) {
 		t.Skip("end-to-end simulation in -short")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, 128, 40, 1, -1, []string{"mudi"}); err != nil {
+	if err := run(&buf, 128, 40, 1, -1, []string{"mudi"}, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "finished mudi") {
 		t.Errorf("output missing finished line:\n%s", buf.String())
+	}
+}
+
+// TestRunProfileSmoke: -profile on the sharded engine prints the
+// per-phase engine breakdown sourced from the self-profiling series.
+func TestRunProfileSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation in -short")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 64, 20, 1, -1, []string{"mudi"}, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"engine profile over", "drain", "merge", "apply", "mail"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q:\n%s", want, out)
+		}
 	}
 }

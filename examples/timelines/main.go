@@ -1,0 +1,155 @@
+// Timelines: run the flash-crowd scenario with multi-resolution
+// timeline recording on and render a terminal dashboard — per-class
+// offered vs shed QPS, service tail latency, and the fleet signals —
+// as aligned sparkline strips. This is the batch-mode view of the same
+// series `mudisim -http` serves live at /timeline and streams at
+// /watch.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+
+	"mudi"
+)
+
+func main() {
+	if err := run(os.Stdout, 64); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run replays the flash-crowd scenario with timelines on and prints the
+// dashboard at the given strip width; factored out of main for tests.
+func run(w io.Writer, width int) error {
+	tr, err := mudi.BuildScenario("flash-crowd", 1)
+	if err != nil {
+		return err
+	}
+	sys, err := mudi.NewSystem(mudi.SystemConfig{Seed: 1})
+	if err != nil {
+		return fmt.Errorf("offline pipeline: %w", err)
+	}
+	res, err := sys.Simulate(mudi.SimOptions{
+		Workload:  tr,
+		Timelines: true,
+		// Class the catalog so the dashboard shows the per-class
+		// admission-control roll-ups alongside the raw service series.
+		ClassMix: []mudi.SLOClass{mudi.SLOCritical, mudi.SLOStandard, mudi.SLOSheddable},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "flash-crowd on %d GPUs: %d series recorded, makespan %.0fs, mean violation %.2f%%\n\n",
+		tr.Header.Devices, len(res.Timelines), res.Makespan, res.MeanSLOViolation()*100)
+
+	// Group series by kind so each block prints its scopes together.
+	byKind := map[string][]mudi.Timeline{}
+	for _, tl := range res.Timelines {
+		byKind[tl.Kind] = append(byKind[tl.Kind], tl)
+	}
+	section := func(title string, kinds ...string) {
+		printed := false
+		for _, kind := range kinds {
+			series := byKind[kind]
+			sort.Slice(series, func(i, j int) bool { return series[i].Scope < series[j].Scope })
+			for _, tl := range series {
+				vals := squeeze(tl, width)
+				if len(vals) == 0 {
+					continue
+				}
+				if !printed {
+					fmt.Fprintf(w, "%s\n", title)
+					printed = true
+				}
+				label := tl.Kind
+				if tl.Scope != "" {
+					label = tl.Scope
+				}
+				lo, hi := bounds(vals)
+				fmt.Fprintf(w, "  %-22s %s  [%.3g..%.3g]\n", label, spark(vals), lo, hi)
+			}
+		}
+		if printed {
+			fmt.Fprintln(w)
+		}
+	}
+	section("offered QPS by class", "class_qps")
+	section("shed requests by class", "class_shed")
+	section("P99 latency by service (ms)", "service_p99_ms")
+	section("fleet", "fleet_sm_util", "fleet_mem_util", "fleet_queue_depth", "fleet_down_devices")
+	return nil
+}
+
+// squeeze compresses a series to width points: it reads the finest
+// level that still spans the full retained history and groups its
+// bucket means into width columns.
+func squeeze(tl mudi.Timeline, width int) []float64 {
+	if len(tl.Levels) == 0 {
+		return nil
+	}
+	level := tl.Levels[len(tl.Levels)-1]
+	for _, lv := range tl.Levels {
+		if len(lv.Buckets) >= width {
+			level = lv
+			break
+		}
+	}
+	n := len(level.Buckets)
+	if n == 0 {
+		return nil
+	}
+	if width > n {
+		width = n
+	}
+	out := make([]float64, width)
+	for col := 0; col < width; col++ {
+		start, end := col*n/width, (col+1)*n/width
+		if end == start {
+			end = start + 1
+		}
+		var sum float64
+		var cnt int64
+		for _, b := range level.Buckets[start:end] {
+			sum += b.Sum
+			cnt += b.Count
+		}
+		if cnt > 0 {
+			out[col] = sum / float64(cnt)
+		}
+	}
+	return out
+}
+
+func bounds(vals []float64) (lo, hi float64) {
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// spark renders values as the usual eight-glyph bar strip, scaled to
+// the series' own range (a flat series renders mid-level).
+func spark(vals []float64) string {
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := bounds(vals)
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		idx := len(glyphs) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(glyphs)-1))
+		}
+		out[i] = glyphs[idx]
+	}
+	return string(out)
+}

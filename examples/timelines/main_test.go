@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mudi"
+)
+
+// TestRunSmoke renders the flash-crowd dashboard and checks every
+// section appears with sparkline glyphs in it.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end scenario replay in -short")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 48); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"flash-crowd on", "series recorded",
+		"offered QPS by class", "P99 latency by service", "fleet",
+		"fleet_sm_util", "fleet_queue_depth",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Error("dashboard rendered no sparkline glyphs")
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if got := spark([]float64{0, 1, 2, 3}); got != "▁▃▅█" {
+		t.Errorf("spark ramp = %q", got)
+	}
+	if got := spark([]float64{5, 5}); got != "▅▅" {
+		t.Errorf("flat spark = %q", got)
+	}
+}
+
+func TestSqueeze(t *testing.T) {
+	tl := mudi.Timeline{Kind: "service_qps", Levels: []mudi.TimelineLevel{{Stride: 1}}}
+	for i := 0; i < 10; i++ {
+		v := float64(i)
+		tl.Levels[0].Buckets = append(tl.Levels[0].Buckets,
+			mudi.TimelineBucket{Start: v, End: v + 1, Min: v, Max: v, Sum: v, Count: 1})
+	}
+	if got := squeeze(tl, 5); len(got) != 5 || got[0] != 0.5 || got[4] != 8.5 {
+		t.Errorf("squeeze = %v", got)
+	}
+	// Width above the bucket count clamps; width 1 collapses to the mean.
+	if got := squeeze(tl, 100); len(got) != 10 {
+		t.Errorf("clamped squeeze has %d points", len(got))
+	}
+	if got := squeeze(tl, 1); len(got) != 1 || got[0] != 4.5 {
+		t.Errorf("width-1 squeeze = %v", got)
+	}
+}

@@ -99,6 +99,12 @@ func (s *Sim) runSharded() (*Result, error) {
 		return nil, err
 	}
 	stops = append(stops, stop)
+	// Engine self-profiling: wall-clock per barrier phase, mail volume,
+	// lane imbalance, heap/GC. Purely observational — the profiler only
+	// appends to timeline series the fingerprint excludes.
+	if s.tl != nil {
+		s.sh.SetProfiler(newTLProfiler(s.tl.store))
+	}
 	s.sh.Run(s.opts.MaxHorizonSec)
 	for _, st := range stops {
 		st()
@@ -123,11 +129,14 @@ func (s *Sim) deviceWindow(now float64, d *deviceState) {
 		// windows during the outage.
 		d.smUtil = 0
 		d.memFrac = 0
+		d.winQPS, d.winShed, d.winLat = 0, 0, 0
+		d.winOK, d.winViol = false, false
 		return
 	}
 	svc := d.svc
 	lane := s.sh.Lane(d.lane)
 	qps := svc.qpsTrace.At(now)
+	offered := qps
 
 	// Admission control (class-aware runs only); see the legacy window
 	// for the policy. Shed totals accumulate per device and merge at
@@ -145,6 +154,9 @@ func (s *Sim) deviceWindow(now float64, d *deviceState) {
 			}
 			if s.obsv != nil {
 				s.obsv.sheds.Inc()
+				if cc := d.obsv.cls; cc != nil {
+					cc.shed.Add(shedQPS * w)
+				}
 				s.obsv.sink.Emit(obs.Event{
 					Time: now, Type: obs.EventLoadShed, Device: d.dev.ID,
 					Service: svc.info.Name, Value: shedQPS, Cause: svc.info.Class.String(),
@@ -190,6 +202,7 @@ func (s *Sim) deviceWindow(now float64, d *deviceState) {
 	// from this device's own stream.
 	coloc := d.activeScratch()
 	lat, err := s.opts.Oracle.MeasureLatency(svc.info.Name, svc.batch, svc.delta, coloc, d.winRNG)
+	violated := false
 	if err == nil {
 		budget := svc.info.SLOms * float64(svc.batch) / qps
 		svc.totalWin++
@@ -208,8 +221,12 @@ func (s *Sim) deviceWindow(now float64, d *deviceState) {
 		}
 		if s.obsv != nil {
 			d.obsv.latency.Observe(lat)
+			if cc := d.obsv.cls; cc != nil {
+				cc.windows.Inc()
+			}
 		}
 		if lat > budget {
+			violated = true
 			svc.violWin++
 			if s.attr != nil {
 				residents := make([]string, len(coloc))
@@ -228,6 +245,9 @@ func (s *Sim) deviceWindow(now float64, d *deviceState) {
 			if s.obsv != nil {
 				s.obsv.violations.Inc()
 				d.obsv.violations.Inc()
+				if cc := d.obsv.cls; cc != nil {
+					cc.violations.Inc()
+				}
 				s.obsv.sink.Emit(obs.Event{
 					Time: now, Type: obs.EventSLOViolation, Device: d.dev.ID,
 					Service: svc.info.Name, Value: lat, Cause: "window-budget",
@@ -243,6 +263,12 @@ func (s *Sim) deviceWindow(now float64, d *deviceState) {
 			}
 		}
 		svc.latSum += lat
+	}
+	// Timeline scratch: lane-local writes only; the barrier tick folds
+	// them into series in global device order.
+	if s.tl != nil {
+		d.winQPS, d.winShed = offered, shedQPS
+		d.winOK, d.winLat, d.winViol = err == nil, lat, violated
 	}
 
 	// Training progress. Completion flags flip inline (device-local),
@@ -313,12 +339,20 @@ func (s *Sim) barrierTick(now float64) {
 		return
 	}
 	var smSum, memSum float64
+	memHot := 0
 	for _, d := range s.devices {
 		smSum += d.smUtil
 		memSum += d.memFrac
+		if d.memFrac > memPressureFrac {
+			memHot++
+		}
 	}
 	_ = s.res.SMUtil.Add(now, smSum/float64(len(s.devices)))
 	_ = s.res.MemUtil.Add(now, memSum/float64(len(s.devices)))
+	if s.tl != nil {
+		n := float64(len(s.devices))
+		s.tl.window(s, now, smSum/n, memSum/n, memHot)
+	}
 	if s.obsv != nil {
 		s.obsv.windows.Inc()
 		s.obsv.smUtil.Set(smSum / float64(len(s.devices)))

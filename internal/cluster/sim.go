@@ -21,6 +21,7 @@ import (
 	"mudi/internal/shard"
 	"mudi/internal/span"
 	"mudi/internal/stats"
+	"mudi/internal/timeline"
 	"mudi/internal/trace"
 	"mudi/internal/tuner"
 	"mudi/internal/xrand"
@@ -116,6 +117,16 @@ type Options struct {
 	// the originals return); the assembled trace lands in
 	// Result.Workload at finalize.
 	Record *trace.Recorder
+	// Timeline, when non-nil, receives multi-resolution time-series —
+	// per-service QPS/admitted/shed/P99/violation, per-class roll-ups,
+	// fleet utilization and pressure, and (sharded runs) engine
+	// self-profiling — one sample per control window. Recording is
+	// passive like Obs/Trace but, unlike them, does not force the
+	// sharded engine to one worker: lane handlers only write per-device
+	// scratch, and all series appends happen in the barrier phase in
+	// global device order. The end-of-run snapshot lands in
+	// Result.Timelines.
+	Timeline *timeline.Store
 	// Ctx, when non-nil, cancels the simulation between control
 	// windows; Run then returns ctx.Err(). Nil means run to
 	// completion.
@@ -249,6 +260,14 @@ type Result struct {
 	// from Summary() — recording must not perturb the determinism
 	// contract.
 	Workload *trace.Trace
+
+	// Timelines is the end-of-run snapshot of every timeline series,
+	// populated only when Options.Timeline is set. A derived view
+	// excluded from Summary(). The non-Profile() kinds are byte-
+	// identical (timeline.Fingerprint) across lane and worker counts;
+	// the engine self-profiling kinds are wall-clock and inherently
+	// nondeterministic.
+	Timelines []timeline.Timeline
 }
 
 // TracePoint is one control-window snapshot of the traced device.
@@ -318,6 +337,10 @@ type Sim struct {
 	tracer *span.Tracer
 	attr   *span.Attributor
 
+	// tl is the timeline recording state (nil when Options.Timeline is
+	// unset); every recording site guards on it with one branch.
+	tl *tlState
+
 	// classAware is set when any service declares an SLO class; it
 	// gates every class code path so a classless run takes the exact
 	// pre-class branches.
@@ -373,6 +396,26 @@ type simObs struct {
 	// sheds counts admission-control load sheds. Created only in
 	// class-aware runs, same byte-identity contract as faults.
 	sheds *obs.Counter
+	// classes holds the class-labelled roll-up counters
+	// (cluster_class_*_total{class="..."}), one set per SLO class the
+	// catalog declares. Created only in class-aware runs; devices cache
+	// their class's set on devObs so the hot path never touches the map.
+	classes map[model.SLOClass]*classCounters
+}
+
+// classCounters is one SLO class's labelled Prometheus counter set.
+type classCounters struct {
+	windows    *obs.Counter
+	violations *obs.Counter
+	shed       *obs.Counter // shed requests (not shed events)
+}
+
+func newClassCounters(sink *obs.Sink, class string) *classCounters {
+	return &classCounters{
+		windows:    sink.Counter(obs.ClassLabeled("cluster_class_windows_total", class)),
+		violations: sink.Counter(obs.ClassLabeled("cluster_class_slo_violations_total", class)),
+		shed:       sink.Counter(obs.ClassLabeled("cluster_class_shed_requests_total", class)),
+	}
 }
 
 // faultObs caches the fault-injection counters.
@@ -455,11 +498,23 @@ func New(opts Options) (*Sim, error) {
 		}
 		if s.classAware {
 			s.obsv.sheds = opts.Obs.Counter("cluster_load_sheds_total")
+			s.obsv.classes = make(map[model.SLOClass]*classCounters)
+			for _, c := range model.SLOClasses() {
+				for _, svc := range opts.Services {
+					if svc.Class == c {
+						s.obsv.classes[c] = newClassCounters(opts.Obs, c.String())
+						break
+					}
+				}
+			}
 		}
 		s.queue.SetObs(opts.Obs)
 	}
 	s.tracer = opts.Trace
 	s.attr = opts.Attr
+	if opts.Timeline != nil {
+		s.tl = newTLState(opts.Timeline, opts.Services, s.classAware)
+	}
 	// Replay: the trace's streams supply every device's QPS. The header
 	// must describe this exact cluster shape, and the streams must be in
 	// canonical device order — the order the Recorder writes them in.
@@ -560,6 +615,7 @@ func New(opts Options) (*Sim, error) {
 		}
 		if opts.Obs != nil {
 			ds.obsv = newDevObs(opts.Obs, devID, info.Name)
+			ds.obsv.cls = s.obsv.classes[info.Class] // nil map / unclassed → nil
 			ds.pool.SetObs(opts.Obs, devID, info.Name)
 		}
 		if opts.Trace != nil {
@@ -575,6 +631,14 @@ func New(opts Options) (*Sim, error) {
 		// legacy path (which keeps drawing from s.rng) is untouched.
 		ds.gidx = i
 		ds.winRNG = s.rng.ForkString("win:" + devID)
+		// Catalog index of the resident service (replay may have swapped
+		// info away from the round-robin default).
+		for ci := range opts.Services {
+			if opts.Services[ci].Name == info.Name {
+				ds.svcIdx = ci
+				break
+			}
+		}
 		if split != nil {
 			for i >= split[laneIdx][1] {
 				laneIdx++
@@ -639,7 +703,12 @@ func (s *Sim) Run() (*Result, error) {
 			return nil, err
 		}
 	}
-	// Control windows.
+	// Control windows. On this legacy engine the self-profiling signal
+	// is the whole window's wall-clock (the sharded engine profiles per
+	// barrier phase instead).
+	if s.tl != nil {
+		s.tl.engineWindow = s.tl.store.Series(timeline.EngineWindowMs, "")
+	}
 	stop, err := s.engine.EveryUntil(s.opts.WindowSec, func(now float64) {
 		if s.opts.Ctx != nil && s.opts.Ctx.Err() != nil {
 			s.engine.Stop()
@@ -1164,17 +1233,28 @@ func (s *Sim) syncShares(now float64, d *deviceState) {
 
 // window advances one control interval.
 func (s *Sim) window(now float64) {
+	var wallStart time.Time
+	if s.tl != nil && s.tl.engineWindow != nil {
+		wallStart = time.Now()
+	}
 	w := s.opts.WindowSec
 	var smSum, memSum float64
+	memHot := 0
 	for di, d := range s.devices {
 		if d.down {
 			// A failed device serves nothing and burns nothing: it
 			// contributes zero utilization (the denominator still counts
-			// it) and accrues no SLO windows during the outage.
+			// it) and accrues no SLO windows during the outage. Timeline
+			// scratch is zeroed so the barrier roll-up sees no stale
+			// window; the placement-facing smUtil/memFrac are left alone
+			// (the legacy path deliberately keeps their last values).
+			d.winQPS, d.winShed, d.winLat = 0, 0, 0
+			d.winOK, d.winViol = false, false
 			continue
 		}
 		svc := d.svc
 		qps := svc.qpsTrace.At(now)
+		offered := qps
 
 		// Admission control (class-aware runs only): a shed-eligible
 		// service's offered load is capped at the admission threshold —
@@ -1200,6 +1280,9 @@ func (s *Sim) window(now float64) {
 				}
 				if s.obsv != nil {
 					s.obsv.sheds.Inc()
+					if cc := d.obsv.cls; cc != nil {
+						cc.shed.Add(shedQPS * w)
+					}
 					s.obsv.sink.Emit(obs.Event{
 						Time: now, Type: obs.EventLoadShed, Device: d.dev.ID,
 						Service: svc.info.Name, Value: shedQPS, Cause: cls,
@@ -1230,6 +1313,7 @@ func (s *Sim) window(now float64) {
 		// SLO accounting with the true co-located latency plus noise.
 		coloc := d.activeScratch()
 		lat, err := s.opts.Oracle.MeasureLatency(svc.info.Name, svc.batch, svc.delta, coloc, s.rng)
+		violated := false
 		if err == nil {
 			budget := svc.info.SLOms * float64(svc.batch) / qps
 			svc.totalWin++
@@ -1248,8 +1332,12 @@ func (s *Sim) window(now float64) {
 			}
 			if s.obsv != nil {
 				d.obsv.latency.Observe(lat)
+				if cc := d.obsv.cls; cc != nil {
+					cc.windows.Inc()
+				}
 			}
 			if lat > budget {
+				violated = true
 				svc.violWin++
 				if s.attr != nil {
 					// Capture the violation's context for cause
@@ -1271,6 +1359,9 @@ func (s *Sim) window(now float64) {
 				if s.obsv != nil {
 					s.obsv.violations.Inc()
 					d.obsv.violations.Inc()
+					if cc := d.obsv.cls; cc != nil {
+						cc.violations.Inc()
+					}
 					s.obsv.sink.Emit(obs.Event{
 						Time: now, Type: obs.EventSLOViolation, Device: d.dev.ID,
 						Service: svc.info.Name, Value: lat, Cause: "window-budget",
@@ -1285,6 +1376,10 @@ func (s *Sim) window(now float64) {
 				}
 			}
 			s.res.MeanP99[svc.info.Name] += lat
+		}
+		if s.tl != nil {
+			d.winQPS, d.winShed = offered, shedQPS
+			d.winOK, d.winLat, d.winViol = err == nil, lat, violated
 		}
 
 		// Training progress. Iterate a snapshot: completions rebuild
@@ -1344,7 +1439,11 @@ func (s *Sim) window(now float64) {
 			d.smUtil = 1
 		}
 		smSum += d.smUtil
-		memSum += minf(d.pool.DeviceUsedMB(), d.pool.CapacityMB()) / d.pool.CapacityMB()
+		memFrac := minf(d.pool.DeviceUsedMB(), d.pool.CapacityMB()) / d.pool.CapacityMB()
+		memSum += memFrac
+		if memFrac > memPressureFrac {
+			memHot++
+		}
 	}
 	_ = s.res.SMUtil.Add(now, smSum/float64(len(s.devices)))
 	_ = s.res.MemUtil.Add(now, memSum/float64(len(s.devices)))
@@ -1355,6 +1454,13 @@ func (s *Sim) window(now float64) {
 		s.obsv.smUtil.Set(smSum / float64(len(s.devices)))
 		s.obsv.memUtil.Set(memSum / float64(len(s.devices)))
 		s.obsv.queueDepth.Set(float64(s.queue.Len()))
+	}
+	if s.tl != nil {
+		n := float64(len(s.devices))
+		s.tl.window(s, now, smSum/n, memSum/n, memHot)
+		if s.tl.engineWindow != nil {
+			s.tl.engineWindow.Add(now, float64(time.Since(wallStart))/float64(time.Millisecond))
+		}
 	}
 }
 
@@ -1398,6 +1504,9 @@ func (s *Sim) complete(now float64, d *deviceState, t *taskState) {
 const (
 	resumeRetrySec = 10.0
 	pauseEvictSec  = 120.0
+	// memPressureFrac is the memory-utilization fraction above which a
+	// device counts into the fleet_mem_pressure timeline series.
+	memPressureFrac = 0.9
 )
 
 func (d *deviceState) hasPaused() bool {
@@ -1669,6 +1778,12 @@ func (s *Sim) finalize(now float64) {
 	// a replayable trace-v2 document (a derived view like Events/Spans).
 	if s.opts.Record != nil {
 		s.res.Workload = s.opts.Record.Trace()
+	}
+	// Timeline roll-up: the full snapshot including self-profiling
+	// series (consumers that need the deterministic subset filter with
+	// timeline.Fingerprint / Kind.Profile).
+	if s.tl != nil {
+		s.res.Timelines = s.tl.store.Snapshot(true)
 	}
 	// MeanP99 accumulated sums; divide by window counters.
 	for _, svcInfo := range s.opts.Services {

@@ -102,6 +102,20 @@ type deviceState struct {
 	lane    int
 	winRNG  *xrand.Rand
 	memFrac float64
+
+	// Timeline per-window scratch (Options.Timeline runs only; idle
+	// otherwise). svcIdx is the catalog index of the resident service.
+	// The win* fields hold this device's last window: offered QPS, shed
+	// rate, measured latency, whether the measurement succeeded, and
+	// whether it violated the budget. Written by the window handler
+	// (lane-local on the sharded path), folded into timeline series by
+	// the single-threaded barrier/window roll-up in global device order.
+	svcIdx  int
+	winQPS  float64
+	winShed float64
+	winLat  float64
+	winOK   bool
+	winViol bool
 }
 
 // devObs is the per-device instrument cache, resolved once at
@@ -111,6 +125,10 @@ type devObs struct {
 	violations *obs.Counter
 	batch      *obs.Gauge
 	delta      *obs.Gauge
+	// cls points at the shared class-labelled counter set for the
+	// resident service's SLO class; nil for unclassed services and
+	// classless runs, so every increment site is one nil check.
+	cls *classCounters
 }
 
 func newDevObs(sink *obs.Sink, device, service string) *devObs {

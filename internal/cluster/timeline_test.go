@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+
+	"mudi/internal/faults"
+	"mudi/internal/timeline"
+	"mudi/internal/trace"
+)
+
+// tlRun is the timeline determinism workload: a classed catalog under a
+// QPS burst with device faults injected — every series family (service,
+// class, fleet, engine profile) gets exercised at once.
+func tlRun(t testing.TB, shards int) *Result {
+	t.Helper()
+	return shardRun(t, 7, 6, 8, func(o *Options) {
+		o.Services = classedServices()
+		o.Bursts = []trace.Burst{{Start: 20, End: 80, Factor: 4}}
+		o.Faults = &faults.Config{DeviceMTBFSec: 120, DeviceMTTRSec: 30, MeasureErrRate: 0.2, SpinUpFailRate: 0.3}
+		o.Shards = shards
+		o.Timeline = timeline.New(timeline.Defaults())
+	})
+}
+
+// workloadOnly filters a snapshot down to the workload-derived kinds —
+// the subset whose values are identical across the legacy and sharded
+// engine universes.
+func workloadOnly(t *testing.T, tls []timeline.Timeline) []timeline.Timeline {
+	t.Helper()
+	var out []timeline.Timeline
+	for _, tl := range tls {
+		k, err := timeline.ParseKind(tl.Kind)
+		if err != nil {
+			t.Fatalf("snapshot carries unknown kind %q: %v", tl.Kind, err)
+		}
+		if k.Workload() {
+			out = append(out, tl)
+		}
+	}
+	return out
+}
+
+// TestTimelineShardInvariance is the tentpole's golden: the non-profile
+// timeline fingerprint of a faulted, bursty, classed run is
+// byte-identical at every lane count and every worker count. Lane
+// handlers only write per-device scratch; every Series.Add happens in
+// the barrier phase in global device order, so parallel drain must not
+// show through.
+func TestTimelineShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six faulted simulations in -short")
+	}
+	base := tlRun(t, 1)
+	if base.DeviceFailures == 0 || base.ShedWindows == 0 {
+		t.Fatalf("workload too tame (failures=%d shed_windows=%d); the invariance check would be vacuous",
+			base.DeviceFailures, base.ShedWindows)
+	}
+	if len(base.Timelines) == 0 {
+		t.Fatal("timeline-enabled run produced no series")
+	}
+	want := timeline.Fingerprint(base.Timelines)
+	for _, shards := range []int{3, -1} {
+		if got := timeline.Fingerprint(tlRun(t, shards).Timelines); got != want {
+			t.Errorf("Shards=%d timeline fingerprint %s differs from Shards=1 %s", shards, got, want)
+		}
+	}
+	old := runtime.GOMAXPROCS(1)
+	oneWorker := timeline.Fingerprint(tlRun(t, 3).Timelines)
+	runtime.GOMAXPROCS(8)
+	eightWorkers := timeline.Fingerprint(tlRun(t, 3).Timelines)
+	runtime.GOMAXPROCS(old)
+	if oneWorker != want || eightWorkers != want {
+		t.Errorf("worker-count variance: GOMAXPROCS=1 %s, GOMAXPROCS=8 %s, want %s", oneWorker, eightWorkers, want)
+	}
+}
+
+// TestTimelineLegacyWorkloadIdentity: the workload-derived kinds (QPS,
+// admitted, shed, class roll-ups, down devices) are exact arithmetic on
+// the shared arrival/burst/fault schedule, so every window's value must
+// be byte-identical even across the legacy/sharded engine boundary.
+// Only the horizon may differ — task completion times are
+// measurement-driven, and the two universes draw measurement noise from
+// different streams — so the comparison runs over the common window
+// prefix. Measurement-derived kinds (P99, violation, utilization) are
+// excluded entirely.
+func TestTimelineLegacyWorkloadIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four faulted simulations in -short")
+	}
+	rawByKey := func(tls []timeline.Timeline) map[string][]timeline.Bucket {
+		m := make(map[string][]timeline.Bucket)
+		for _, tl := range tls {
+			if len(tl.Levels) == 0 || tl.Levels[0].Stride != 1 {
+				t.Fatalf("series %s/%s missing raw level", tl.Kind, tl.Scope)
+			}
+			m[tl.Kind+"|"+tl.Scope] = tl.Levels[0].Buckets
+		}
+		return m
+	}
+	want := rawByKey(workloadOnly(t, tlRun(t, 0).Timelines))
+	for _, shards := range []int{1, 3, -1} {
+		got := rawByKey(workloadOnly(t, tlRun(t, shards).Timelines))
+		if len(got) != len(want) {
+			t.Fatalf("Shards=%d has %d workload series, Shards=0 has %d", shards, len(got), len(want))
+		}
+		for key, wb := range want {
+			gb, ok := got[key]
+			if !ok {
+				t.Errorf("Shards=%d missing series %s", shards, key)
+				continue
+			}
+			n := len(wb)
+			if len(gb) < n {
+				n = len(gb)
+			}
+			if n < 100 {
+				t.Fatalf("series %s: only %d common windows; the identity check would be vacuous", key, n)
+			}
+			for i := 0; i < n; i++ {
+				if wb[i] != gb[i] {
+					t.Errorf("Shards=%d series %s window %d: %+v != legacy %+v", shards, key, i, gb[i], wb[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestTimelineProfileSeries: a sharded timeline run self-profiles — the
+// engine phase series exist and carry samples, and they are excluded
+// from the deterministic fingerprint (wall-clock is not reproducible).
+func TestTimelineProfileSeries(t *testing.T) {
+	res := tlRun(t, 3)
+	byKind := map[string]timeline.Timeline{}
+	for _, tl := range res.Timelines {
+		if tl.Scope == "" {
+			byKind[tl.Kind] = tl
+		}
+	}
+	for _, k := range []timeline.Kind{
+		timeline.EngineWindowMs, timeline.EngineDrainMs, timeline.EngineMergeMs,
+		timeline.EngineApplyMs, timeline.EngineMail, timeline.EngineHeapBytes,
+	} {
+		tl, ok := byKind[k.String()]
+		if !ok {
+			t.Errorf("profile series %s missing from sharded snapshot", k)
+			continue
+		}
+		if len(tl.Levels) == 0 || len(tl.Levels[0].Buckets) == 0 {
+			t.Errorf("profile series %s has no samples", k)
+		}
+	}
+	with := timeline.Fingerprint(res.Timelines)
+	stripped := res.Timelines[:0:0]
+	for _, tl := range res.Timelines {
+		k, err := timeline.ParseKind(tl.Kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !k.Profile() {
+			stripped = append(stripped, tl)
+		}
+	}
+	if got := timeline.Fingerprint(stripped); got != with {
+		t.Errorf("profile series leak into the fingerprint: stripped %s vs full %s", got, with)
+	}
+}
+
+// TestTimelinePassive: recording timelines must not perturb the
+// simulation — the classed faulted summary is byte-identical with the
+// store attached and detached, on both engines.
+func TestTimelinePassive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four faulted simulations in -short")
+	}
+	for _, shards := range []int{0, 3} {
+		bare := shardRun(t, 7, 6, 8, func(o *Options) {
+			o.Services = classedServices()
+			o.Bursts = []trace.Burst{{Start: 20, End: 80, Factor: 4}}
+			o.Faults = &faults.Config{DeviceMTBFSec: 120, DeviceMTTRSec: 30, MeasureErrRate: 0.2, SpinUpFailRate: 0.3}
+			o.Shards = shards
+		})
+		timed := tlRun(t, shards)
+		if bare.Summary() != timed.Summary() {
+			t.Errorf("Shards=%d: timeline recording changed the summary:\n--- off\n%s\n--- on\n%s",
+				shards, bare.Summary(), timed.Summary())
+		}
+		if len(timed.Timelines) == 0 {
+			t.Errorf("Shards=%d: no timelines recorded", shards)
+		}
+		if len(bare.Timelines) != 0 {
+			t.Errorf("Shards=%d: timelines present with no store attached", shards)
+		}
+	}
+}

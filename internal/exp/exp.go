@@ -23,6 +23,7 @@ import (
 	"mudi/internal/report"
 	"mudi/internal/runner"
 	"mudi/internal/span"
+	"mudi/internal/timeline"
 	"mudi/internal/sched"
 	"mudi/internal/trace"
 	"mudi/internal/tuner"
@@ -70,6 +71,10 @@ type Config struct {
 	// cluster.Result (Spans / SLOReport). Like observation, tracing
 	// never changes results.
 	Trace bool
+	// Timelines, when true, gives every suite cell a private timeline
+	// store; the snapshot lands on each cell's cluster.Result
+	// (Timelines). Like observation, timelines never change results.
+	Timelines bool
 }
 
 // ctx returns the run context, defaulting to Background.
@@ -98,6 +103,15 @@ func (c Config) tracing() (*span.Tracer, *span.Attributor) {
 		return nil, nil
 	}
 	return span.NewTracer(0), span.NewAttributor(0)
+}
+
+// timeline builds a fresh per-cell timeline store when timeline
+// recording is enabled, nil otherwise (the zero-overhead path).
+func (c Config) timeline() *timeline.Store {
+	if !c.Timelines {
+		return nil
+	}
+	return timeline.New(timeline.Defaults())
 }
 
 // runCells is the harness's runner entry point: every fan-out goes
@@ -274,6 +288,7 @@ func (s *Suite) runPolicy(policy core.Policy) (*cluster.Result, error) {
 		Obs:      s.Config.sink(),
 		Trace:    tracer,
 		Attr:     attr,
+		Timeline: s.Config.timeline(),
 		Ctx:      s.Config.Ctx,
 	})
 	if err != nil {

@@ -311,6 +311,15 @@ func Labeled(name, device, service string) string {
 	}
 }
 
+// ClassLabeled builds the canonical class-labeled metric name,
+// `name{class="..."}` — the SLO-class roll-up analogue of Labeled.
+func ClassLabeled(name, class string) string {
+	if class == "" {
+		return name
+	}
+	return fmt.Sprintf("%s{class=%q}", name, class)
+}
+
 // Metrics is a point-in-time snapshot of a registry — the simulation-
 // end roll-up carried by cluster.Result and exported as mudi.Metrics.
 type Metrics struct {

@@ -15,6 +15,7 @@ import (
 	"mudi/internal/obs"
 	"mudi/internal/span"
 	"mudi/internal/stats"
+	"mudi/internal/timeline"
 )
 
 // LatencyFn returns the processing time (ms) of one batch of the given
@@ -47,6 +48,11 @@ type Config struct {
 	// Device and Service label the emitted spans (trace-only).
 	Device  string
 	Service string
+	// Timeline, when non-nil, records each RunWindows window into the
+	// store's per-service series (service_qps, service_admitted,
+	// service_shed, service_p99_ms, service_violation — scoped by
+	// Service). Passive, same contract as Obs.
+	Timeline *timeline.Store
 	// Classes, when non-empty, assigns arrival i the SLO class
 	// Classes[i] (lengths must match) and switches Run to class-aware
 	// mode: batch slots fill by class rank (critical preempts batch
@@ -336,14 +342,23 @@ func RunWindows(arrivals []float64, lat LatencyFn, cfg Config, windowSec float64
 				viol++
 			}
 		}
-		out = append(out, WindowStat{
+		st := WindowStat{
 			Start:         ws,
 			P99:           sc.P99(bucket),
 			ViolationRate: float64(viol) / float64(len(bucket)+rejected+shedCnt),
 			Requests:      len(bucket),
 			Rejected:      rejected,
 			Shed:          shedCnt,
-		})
+		}
+		out = append(out, st)
+		if cfg.Timeline != nil {
+			total := float64(len(bucket) + rejected + shedCnt)
+			cfg.Timeline.Series(timeline.ServiceQPS, cfg.Service).Add(ws, total/windowSec)
+			cfg.Timeline.Series(timeline.ServiceAdmitted, cfg.Service).Add(ws, float64(len(bucket)+rejected)/windowSec)
+			cfg.Timeline.Series(timeline.ServiceShed, cfg.Service).Add(ws, float64(shedCnt))
+			cfg.Timeline.Series(timeline.ServiceP99, cfg.Service).Add(ws, st.P99)
+			cfg.Timeline.Series(timeline.ServiceViolation, cfg.Service).Add(ws, st.ViolationRate)
+		}
 		bucket = bucket[:0]
 		rejected = 0
 		shedCnt = 0

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"mudi/internal/eventq"
 	"mudi/internal/runner"
@@ -103,6 +104,17 @@ func (l *Lane) Post(at float64, dev int, fn eventq.Handler) {
 	l.seq++
 }
 
+// Profiler receives the engine's own wall-clock behavior, once per
+// barrier: the lane-drain, mailbox merge+sort, and apply phase
+// durations, the mail volume, and the per-lane drained-event counts
+// (index order; the spread is the lane imbalance). Wall-clock is
+// inherently nondeterministic — profilers must never feed back into
+// simulation state. laneEvents is only valid for the duration of the
+// call.
+type Profiler interface {
+	Barrier(at float64, drain, merge, apply time.Duration, mail int, laneEvents []int)
+}
+
 // Engine coordinates the global calendar and the lanes.
 type Engine struct {
 	global  *eventq.Sim
@@ -110,6 +122,15 @@ type Engine struct {
 	pool    *runner.Pool
 	merged  []Message // barrier merge scratch, reused across barriers
 	stopped bool
+
+	// prof, when non-nil, observes every barrier; the per-barrier
+	// timing scratch below is written only when profiling is on, so the
+	// unprofiled engine pays one nil check per barrier.
+	prof       Profiler
+	laneCounts []int
+	mergeD     time.Duration
+	applyD     time.Duration
+	mailN      int
 }
 
 // New returns an engine with the given number of lanes, draining at
@@ -148,6 +169,10 @@ func (e *Engine) Workers() int { return e.pool.Workers() }
 // ahead of it; they re-align at every barrier.
 func (e *Engine) Now() float64 { return e.global.Now() }
 
+// SetProfiler installs (or, with nil, removes) the barrier profiler.
+// Call it before Run.
+func (e *Engine) SetProfiler(p Profiler) { e.prof = p }
+
 // Stop halts Run at the current barrier: the in-progress global phase
 // ends after the current handler, lanes stay aligned, and Run
 // returns. Call it only from a global handler or a mailbox message —
@@ -174,9 +199,20 @@ func (e *Engine) Run(horizon float64) int {
 		if t, ok := e.global.NextAt(); ok && t <= horizon {
 			barrier, final = t, false
 		}
+		var drainStart time.Time
+		if e.prof != nil {
+			drainStart = time.Now()
+		}
 		executed += e.drainLanes(barrier)
+		var drainD time.Duration
+		if e.prof != nil {
+			drainD = time.Since(drainStart)
+		}
 		e.global.AdvanceTo(barrier)
 		e.applyMail(barrier)
+		if e.prof != nil {
+			e.prof.Barrier(barrier, drainD, e.mergeD, e.applyD, e.mailN, e.laneCounts)
+		}
 		if e.stopped {
 			break
 		}
@@ -204,6 +240,7 @@ func (e *Engine) drainLanes(barrier float64) int {
 	counts, _ := runner.Map(e.pool, len(e.lanes), func(i int) (int, error) {
 		return e.lanes[i].Sim.Run(barrier), nil
 	})
+	e.laneCounts = counts
 	total := 0
 	for _, n := range counts {
 		total += n
@@ -216,12 +253,20 @@ func (e *Engine) drainLanes(barrier float64) int {
 // Messages posted while applying (by a message's own Fn) land in the
 // lane buffers again and wait for the next barrier.
 func (e *Engine) applyMail(barrier float64) {
+	var mergeStart time.Time
+	if e.prof != nil {
+		e.mergeD, e.applyD, e.mailN = 0, 0, 0
+		mergeStart = time.Now()
+	}
 	e.merged = e.merged[:0]
 	for _, l := range e.lanes {
 		e.merged = append(e.merged, l.mail...)
 		l.mail = l.mail[:0]
 	}
 	if len(e.merged) == 0 {
+		if e.prof != nil {
+			e.mergeD = time.Since(mergeStart)
+		}
 		return
 	}
 	sort.SliceStable(e.merged, func(i, j int) bool {
@@ -234,9 +279,18 @@ func (e *Engine) applyMail(barrier float64) {
 		}
 		return a.seq < b.seq
 	})
+	var applyStart time.Time
+	if e.prof != nil {
+		e.mailN = len(e.merged)
+		e.mergeD = time.Since(mergeStart)
+		applyStart = time.Now()
+	}
 	for i := range e.merged {
 		e.merged[i].Fn(barrier)
 		e.merged[i].Fn = nil
+	}
+	if e.prof != nil {
+		e.applyD = time.Since(applyStart)
 	}
 }
 

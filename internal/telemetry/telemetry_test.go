@@ -1,13 +1,19 @@
 package telemetry
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"mudi/internal/obs"
 	"mudi/internal/span"
+	"mudi/internal/timeline"
 )
 
 func get(t *testing.T, opts Options, path string) *httptest.ResponseRecorder {
@@ -124,5 +130,268 @@ func TestDebugEndpointsRegistered(t *testing.T) {
 		if rec.Code != 200 {
 			t.Errorf("%s: status %d", path, rec.Code)
 		}
+	}
+}
+
+func TestTimelineDisabled(t *testing.T) {
+	for _, path := range []string{"/timeline", "/watch"} {
+		rec := get(t, Options{}, path)
+		if rec.Code != 404 {
+			t.Errorf("%s with no store: status %d, want 404", path, rec.Code)
+		}
+	}
+}
+
+// tlStore builds a store with two service-QPS series and a fleet gauge,
+// 20 windows each.
+func tlStore(t *testing.T) *timeline.Store {
+	t.Helper()
+	st := timeline.New(timeline.Defaults())
+	bert := st.Series(timeline.ServiceQPS, "bert")
+	gpt := st.Series(timeline.ServiceQPS, "gpt2")
+	util := st.Series(timeline.FleetSMUtil, "")
+	for i := 0; i < 20; i++ {
+		at := float64(i)
+		bert.Add(at, 100+at)
+		gpt.Add(at, 50)
+		util.Add(at, 0.5)
+	}
+	return st
+}
+
+func TestTimelineIndex(t *testing.T) {
+	rec := get(t, Options{Timeline: tlStore(t)}, "/timeline")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var keys []timeline.KeyInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &keys); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, rec.Body.String())
+	}
+	if len(keys) != 3 {
+		t.Fatalf("index %+v, want 3 series", keys)
+	}
+	// Sorted by (kind, scope); every series saw 20 samples.
+	if keys[0].Kind != "fleet_sm_util" || keys[1].Scope != "bert" || keys[2].Scope != "gpt2" {
+		t.Fatalf("index order %+v", keys)
+	}
+	for _, k := range keys {
+		if k.Samples != 20 {
+			t.Errorf("series %s/%s samples = %d, want 20", k.Kind, k.Scope, k.Samples)
+		}
+	}
+}
+
+func TestTimelineRangeQuery(t *testing.T) {
+	opts := Options{Timeline: tlStore(t)}
+	rec := get(t, opts, "/timeline?series=service_qps:bert&from=5&to=10")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var got struct {
+		Kind    string            `json:"kind"`
+		Scope   string            `json:"scope"`
+		Stride  int               `json:"stride"`
+		Buckets []timeline.Bucket `json:"buckets"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != "service_qps" || got.Scope != "bert" || got.Stride != 1 {
+		t.Fatalf("range %+v", got)
+	}
+	if len(got.Buckets) != 6 || got.Buckets[0].Start != 5 {
+		t.Fatalf("buckets %+v, want 6 starting at t=5", got.Buckets)
+	}
+	// &scope= is the alternative to the kind:scope form.
+	rec2 := get(t, opts, "/timeline?series=service_qps&scope=bert&from=5&to=10")
+	if rec2.Code != 200 || rec2.Body.String() != rec.Body.String() {
+		t.Fatalf("scope param form differs: %d %s", rec2.Code, rec2.Body.String())
+	}
+}
+
+func TestTimelineResample(t *testing.T) {
+	rec := get(t, Options{Timeline: tlStore(t)}, "/timeline?series=service_qps:bert&res=4")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var got struct {
+		Times  []float64 `json:"times"`
+		Values []float64 `json:"values"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Times) != 4 || len(got.Values) != 4 {
+		t.Fatalf("resample %+v, want 4 points", got)
+	}
+	for i := 1; i < len(got.Values); i++ {
+		if got.Values[i] <= got.Values[i-1] {
+			t.Fatalf("resampled ramp not increasing: %v", got.Values)
+		}
+	}
+}
+
+func TestTimelineBadRequests(t *testing.T) {
+	opts := Options{Timeline: tlStore(t)}
+	for path, want := range map[string]int{
+		"/timeline?series=nope":                     400,
+		"/timeline?series=service_qps:bert&from=x":  400,
+		"/timeline?series=service_qps:bert&to=x":    400,
+		"/timeline?series=service_qps:bert&res=0":   400,
+		"/timeline?series=service_qps:bert&res=x":   400,
+		"/timeline?series=service_qps:absent":       404,
+		"/timeline?series=service_qps:absent&res=4": 404,
+	} {
+		if rec := get(t, opts, path); rec.Code != want {
+			t.Errorf("%s: status %d, want %d", path, rec.Code, want)
+		}
+	}
+}
+
+// TestWatchSSE drives the live stream end to end over a real
+// connection: events arrive in seq order, carry incrementing SSE ids,
+// and samples recorded after the subscription turn up on a later poll.
+func TestWatchSSE(t *testing.T) {
+	st := timeline.New(timeline.Defaults())
+	sr := st.Series(timeline.ServiceQPS, "bert")
+	sr.Add(0, 100)
+	sr.Add(1, 110)
+	srv := httptest.NewServer(Handler(Options{Timeline: st, WatchPollInterval: 5 * time.Millisecond}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL+"/watch", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	type event struct {
+		id     uint64
+		sample timeline.Sample
+	}
+	events := make(chan event, 16)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		var id uint64
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				id, _ = strconv.ParseUint(line[4:], 10, 64)
+			case strings.HasPrefix(line, "data: "):
+				var smp timeline.Sample
+				if err := json.Unmarshal([]byte(line[6:]), &smp); err != nil {
+					return
+				}
+				events <- event{id, smp}
+			}
+		}
+	}()
+	recv := func() event {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("stream closed early")
+			}
+			return ev
+		case <-ctx.Done():
+			t.Fatal("timed out waiting for SSE event")
+		}
+		panic("unreachable")
+	}
+
+	first, second := recv(), recv()
+	if first.sample.Value != 100 || second.sample.Value != 110 {
+		t.Fatalf("backlog out of order: %+v then %+v", first.sample, second.sample)
+	}
+	if first.id != first.sample.Seq || second.id <= first.id {
+		t.Fatalf("ids not increasing with seq: %d then %d", first.id, second.id)
+	}
+	// A sample recorded after subscription arrives on a later poll.
+	sr.Add(2, 120)
+	third := recv()
+	if third.sample.Value != 120 || third.sample.Kind != "service_qps" || third.sample.Scope != "bert" {
+		t.Fatalf("live sample %+v", third.sample)
+	}
+	cancel()
+
+	// Resume past the first two events: ?after replays only the tail.
+	rec := httptest.NewRecorder()
+	rctx, rcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer rcancel()
+	req2 := httptest.NewRequest("GET", "/watch?after="+strconv.FormatUint(second.id, 10), nil).WithContext(rctx)
+	Handler(Options{Timeline: st, WatchPollInterval: 5 * time.Millisecond}).ServeHTTP(rec, req2)
+	body := rec.Body.String()
+	if strings.Contains(body, `"value":100`) || strings.Contains(body, `"value":110`) {
+		t.Fatalf("resume replayed acknowledged events:\n%s", body)
+	}
+	if !strings.Contains(body, `"value":120`) {
+		t.Fatalf("resume missed the tail:\n%s", body)
+	}
+
+	if rec := get(t, Options{Timeline: st}, "/watch?after=x"); rec.Code != 400 {
+		t.Errorf("bad after: status %d, want 400", rec.Code)
+	}
+}
+
+// TestMetricsClassLabels pins the per-class Prometheus surface: the
+// class-labelled counters the simulation registers on class-aware runs
+// render as one family with a class label per series.
+func TestMetricsClassLabels(t *testing.T) {
+	sink := obs.NewSink()
+	sink.Counter(obs.ClassLabeled("cluster_class_shed_requests_total", "sheddable")).Add(480)
+	sink.Counter(obs.ClassLabeled("cluster_class_shed_requests_total", "background")).Add(120)
+	sink.Counter(obs.ClassLabeled("cluster_class_windows_total", "critical")).Add(900)
+	sink.Counter(obs.ClassLabeled("cluster_class_slo_violations_total", "critical")).Add(3)
+
+	body := get(t, Options{Sink: sink}, "/metrics").Body.String()
+	for _, want := range []string{
+		"# TYPE cluster_class_shed_requests_total counter\n",
+		`cluster_class_shed_requests_total{class="background"} 120` + "\n",
+		`cluster_class_shed_requests_total{class="sheddable"} 480` + "\n",
+		`cluster_class_windows_total{class="critical"} 900` + "\n",
+		`cluster_class_slo_violations_total{class="critical"} 3` + "\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestSLOClassBlock: the /slo report carries the per-class roll-up on
+// class-aware runs.
+func TestSLOClassBlock(t *testing.T) {
+	attr := span.NewAttributor(0)
+	attr.Observe(span.Sample{
+		Time: 10, Device: "gpu0000", Service: "bert", Class: "critical",
+		LatencyMs: 200, BudgetMs: 100, QPS: 50, BaseQPS: 100,
+	})
+	attr.ObserveShed("sheddable", 480)
+
+	rec := get(t, Options{Attr: attr, WindowSec: 1}, "/slo")
+	var rep span.SLOReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, rec.Body.String())
+	}
+	if len(rep.Classes) != 2 {
+		t.Fatalf("classes %+v, want critical + sheddable", rep.Classes)
+	}
+	byClass := map[string]span.ClassSLO{}
+	for _, c := range rep.Classes {
+		byClass[c.Class] = c
+	}
+	if byClass["critical"].Violations != 1 || byClass["sheddable"].ShedRequests != 480 {
+		t.Fatalf("class roll-up %+v", byClass)
 	}
 }

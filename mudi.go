@@ -45,6 +45,7 @@ import (
 	"mudi/internal/report"
 	"mudi/internal/sched"
 	"mudi/internal/span"
+	"mudi/internal/timeline"
 	"mudi/internal/trace"
 	"mudi/internal/xrand"
 )
@@ -222,10 +223,16 @@ type SimOptions struct {
 	// identical with and without it.
 	Trace bool
 	// Telemetry, when non-nil, supplies the run's live instruments —
-	// metrics sink, span tracer, violation attributor — so they can be
-	// served over HTTP (Telemetry.Handler) while the simulation is in
-	// flight. Implies Observe and Trace.
+	// metrics sink, span tracer, violation attributor, timeline store —
+	// so they can be served over HTTP (Telemetry.Handler) while the
+	// simulation is in flight. Implies Observe, Trace, and Timelines.
 	Telemetry *Telemetry
+	// Timelines, when true, records multi-resolution time-series for the
+	// run — per-service, per-class, fleet, and engine self-profiling
+	// signals (see timelines.go) — into Result.Timelines. Recording is
+	// passive: Result.Summary() is identical with and without it, and
+	// unlike Observe/Trace it does not serialize the sharded engine.
+	Timelines bool
 	// Faults, when non-nil with at least one fault class enabled,
 	// deterministically injects failures — device outages with
 	// recovery, transient measurement errors, shadow spin-up failures,
@@ -318,6 +325,19 @@ func (o SimOptions) tracing() (*span.Tracer, *span.Attributor) {
 		return nil, nil
 	}
 	return span.NewTracer(0), span.NewAttributor(0)
+}
+
+// timelineStore builds the run's timeline store, or nil when timeline
+// recording is off. A Telemetry's store wins so the live HTTP surface
+// (/timeline, /watch) reads the same store the run writes.
+func (o SimOptions) timelineStore() *timeline.Store {
+	if o.Telemetry != nil {
+		return o.Telemetry.tl
+	}
+	if !o.Timelines {
+		return nil
+	}
+	return timeline.New(timeline.Defaults())
 }
 
 // Simulate runs one cluster simulation to completion. It is
@@ -441,6 +461,7 @@ func (s *System) SimulateContext(ctx context.Context, opts SimOptions) (*Result,
 		Attr:           attr,
 		Replay:         opts.Workload,
 		Record:         rec,
+		Timeline:       opts.timelineStore(),
 		Shards:         opts.Shards,
 		AdmitFactor:    opts.AdmitFactor,
 		Ctx:            ctx,

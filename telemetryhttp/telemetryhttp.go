@@ -1,8 +1,9 @@
 // Package telemetryhttp serves a mudi.Telemetry over HTTP: /metrics
 // (Prometheus text exposition), /slo (the live SLO-violation
-// attribution report as JSON), /healthz, /debug/vars (expvar), and
-// /debug/pprof/. All endpoints are read-only snapshots and safe to
-// poll while a simulation runs.
+// attribution report as JSON), /timeline (multi-resolution series
+// range queries), /watch (a server-sent-events sample stream),
+// /healthz, /debug/vars (expvar), and /debug/pprof/. All endpoints are
+// read-only snapshots and safe to poll while a simulation runs.
 //
 // This lives outside the root mudi package on purpose: importing
 // net/http links runtime background machinery (netip's interning and
@@ -26,6 +27,7 @@ import (
 func Handler(t *mudi.Telemetry) http.Handler {
 	sink, tracer, attr := t.Instruments()
 	return telemetry.Handler(telemetry.Options{
-		Sink: sink, Trace: tracer, Attr: attr, WindowSec: 1,
+		Sink: sink, Trace: tracer, Attr: attr,
+		Timeline: t.TimelineStore(), WindowSec: 1,
 	})
 }

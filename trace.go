@@ -5,6 +5,7 @@ import (
 
 	"mudi/internal/obs"
 	"mudi/internal/span"
+	"mudi/internal/timeline"
 )
 
 // Causal tracing surface. A run with SimOptions.Trace set records
@@ -101,14 +102,18 @@ type Telemetry struct {
 	sink   *obs.Sink
 	tracer *span.Tracer
 	attr   *span.Attributor
+	tl     *timeline.Store
 }
 
-// NewTelemetry returns a Telemetry with default-capacity instruments.
+// NewTelemetry returns a Telemetry with default-capacity instruments,
+// including a timeline store (the /timeline and /watch endpoints read
+// it while the attached run writes).
 func NewTelemetry() *Telemetry {
 	return &Telemetry{
 		sink:   obs.NewSink(),
 		tracer: span.NewTracer(0),
 		attr:   span.NewAttributor(0),
+		tl:     timeline.New(timeline.Defaults()),
 	}
 }
 
@@ -120,3 +125,7 @@ func NewTelemetry() *Telemetry {
 func (t *Telemetry) Instruments() (*obs.Sink, *span.Tracer, *span.Attributor) {
 	return t.sink, t.tracer, t.attr
 }
+
+// TimelineStore exposes the underlying timeline store — same opaque-
+// handle contract as Instruments.
+func (t *Telemetry) TimelineStore() *timeline.Store { return t.tl }
